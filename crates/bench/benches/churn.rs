@@ -1,0 +1,21 @@
+//! Criterion bench for E6: a 15-peer transaction under churn, chaining
+//! on/off.
+
+use axml_bench::e6_churn;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("churn");
+    g.sample_size(20);
+    g.bench_function("p25_chaining", |b| {
+        b.iter(|| black_box(e6_churn::bench_once(true)));
+    });
+    g.bench_function("p25_no_chaining", |b| {
+        b.iter(|| black_box(e6_churn::bench_once(false)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for E3: dynamic compensation round-trips
+//! (apply ops → build inverse from log → restore) across document sizes.
+
+use axml_bench::e3_compensation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compensation");
+    for doc_nodes in [50usize, 200, 1000] {
+        g.bench_with_input(BenchmarkId::new("dynamic_roundtrip_20ops", doc_nodes), &doc_nodes, |b, &n| {
+            b.iter(|| black_box(e3_compensation::bench_once(n, 20)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for E1 / Fig. 1: full nested-recovery scenario runs.
+
+use axml_bench::e1_fig1;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_nested_recovery");
+    g.bench_function("commit_no_fault", |b| {
+        b.iter(|| black_box(e1_fig1::bench_once(false)));
+    });
+    g.bench_function("abort_backward_recovery", |b| {
+        b.iter(|| black_box(e1_fig1::bench_once(true)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

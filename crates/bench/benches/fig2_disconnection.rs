@@ -1,0 +1,20 @@
+//! Criterion bench for E2 / Fig. 2: disconnection scenario (b) with and
+//! without chaining (end-to-end simulated recovery).
+
+use axml_bench::e2_fig2;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_disconnection");
+    g.bench_function("scenario_b_chaining", |b| {
+        b.iter(|| black_box(e2_fig2::bench_once(true)));
+    });
+    g.bench_function("scenario_b_no_chaining", |b| {
+        b.iter(|| black_box(e2_fig2::bench_once(false)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

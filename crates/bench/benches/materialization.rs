@@ -1,0 +1,20 @@
+//! Criterion bench for E4: lazy vs eager query evaluation over the
+//! paper's ATP document.
+
+use axml_bench::e4_materialization;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("materialization");
+    g.bench_function("atp_query_lazy", |b| {
+        b.iter(|| black_box(e4_materialization::bench_once(false)));
+    });
+    g.bench_function("atp_query_eager", |b| {
+        b.iter(|| black_box(e4_materialization::bench_once(true)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for E7: abort-under-disconnection with peer-dependent
+//! vs peer-independent compensation.
+
+use axml_bench::e7_peer_independent;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("peer_independent");
+    g.bench_function("dependent", |b| {
+        b.iter(|| black_box(e7_peer_independent::bench_once(false)));
+    });
+    g.bench_function("independent", |b| {
+        b.iter(|| black_box(e7_peer_independent::bench_once(true)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

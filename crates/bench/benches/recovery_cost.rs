@@ -1,0 +1,22 @@
+//! Criterion bench for E5: end-to-end recovery across tree depths,
+//! forward vs backward.
+
+use axml_bench::e5_recovery_cost;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery_cost");
+    for depth in [2usize, 3] {
+        g.bench_with_input(BenchmarkId::new("forward", depth), &depth, |b, &d| {
+            b.iter(|| black_box(e5_recovery_cost::bench_once(d, true)));
+        });
+        g.bench_with_input(BenchmarkId::new("backward", depth), &depth, |b, &d| {
+            b.iter(|| black_box(e5_recovery_cost::bench_once(d, false)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

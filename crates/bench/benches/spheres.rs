@@ -1,0 +1,19 @@
+//! Criterion bench for E8: full sphere-of-atomicity trial runs.
+
+use axml_bench::e8_spheres;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spheres");
+    g.bench_function("all_super", |b| {
+        b.iter(|| black_box(e8_spheres::bench_once(true)));
+    });
+    g.bench_function("no_super", |b| {
+        b.iter(|| black_box(e8_spheres::bench_once(false)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Regenerates every experiment table (DESIGN.md §5 / EXPERIMENTS.md).
+//!
+//! ```text
+//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|all] [--json]
+//! ```
+//!
+//! With `--json`, rows are additionally emitted as JSON lines (one array
+//! per experiment) for downstream plotting.
+
+use axml_bench::{
+    e10_isolation, e11_scale, e1_fig1, e2_fig2, e3_compensation, e4_materialization,
+    e5_recovery_cost, e6_churn, e7_peer_independent, e8_spheres, e9_extended_chaining,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let want = |name: &str| all || which.contains(&name);
+
+    if want("e1") {
+        let rows = e1_fig1::run();
+        e1_fig1::table(&rows).print();
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+        println!();
+    }
+    if want("e2") {
+        let rows = e2_fig2::run();
+        e2_fig2::table(&rows).print();
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+        println!();
+    }
+    if want("e3") {
+        let rows = e3_compensation::run(10);
+        e3_compensation::table(&rows).print();
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+        println!();
+    }
+    if want("e4") {
+        let rows = e4_materialization::run();
+        e4_materialization::table(&rows).print();
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+        println!();
+    }
+    if want("e5") {
+        let rows = e5_recovery_cost::run();
+        e5_recovery_cost::table(&rows).print();
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+        println!();
+    }
+    if want("e6") {
+        let rows = e6_churn::run(20);
+        e6_churn::table(&rows).print();
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+        println!();
+    }
+    if want("e7") {
+        let rows = e7_peer_independent::run(12);
+        e7_peer_independent::table(&rows).print();
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+        println!();
+    }
+    if want("e8") {
+        let rows = e8_spheres::run(16);
+        e8_spheres::table(&rows).print();
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+        println!();
+    }
+    if want("e9") {
+        let rows = e9_extended_chaining::run();
+        e9_extended_chaining::table(&rows).print();
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+        println!();
+    }
+    if want("e10") {
+        let rows = e10_isolation::run();
+        e10_isolation::table(&rows).print();
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+        println!();
+    }
+    if want("e11") {
+        let rows = e11_scale::run();
+        e11_scale::table(&rows).print();
+        if json {
+            println!("{}", serde_json::to_string(&rows).expect("serializable"));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Experiment harness: regenerates every figure of the paper and the
+//! synthetic evaluation defined in DESIGN.md §5.
+//!
+//! The paper (a 6-page protocol paper) contains **two figures and no
+//! measured tables**; E1 and E2 reproduce Fig. 1 and Fig. 2 as executable
+//! scenarios, and E3–E8 quantify each qualitative claim the text makes.
+//! Each experiment module exposes a `run(...)` returning serializable row
+//! structs plus a table printer; the `experiments` binary drives them all.
+
+pub mod e10_isolation;
+pub mod e11_scale;
+pub mod e1_fig1;
+pub mod e2_fig2;
+pub mod e3_compensation;
+pub mod e4_materialization;
+pub mod e5_recovery_cost;
+pub mod e6_churn;
+pub mod e7_peer_independent;
+pub mod e8_spheres;
+pub mod e9_extended_chaining;
+pub mod table;
+
+pub use table::Table;

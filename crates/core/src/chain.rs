@@ -1,0 +1,381 @@
+//! Active-peer lists — the "chaining" of §3.3.
+//!
+//! "The list of active peers is denoted as follows: `[APX → APY]` implies
+//! an invocation of APY's service by APX. Parallel invocation of APY and
+//! APZ s' services by APX is denoted as `[APX → [APY] || [APZ]]`. Finally,
+//! super peers (trusted peers which do not disconnect) are highlighted by
+//! an `*` following their identifiers."
+//!
+//! The list is the invocation tree of the transaction so far. Passing it
+//! along with every invocation is what lets a peer that detects a
+//! disconnection find the disconnected peer's parent, children, siblings,
+//! the "next closest peer", and the "closest super peer" — without asking
+//! anyone.
+
+use axml_p2p::PeerId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One node of the active-peer list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainNode {
+    /// The peer.
+    pub peer: PeerId,
+    /// `*` marker: a super peer.
+    pub is_super: bool,
+    /// Peers whose services this peer invoked.
+    pub children: Vec<ChainNode>,
+}
+
+impl ChainNode {
+    /// A leaf node.
+    pub fn leaf(peer: PeerId, is_super: bool) -> ChainNode {
+        ChainNode { peer, is_super, children: Vec::new() }
+    }
+}
+
+/// The active-peer list of a transaction.
+///
+/// ```
+/// use axml_core::ActiveList;
+/// use axml_p2p::PeerId;
+///
+/// let mut list = ActiveList::new(PeerId(1), true);
+/// list.add_invocation(PeerId(1), PeerId(2), false);
+/// list.add_invocation(PeerId(2), PeerId(3), false);
+/// assert_eq!(list.to_notation(), "[AP1* → AP2 → AP3]");
+/// assert_eq!(list.parent_of(PeerId(3)), Some(PeerId(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActiveList {
+    /// The invocation-tree root (the origin peer).
+    pub root: ChainNode,
+}
+
+impl ActiveList {
+    /// A list containing only the origin.
+    pub fn new(origin: PeerId, is_super: bool) -> ActiveList {
+        ActiveList { root: ChainNode::leaf(origin, is_super) }
+    }
+
+    fn find(&self, peer: PeerId) -> Option<&ChainNode> {
+        fn go(node: &ChainNode, peer: PeerId) -> Option<&ChainNode> {
+            if node.peer == peer {
+                return Some(node);
+            }
+            node.children.iter().find_map(|c| go(c, peer))
+        }
+        go(&self.root, peer)
+    }
+
+    fn find_mut(&mut self, peer: PeerId) -> Option<&mut ChainNode> {
+        fn go(node: &mut ChainNode, peer: PeerId) -> Option<&mut ChainNode> {
+            if node.peer == peer {
+                return Some(node);
+            }
+            node.children.iter_mut().find_map(|c| go(c, peer))
+        }
+        go(&mut self.root, peer)
+    }
+
+    /// True if `peer` appears in the list.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.find(peer).is_some()
+    }
+
+    /// Records that `parent` invoked `child`'s service. No-op if the
+    /// parent is unknown; duplicate children are ignored.
+    pub fn add_invocation(&mut self, parent: PeerId, child: PeerId, child_is_super: bool) {
+        if self.contains(child) {
+            return;
+        }
+        if let Some(p) = self.find_mut(parent) {
+            p.children.push(ChainNode::leaf(child, child_is_super));
+        }
+    }
+
+    /// The parent of `peer` in the invocation tree.
+    pub fn parent_of(&self, peer: PeerId) -> Option<PeerId> {
+        fn go(node: &ChainNode, peer: PeerId) -> Option<PeerId> {
+            for c in &node.children {
+                if c.peer == peer {
+                    return Some(node.peer);
+                }
+                if let Some(p) = go(c, peer) {
+                    return Some(p);
+                }
+            }
+            None
+        }
+        go(&self.root, peer)
+    }
+
+    /// The children of `peer`.
+    pub fn children_of(&self, peer: PeerId) -> Vec<PeerId> {
+        self.find(peer).map(|n| n.children.iter().map(|c| c.peer).collect()).unwrap_or_default()
+    }
+
+    /// The siblings of `peer` (same parent, excluding itself).
+    pub fn siblings_of(&self, peer: PeerId) -> Vec<PeerId> {
+        match self.parent_of(peer) {
+            None => Vec::new(),
+            Some(parent) => self
+                .children_of(parent)
+                .into_iter()
+                .filter(|p| *p != peer)
+                .collect(),
+        }
+    }
+
+    /// Ancestors of `peer`, nearest first ("the next closest peer" order
+    /// of scenario (b)).
+    pub fn ancestors_of(&self, peer: PeerId) -> Vec<PeerId> {
+        let mut out = Vec::new();
+        let mut cur = peer;
+        while let Some(p) = self.parent_of(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// All descendants of `peer` (pre-order).
+    pub fn descendants_of(&self, peer: PeerId) -> Vec<PeerId> {
+        fn collect(node: &ChainNode, out: &mut Vec<PeerId>) {
+            for c in &node.children {
+                out.push(c.peer);
+                collect(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        if let Some(n) = self.find(peer) {
+            collect(n, &mut out);
+        }
+        out
+    }
+
+    /// The grandparent of `peer`.
+    pub fn grandparent_of(&self, peer: PeerId) -> Option<PeerId> {
+        self.parent_of(peer).and_then(|p| self.parent_of(p))
+    }
+
+    /// The uncles of `peer` — its parent's siblings. Part of the paper's
+    /// future-work **extended chaining** ("we are exploring the
+    /// feasibility of extending the same to uncles, cousins, etc.").
+    pub fn uncles_of(&self, peer: PeerId) -> Vec<PeerId> {
+        match self.parent_of(peer) {
+            None => Vec::new(),
+            Some(parent) => self.siblings_of(parent),
+        }
+    }
+
+    /// The cousins of `peer` — children of its uncles.
+    pub fn cousins_of(&self, peer: PeerId) -> Vec<PeerId> {
+        self.uncles_of(peer)
+            .into_iter()
+            .flat_map(|u| self.children_of(u))
+            .collect()
+    }
+
+    /// The closest super-peer ancestor of `peer` (scenario (b): "AP6 can
+    /// try the next closest peer (AP1) or the closest super peer").
+    pub fn closest_super_ancestor(&self, peer: PeerId) -> Option<PeerId> {
+        self.ancestors_of(peer)
+            .into_iter()
+            .find(|p| self.find(*p).map(|n| n.is_super).unwrap_or(false))
+    }
+
+    /// All peers in the list (pre-order, origin first).
+    pub fn all_peers(&self) -> Vec<PeerId> {
+        let mut out = vec![self.root.peer];
+        out.extend(self.descendants_of(self.root.peer));
+        out
+    }
+
+    /// True if every peer in the list is a super peer — the
+    /// Spheres-of-Atomicity condition of §3.3.
+    pub fn all_super(&self) -> bool {
+        fn go(node: &ChainNode) -> bool {
+            node.is_super && node.children.iter().all(go)
+        }
+        go(&self.root)
+    }
+
+    /// Marks a peer as super (used when building lists programmatically).
+    pub fn mark_super(&mut self, peer: PeerId) {
+        if let Some(n) = self.find_mut(peer) {
+            n.is_super = true;
+        }
+    }
+
+    /// Removes `peer`'s subtree from the list (after a confirmed
+    /// disconnection). Returns true if something was removed.
+    pub fn remove(&mut self, peer: PeerId) -> bool {
+        fn go(node: &mut ChainNode, peer: PeerId) -> bool {
+            if let Some(pos) = node.children.iter().position(|c| c.peer == peer) {
+                node.children.remove(pos);
+                return true;
+            }
+            node.children.iter_mut().any(|c| go(c, peer))
+        }
+        go(&mut self.root, peer)
+    }
+
+    /// Renders the paper's notation, e.g.
+    /// `[AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]`.
+    pub fn to_notation(&self) -> String {
+        fn node_str(n: &ChainNode) -> String {
+            let me = format!("{}{}", n.peer, if n.is_super { "*" } else { "" });
+            match n.children.len() {
+                0 => me,
+                1 => format!("{me} → {}", node_str(&n.children[0])),
+                _ => {
+                    let parts: Vec<String> =
+                        n.children.iter().map(|c| format!("[{}]", node_str(c))).collect();
+                    format!("{me} → {}", parts.join(" || "))
+                }
+            }
+        }
+        format!("[{}]", node_str(&self.root))
+    }
+}
+
+impl fmt::Display for ActiveList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_notation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact list from §3.3:
+    /// `[AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]`.
+    fn fig2_list() -> ActiveList {
+        let mut l = ActiveList::new(PeerId(1), true);
+        l.add_invocation(PeerId(1), PeerId(2), false);
+        l.add_invocation(PeerId(2), PeerId(3), false);
+        l.add_invocation(PeerId(2), PeerId(4), false);
+        l.add_invocation(PeerId(3), PeerId(6), false);
+        l.add_invocation(PeerId(4), PeerId(5), false);
+        l
+    }
+
+    #[test]
+    fn paper_notation_matches() {
+        assert_eq!(fig2_list().to_notation(), "[AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]");
+    }
+
+    #[test]
+    fn single_chain_notation() {
+        let mut l = ActiveList::new(PeerId(1), false);
+        l.add_invocation(PeerId(1), PeerId(2), false);
+        l.add_invocation(PeerId(2), PeerId(3), true);
+        assert_eq!(l.to_notation(), "[AP1 → AP2 → AP3*]");
+    }
+
+    #[test]
+    fn navigation() {
+        let l = fig2_list();
+        assert_eq!(l.parent_of(PeerId(6)), Some(PeerId(3)));
+        assert_eq!(l.parent_of(PeerId(3)), Some(PeerId(2)));
+        assert_eq!(l.parent_of(PeerId(1)), None);
+        assert_eq!(l.children_of(PeerId(2)), vec![PeerId(3), PeerId(4)]);
+        assert_eq!(l.siblings_of(PeerId(3)), vec![PeerId(4)]);
+        assert_eq!(l.siblings_of(PeerId(1)), Vec::<PeerId>::new());
+        assert_eq!(l.ancestors_of(PeerId(6)), vec![PeerId(3), PeerId(2), PeerId(1)]);
+        assert_eq!(l.descendants_of(PeerId(2)), vec![PeerId(3), PeerId(6), PeerId(4), PeerId(5)]);
+        assert_eq!(l.all_peers().len(), 6);
+    }
+
+    #[test]
+    fn scenario_b_fallback_targets() {
+        // AP6 detects AP3's disconnection: next closest = AP2, then AP1;
+        // closest super peer = AP1.
+        let l = fig2_list();
+        let ancestors = l.ancestors_of(PeerId(6));
+        assert_eq!(ancestors[0], PeerId(3), "disconnected parent itself");
+        assert_eq!(ancestors[1], PeerId(2), "redirect target");
+        assert_eq!(l.closest_super_ancestor(PeerId(6)), Some(PeerId(1)));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_invocations_ignored() {
+        let mut l = fig2_list();
+        l.add_invocation(PeerId(2), PeerId(3), false); // duplicate child
+        assert_eq!(l.children_of(PeerId(2)).len(), 2);
+        l.add_invocation(PeerId(99), PeerId(7), false); // unknown parent
+        assert!(!l.contains(PeerId(7)));
+    }
+
+    #[test]
+    fn all_super_condition() {
+        let mut l = fig2_list();
+        assert!(!l.all_super());
+        for p in [2, 3, 4, 5, 6] {
+            l.mark_super(PeerId(p));
+        }
+        assert!(l.all_super());
+    }
+
+    #[test]
+    fn remove_subtree() {
+        let mut l = fig2_list();
+        assert!(l.remove(PeerId(3)));
+        assert!(!l.contains(PeerId(3)));
+        assert!(!l.contains(PeerId(6)), "descendants go with the subtree");
+        assert!(l.contains(PeerId(4)));
+        assert!(!l.remove(PeerId(3)), "already gone");
+    }
+
+    #[test]
+    fn serde_json_roundtrip() {
+        let l = fig2_list();
+        let json = serde_json::to_string(&l).unwrap();
+        let back: ActiveList = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, l);
+    }
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+
+    /// Depth-3 binary tree: 1 → {2,3}, 2 → {4,5}, 3 → {6,7}.
+    fn tree() -> ActiveList {
+        let mut l = ActiveList::new(PeerId(1), false);
+        l.add_invocation(PeerId(1), PeerId(2), false);
+        l.add_invocation(PeerId(1), PeerId(3), false);
+        l.add_invocation(PeerId(2), PeerId(4), false);
+        l.add_invocation(PeerId(2), PeerId(5), false);
+        l.add_invocation(PeerId(3), PeerId(6), false);
+        l.add_invocation(PeerId(3), PeerId(7), false);
+        l
+    }
+
+    #[test]
+    fn grandparent() {
+        let l = tree();
+        assert_eq!(l.grandparent_of(PeerId(4)), Some(PeerId(1)));
+        assert_eq!(l.grandparent_of(PeerId(2)), None);
+        assert_eq!(l.grandparent_of(PeerId(1)), None);
+    }
+
+    #[test]
+    fn uncles() {
+        let l = tree();
+        assert_eq!(l.uncles_of(PeerId(4)), vec![PeerId(3)]);
+        assert_eq!(l.uncles_of(PeerId(6)), vec![PeerId(2)]);
+        assert!(l.uncles_of(PeerId(2)).is_empty(), "the origin's children have no uncles");
+        assert!(l.uncles_of(PeerId(1)).is_empty());
+    }
+
+    #[test]
+    fn cousins() {
+        let l = tree();
+        assert_eq!(l.cousins_of(PeerId(4)), vec![PeerId(6), PeerId(7)]);
+        assert_eq!(l.cousins_of(PeerId(7)), vec![PeerId(4), PeerId(5)]);
+        assert!(l.cousins_of(PeerId(2)).is_empty());
+    }
+}

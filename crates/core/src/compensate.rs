@@ -1,0 +1,404 @@
+//! Dynamic compensation construction (§3.1).
+//!
+//! "The data (nodes) required for compensation cannot be predicted in
+//! advance and would need to be read from the log at run-time."
+//!
+//! The log stores primitive [`Effect`]s. Compensation is built by
+//! inverting them **in reverse order of execution**:
+//!
+//! - `Deleted { fragment, parent_path, position }` → an insert of the
+//!   logged fragment at the logged parent/position ("the `<location>` and
+//!   `<data>` of the compensating insert operation are the parent (/..)
+//!   of the deleted node and the result of the `<location>` query of the
+//!   delete operation");
+//! - `Inserted { path, .. }` → a delete of "the node having the
+//!   corresponding ID" — addressed structurally so the same compensating
+//!   service can run against a replica.
+//!
+//! Because effects address nodes by [`axml_query::NodePath`], a compensation built on
+//! one peer is a plain list of update actions any peer holding (a replica
+//! of) the document can execute — the enabler for §3.2's
+//! **peer-independent compensation**.
+
+use axml_query::{Effect, InsertPos, Locator, QueryError, UpdateAction};
+use axml_xml::Document;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Builds the compensating actions for a sequence of logged effects.
+///
+/// The result is ordered ready-to-run: inverse of the **last** effect
+/// first.
+///
+/// ```
+/// use axml_core::compensate::{apply_compensation, compensation_for_effects};
+/// use axml_query::{Locator, UpdateAction};
+/// use axml_xml::Document;
+///
+/// let mut doc = Document::parse("<r><a>1</a></r>").unwrap();
+/// let before = doc.to_xml();
+/// let report = UpdateAction::delete(Locator::parse("r/a").unwrap())
+///     .apply(&mut doc)
+///     .unwrap();
+/// let comp = compensation_for_effects(&report.effects);
+/// apply_compensation(&mut doc, &comp).unwrap();
+/// assert_eq!(doc.to_xml(), before);
+/// ```
+pub fn compensation_for_effects(effects: &[Effect]) -> Vec<UpdateAction> {
+    effects
+        .iter()
+        .rev()
+        .map(|e| match e {
+            Effect::Deleted { fragment, parent_path, position } => UpdateAction::insert_at(
+                Locator::Node(parent_path.clone()),
+                vec![fragment.clone()],
+                InsertPos::At(*position),
+            ),
+            Effect::Inserted { path, .. } => UpdateAction::delete(Locator::Node(path.clone())),
+        })
+        .collect()
+}
+
+/// Applies compensating actions to a document, returning the total node
+/// cost. Actions are applied in the given (already-reversed) order.
+pub fn apply_compensation(doc: &mut Document, actions: &[UpdateAction]) -> Result<usize, QueryError> {
+    let mut cost = 0usize;
+    for action in actions {
+        let report = action.apply(doc)?;
+        cost += report.cost_nodes;
+    }
+    Ok(cost)
+}
+
+/// Compensating-service definitions addressed per peer: what a recovering
+/// peer needs to drive compensation for a whole subtree of invocations
+/// without the original peers coordinating. Each entry is executable at
+/// that peer — or, because actions address nodes structurally, at any
+/// peer holding a replica of the documents involved.
+pub type CompBundle = Vec<(axml_p2p::PeerId, CompensatingService)>;
+
+/// A compensating-service definition (§3.2): "a service capable of
+/// compensating the modifications at APY which occurred as a result of
+/// processing the service S". Returned to the invoker along with the
+/// invocation results; serializable so it can be shipped to (and executed
+/// at) any peer holding the document.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CompensatingService {
+    /// Compensating actions per document name, each list ready-to-run.
+    pub actions: Vec<(String, Vec<UpdateAction>)>,
+}
+
+impl CompensatingService {
+    /// Builds the definition from per-document effect logs.
+    pub fn from_effect_log(log: &[(String, Vec<Effect>)]) -> CompensatingService {
+        // Reverse across log entries as well as within each entry.
+        let mut actions = Vec::new();
+        for (doc, effects) in log.iter().rev() {
+            let acts = compensation_for_effects(effects);
+            if !acts.is_empty() {
+                actions.push((doc.clone(), acts));
+            }
+        }
+        CompensatingService { actions }
+    }
+
+    /// True if there is nothing to compensate.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Total number of compensating actions.
+    pub fn action_count(&self) -> usize {
+        self.actions.iter().map(|(_, a)| a.len()).sum()
+    }
+
+    /// Executes the compensation against a set of documents (typically a
+    /// peer's repository). Returns the node cost.
+    pub fn execute(&self, docs: &mut BTreeMap<String, &mut Document>) -> Result<usize, QueryError> {
+        let mut cost = 0usize;
+        for (name, acts) in &self.actions {
+            let doc = docs
+                .get_mut(name)
+                .ok_or_else(|| QueryError::PathUnresolved(format!("document {name} not present")))?;
+            cost += apply_compensation(doc, acts)?;
+        }
+        Ok(cost)
+    }
+
+    /// Merges another definition to run **before** this one finishes —
+    /// i.e. `other`'s actions are appended (they compensate earlier work).
+    pub fn then(mut self, other: CompensatingService) -> CompensatingService {
+        self.actions.extend(other.actions);
+        self
+    }
+}
+
+/// The classical pre-declared compensation model (the baseline the paper
+/// argues is infeasible for AXML).
+///
+/// A static compensator is configured **once, at service-definition
+/// time**, with a fixed inverse action per operation — "current
+/// compensation based models assume the existence of a pre-defined
+/// compensating operation (for each operation)". It cannot see the log,
+/// so for operations whose effects depend on run-time materialization
+/// (lazy queries!) it either has *no* inverse or an inverse computed from
+/// stale assumptions. Experiment E3 quantifies the failure.
+#[derive(Debug, Clone, Default)]
+pub struct StaticCompensator {
+    inverses: BTreeMap<String, Vec<UpdateAction>>,
+}
+
+impl StaticCompensator {
+    /// An empty compensator.
+    pub fn new() -> StaticCompensator {
+        StaticCompensator::default()
+    }
+
+    /// Pre-declares the inverse for operation `op_label`.
+    pub fn declare(&mut self, op_label: impl Into<String>, inverse: Vec<UpdateAction>) {
+        self.inverses.insert(op_label.into(), inverse);
+    }
+
+    /// The pre-declared inverse for an operation, if any. Note what is
+    /// *not* here: no access to the run-time log.
+    pub fn inverse_of(&self, op_label: &str) -> Option<&[UpdateAction]> {
+        self.inverses.get(op_label).map(Vec::as_slice)
+    }
+
+    /// Compensates a sequence of executed operation labels (reverse
+    /// order). Operations without a declared inverse are skipped — the
+    /// classical model silently under-compensates them. Returns
+    /// `(cost, missing)` where `missing` counts skipped operations.
+    pub fn compensate(
+        &self,
+        doc: &mut Document,
+        executed_ops: &[String],
+    ) -> (usize, usize) {
+        let mut cost = 0usize;
+        let mut missing = 0usize;
+        for op in executed_ops.iter().rev() {
+            match self.inverse_of(op) {
+                None => missing += 1,
+                Some(actions) => {
+                    for a in actions {
+                        // Tolerate failures: the stale inverse may no longer
+                        // apply (that is the point of E3).
+                        let mut tolerant = a.clone();
+                        tolerant.allow_empty_location = true;
+                        if let Ok(report) = tolerant.apply(doc) {
+                            cost += report.cost_nodes;
+                        }
+                    }
+                }
+            }
+        }
+        (cost, missing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_query::{Locator, PathExpr};
+    use axml_xml::{equivalent_ordered, Fragment};
+
+    fn atp() -> Document {
+        Document::parse(
+            r#"<ATPList>
+                <player rank="1"><name><lastname>Federer</lastname></name><citizenship>Swiss</citizenship></player>
+                <player rank="2"><name><lastname>Nadal</lastname></name><citizenship>Spanish</citizenship></player>
+            </ATPList>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_delete_compensation() {
+        let mut doc = atp();
+        let before = doc.to_xml();
+        let del = UpdateAction::delete(
+            Locator::parse("Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;").unwrap(),
+        );
+        let report = del.apply(&mut doc).unwrap();
+        let comp = compensation_for_effects(&report.effects);
+        assert_eq!(comp.len(), 1);
+        apply_compensation(&mut doc, &comp).unwrap();
+        assert_eq!(doc.to_xml(), before);
+    }
+
+    #[test]
+    fn paper_replace_compensation() {
+        // §3.1: replace Nadal's citizenship with USA; compensation is the
+        // decomposed delete+insert run in reverse, restoring "Spanish".
+        let mut doc = atp();
+        let before = doc.to_xml();
+        let rep = UpdateAction::replace(
+            Locator::parse("Select p/citizenship from p in ATPList//player where p/name/lastname = Nadal;").unwrap(),
+            vec![Fragment::elem_text("citizenship", "USA")],
+        );
+        let report = rep.apply(&mut doc).unwrap();
+        assert!(doc.to_xml().contains("USA"));
+        let comp = compensation_for_effects(&report.effects);
+        assert_eq!(comp.len(), 2, "delete the inserted USA node, re-insert Spanish");
+        apply_compensation(&mut doc, &comp).unwrap();
+        assert_eq!(doc.to_xml(), before);
+    }
+
+    #[test]
+    fn insert_compensated_by_id_delete() {
+        let mut doc = atp();
+        let before = doc.to_xml();
+        let ins = UpdateAction::insert(
+            Locator::Path(PathExpr::parse("ATPList/player[@rank=1]").unwrap()),
+            vec![Fragment::elem_text("points", "475")],
+        );
+        let report = ins.apply(&mut doc).unwrap();
+        let comp = compensation_for_effects(&report.effects);
+        assert!(matches!(&comp[0].location, Locator::Node(_)), "compensation addresses the unique ID");
+        apply_compensation(&mut doc, &comp).unwrap();
+        assert_eq!(doc.to_xml(), before);
+    }
+
+    #[test]
+    fn multi_op_compensation_reverses_order() {
+        let mut doc = atp();
+        let before = doc.to_xml();
+        let mut all_effects = Vec::new();
+        // Op 1: delete Federer's citizenship.
+        let del = UpdateAction::delete(
+            Locator::parse("Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;").unwrap(),
+        );
+        all_effects.extend(del.apply(&mut doc).unwrap().effects);
+        // Op 2: insert points under the same player.
+        let ins = UpdateAction::insert(
+            Locator::Path(PathExpr::parse("ATPList/player[@rank=1]").unwrap()),
+            vec![Fragment::elem_text("points", "475")],
+        );
+        all_effects.extend(ins.apply(&mut doc).unwrap().effects);
+        // Op 3: delete the second player entirely.
+        let del2 = UpdateAction::delete(Locator::Path(PathExpr::parse("ATPList/player[@rank=2]").unwrap()));
+        all_effects.extend(del2.apply(&mut doc).unwrap().effects);
+
+        let comp = compensation_for_effects(&all_effects);
+        apply_compensation(&mut doc, &comp).unwrap();
+        assert_eq!(doc.to_xml(), before);
+    }
+
+    #[test]
+    fn compensating_service_executes_on_replica() {
+        // Effects captured on one copy compensate an identical replica.
+        let mut primary = atp();
+        let mut replica = atp();
+        let del = UpdateAction::delete(Locator::Path(PathExpr::parse("ATPList/player[@rank=2]").unwrap()));
+        let report = del.apply(&mut primary).unwrap();
+        // The replica saw the same logical update (replay).
+        del.apply(&mut replica).unwrap();
+        assert_eq!(primary.to_xml(), replica.to_xml());
+
+        let cs = CompensatingService::from_effect_log(&[("atp".into(), report.effects)]);
+        assert!(!cs.is_empty());
+        assert_eq!(cs.action_count(), 1);
+        let mut docs: BTreeMap<String, &mut Document> = BTreeMap::new();
+        docs.insert("atp".into(), &mut replica);
+        cs.execute(&mut docs).unwrap();
+        assert!(equivalent_ordered(&replica, &atp()), "replica restored by peer-independent compensation");
+    }
+
+    #[test]
+    fn compensating_service_missing_doc_errors() {
+        let mut doc = atp();
+        let del = UpdateAction::delete(Locator::Path(PathExpr::parse("ATPList/player[@rank=2]").unwrap()));
+        let report = del.apply(&mut doc).unwrap();
+        let cs = CompensatingService::from_effect_log(&[("atp".into(), report.effects)]);
+        let mut docs: BTreeMap<String, &mut Document> = BTreeMap::new();
+        assert!(cs.execute(&mut docs).is_err());
+    }
+
+    #[test]
+    fn compensating_service_then_chains() {
+        let a = CompensatingService { actions: vec![("d1".into(), vec![])] };
+        let b = CompensatingService { actions: vec![("d2".into(), vec![])] };
+        let c = a.then(b);
+        assert_eq!(c.actions.len(), 2);
+        assert_eq!(c.actions[0].0, "d1");
+    }
+
+    #[test]
+    fn empty_log_compensates_to_nothing() {
+        let cs = CompensatingService::from_effect_log(&[("atp".into(), vec![])]);
+        assert!(cs.is_empty());
+        assert_eq!(compensation_for_effects(&[]).len(), 0);
+    }
+
+    #[test]
+    fn static_compensator_misses_undeclared_ops() {
+        let mut doc = atp();
+        let sc = StaticCompensator::new();
+        let (cost, missing) = sc.compensate(&mut doc, &["op1".into(), "op2".into()]);
+        assert_eq!(cost, 0);
+        assert_eq!(missing, 2);
+    }
+
+    #[test]
+    fn static_compensator_applies_declared_inverse() {
+        // A fixed delete→insert pair *declared in advance* works only when
+        // the run-time state matches the declaration-time assumption.
+        let mut doc = atp();
+        let before = doc.to_xml();
+        let del = UpdateAction::delete(
+            Locator::parse("Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;").unwrap(),
+        );
+        let mut sc = StaticCompensator::new();
+        // Declared statically: "the inverse of deleteCitizenship is insert
+        // <citizenship>Swiss</citizenship> under Federer's player".
+        sc.declare(
+            "deleteCitizenship",
+            vec![UpdateAction::insert(
+                Locator::parse("Select p from p in ATPList//player where p/name/lastname = Federer;").unwrap(),
+                vec![Fragment::elem_text("citizenship", "Swiss")],
+            )],
+        );
+        del.apply(&mut doc).unwrap();
+        let (cost, missing) = sc.compensate(&mut doc, &["deleteCitizenship".into()]);
+        assert_eq!(missing, 0);
+        assert!(cost > 0);
+        // Here the assumption held, so the doc is equivalent (order may
+        // differ: static inverse appends rather than restoring position).
+        assert!(axml_xml::equivalent_unordered(&doc, &Document::parse(&before).unwrap()));
+    }
+
+    #[test]
+    fn static_compensator_wrong_after_state_change() {
+        // The documented failure: the citizenship changed at run time, the
+        // static inverse restores the stale value.
+        let mut doc = atp();
+        let mut sc = StaticCompensator::new();
+        sc.declare(
+            "deleteCitizenship",
+            vec![UpdateAction::insert(
+                Locator::parse("Select p from p in ATPList//player where p/name/lastname = Federer;").unwrap(),
+                vec![Fragment::elem_text("citizenship", "Swiss")],
+            )],
+        );
+        // Run-time surprise: the citizenship was updated to Monaco before
+        // the delete (e.g. by a materialized service call).
+        UpdateAction::replace(
+            Locator::parse("Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;").unwrap(),
+            vec![Fragment::elem_text("citizenship", "Monaco")],
+        )
+        .apply(&mut doc)
+        .unwrap();
+        let reference = doc.to_xml(); // the state compensation should restore
+        UpdateAction::delete(
+            Locator::parse("Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;").unwrap(),
+        )
+        .apply(&mut doc)
+        .unwrap();
+        sc.compensate(&mut doc, &["deleteCitizenship".into()]);
+        assert!(doc.to_xml().contains("Swiss"), "static inverse restored the stale value");
+        assert!(
+            !axml_xml::equivalent_unordered(&doc, &Document::parse(&reference).unwrap()),
+            "which is wrong"
+        );
+    }
+}

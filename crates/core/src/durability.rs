@@ -1,0 +1,384 @@
+//! Durability: a write-ahead journal for transaction contexts.
+//!
+//! The paper assumes "the transaction context … encapsulates … all the
+//! information required for … recovery" but leaves persistence to the
+//! platform. This module makes contexts durable: every state change is an
+//! appendable [`JournalEntry`], encoded as one JSON line, and a crashed
+//! peer rebuilds its contexts by [`replay`]ing the journal. Recovery
+//! follows **presumed abort**: any context that is not terminal after
+//! replay is in doubt, so its logged effects are compensated — using the
+//! same dynamic compensation machinery as live aborts (§3.1).
+
+use crate::chain::ActiveList;
+use crate::compensate::CompBundle;
+use crate::context::{LogRecord, TransactionContext, TxnState};
+use crate::ids::{InvocationId, TxnId};
+use axml_doc::Repository;
+use axml_p2p::PeerId;
+use axml_query::Effect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One durable event in a transaction's life at one peer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalEntry {
+    /// The context was created.
+    Begin {
+        /// The transaction.
+        txn: TxnId,
+        /// Invoker and served invocation (`None` at the origin).
+        parent: Option<(PeerId, InvocationId)>,
+        /// The chain known at creation.
+        chain: ActiveList,
+        /// Creation time.
+        at: u64,
+    },
+    /// Local document effects were applied.
+    Local {
+        /// The transaction.
+        txn: TxnId,
+        /// Document name.
+        doc: String,
+        /// Operation label.
+        op_label: String,
+        /// The effects.
+        effects: Vec<Effect>,
+    },
+    /// A remote invocation was issued.
+    RemoteInvoked {
+        /// The transaction.
+        txn: TxnId,
+        /// Invoked peer.
+        child: PeerId,
+        /// Invocation id.
+        inv: InvocationId,
+        /// Method.
+        method: String,
+    },
+    /// A remote invocation completed.
+    RemoteCompleted {
+        /// The transaction.
+        txn: TxnId,
+        /// Invocation id.
+        inv: InvocationId,
+        /// Returned compensating bundle (peer-independent mode).
+        comp: CompBundle,
+    },
+    /// The context reached a terminal state.
+    Resolved {
+        /// The transaction.
+        txn: TxnId,
+        /// `true` = committed, `false` = aborted.
+        committed: bool,
+        /// Resolution time.
+        at: u64,
+    },
+}
+
+impl JournalEntry {
+    /// The transaction this entry belongs to.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            JournalEntry::Begin { txn, .. }
+            | JournalEntry::Local { txn, .. }
+            | JournalEntry::RemoteInvoked { txn, .. }
+            | JournalEntry::RemoteCompleted { txn, .. }
+            | JournalEntry::Resolved { txn, .. } => *txn,
+        }
+    }
+}
+
+/// Errors from decoding or replaying a journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// A line was not valid JSON for a [`JournalEntry`].
+    Decode {
+        /// 1-based line number.
+        line: usize,
+        /// The serde error.
+        source: serde_json::Error,
+    },
+    /// An entry referenced a transaction with no `Begin`.
+    NoBegin(TxnId),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Decode { line, source } => write!(f, "bad journal line {line}: {source}"),
+            JournalError::NoBegin(t) => write!(f, "journal entry for {t} precedes its Begin"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Extracts the full journal of an existing context (what a peer appends
+/// incrementally while running; offered whole for snapshotting).
+pub fn journal_of(tc: &TransactionContext) -> Vec<JournalEntry> {
+    let mut out = vec![JournalEntry::Begin {
+        txn: tc.txn,
+        parent: tc.parent,
+        chain: tc.chain.clone(),
+        at: tc.created_at,
+    }];
+    for rec in &tc.log {
+        match rec {
+            LogRecord::Local { doc, op_label, effects } => out.push(JournalEntry::Local {
+                txn: tc.txn,
+                doc: doc.clone(),
+                op_label: op_label.clone(),
+                effects: effects.clone(),
+            }),
+            LogRecord::Remote { child, inv, method, completed, comp } => {
+                out.push(JournalEntry::RemoteInvoked {
+                    txn: tc.txn,
+                    child: *child,
+                    inv: *inv,
+                    method: method.clone(),
+                });
+                if *completed {
+                    out.push(JournalEntry::RemoteCompleted { txn: tc.txn, inv: *inv, comp: comp.clone() });
+                }
+            }
+        }
+    }
+    if tc.is_terminal() {
+        out.push(JournalEntry::Resolved {
+            txn: tc.txn,
+            committed: tc.state == TxnState::Committed,
+            at: tc.resolved_at.unwrap_or(tc.created_at),
+        });
+    }
+    out
+}
+
+/// Rebuilds contexts from a journal (one peer's entries, any number of
+/// transactions interleaved).
+pub fn replay(entries: &[JournalEntry]) -> Result<Vec<TransactionContext>, JournalError> {
+    let mut contexts: Vec<TransactionContext> = Vec::new();
+    let find = |contexts: &mut Vec<TransactionContext>, txn: TxnId| -> Option<usize> {
+        contexts.iter().position(|c| c.txn == txn)
+    };
+    for e in entries {
+        match e {
+            JournalEntry::Begin { txn, parent, chain, at } => {
+                contexts.push(TransactionContext::new(*txn, *parent, chain.clone(), *at));
+            }
+            JournalEntry::Local { txn, doc, op_label, effects } => {
+                let i = find(&mut contexts, *txn).ok_or(JournalError::NoBegin(*txn))?;
+                contexts[i].record_local(doc.clone(), op_label.clone(), effects.clone());
+            }
+            JournalEntry::RemoteInvoked { txn, child, inv, method } => {
+                let i = find(&mut contexts, *txn).ok_or(JournalError::NoBegin(*txn))?;
+                contexts[i].record_remote(*child, *inv, method.clone());
+            }
+            JournalEntry::RemoteCompleted { txn, inv, comp } => {
+                let i = find(&mut contexts, *txn).ok_or(JournalError::NoBegin(*txn))?;
+                contexts[i].complete_remote(*inv, comp.clone());
+            }
+            JournalEntry::Resolved { txn, committed, at } => {
+                let i = find(&mut contexts, *txn).ok_or(JournalError::NoBegin(*txn))?;
+                let state = if *committed { TxnState::Committed } else { TxnState::Aborted };
+                contexts[i].resolve(state, *at);
+            }
+        }
+    }
+    Ok(contexts)
+}
+
+/// Encodes entries as JSON lines.
+pub fn encode(entries: &[JournalEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&serde_json::to_string(e).expect("journal entries are serializable"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes JSON lines into entries (empty lines ignored).
+pub fn decode(text: &str) -> Result<Vec<JournalEntry>, JournalError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(serde_json::from_str(line).map_err(|source| JournalError::Decode { line: i + 1, source })?);
+    }
+    Ok(out)
+}
+
+/// The outcome of crash recovery at one peer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Contexts found in doubt (non-terminal) and presumed aborted.
+    pub presumed_aborted: Vec<TxnId>,
+    /// Contexts found already terminal (nothing to do).
+    pub already_terminal: Vec<TxnId>,
+    /// Total compensation cost in nodes.
+    pub comp_cost_nodes: usize,
+}
+
+/// Crash recovery (presumed abort): every in-doubt context's own effects
+/// are compensated against the repository, and the context is marked
+/// aborted. Committed/aborted contexts are left untouched.
+pub fn recover_in_doubt(
+    contexts: &mut [TransactionContext],
+    repo: &mut Repository,
+    now: u64,
+) -> RecoveryOutcome {
+    let mut outcome = RecoveryOutcome::default();
+    for tc in contexts.iter_mut() {
+        if tc.is_terminal() {
+            outcome.already_terminal.push(tc.txn);
+            continue;
+        }
+        let comp = tc.own_compensation();
+        for (doc, actions) in &comp.actions {
+            if let Some(document) = repo.get_mut(doc) {
+                if let Ok(cost) = crate::compensate::apply_compensation(document, actions) {
+                    outcome.comp_cost_nodes += cost;
+                }
+            }
+        }
+        tc.resolve(TxnState::Aborted, now);
+        outcome.presumed_aborted.push(tc.txn);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_query::{Locator, UpdateAction};
+    use axml_xml::Fragment;
+
+    fn sample_context(resolve: Option<TxnState>) -> (TransactionContext, Repository) {
+        let txn = TxnId::new(PeerId(3), 0);
+        let mut chain = ActiveList::new(PeerId(1), true);
+        chain.add_invocation(PeerId(1), PeerId(3), false);
+        let mut tc = TransactionContext::new(txn, Some((PeerId(1), InvocationId::new(PeerId(1), 0))), chain, 7);
+        let mut repo = Repository::new();
+        repo.put_xml("d3", "<d><slot>initial</slot></d>").unwrap();
+        // One local effect: replace the slot.
+        let action = UpdateAction::replace(
+            Locator::parse("d/slot").unwrap(),
+            vec![Fragment::elem_text("slot", "written")],
+        );
+        let report = action.apply(repo.get_mut("d3").unwrap()).unwrap();
+        tc.record_local("d3", "S3", report.effects);
+        // One remote invocation, completed with a bundle.
+        let inv = InvocationId::new(PeerId(3), 0);
+        tc.record_remote(PeerId(6), inv, "S6");
+        tc.complete_remote(inv, vec![(PeerId(6), crate::compensate::CompensatingService::default())]);
+        if let Some(state) = resolve {
+            tc.resolve(state, 42);
+        }
+        (tc, repo)
+    }
+
+    #[test]
+    fn journal_roundtrip_reconstructs_context() {
+        for state in [None, Some(TxnState::Committed), Some(TxnState::Aborted)] {
+            let (tc, _repo) = sample_context(state);
+            let journal = journal_of(&tc);
+            let text = encode(&journal);
+            let decoded = decode(&text).unwrap();
+            assert_eq!(decoded, journal);
+            let rebuilt = replay(&decoded).unwrap();
+            assert_eq!(rebuilt.len(), 1);
+            assert_eq!(rebuilt[0], tc, "state={state:?}");
+        }
+    }
+
+    #[test]
+    fn interleaved_transactions_replay() {
+        let (tc1, _) = sample_context(Some(TxnState::Committed));
+        let (mut tc2, _) = sample_context(None);
+        tc2.txn = TxnId::new(PeerId(3), 1);
+        // Interleave the two journals entry-by-entry.
+        let j1 = journal_of(&tc1);
+        let j2 = journal_of(&tc2);
+        let mut mixed = Vec::new();
+        let mut a = j1.into_iter();
+        let mut b = j2.into_iter();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => break,
+                (x, y) => {
+                    mixed.extend(x);
+                    mixed.extend(y);
+                }
+            }
+        }
+        let rebuilt = replay(&mixed).unwrap();
+        assert_eq!(rebuilt.len(), 2);
+        assert!(rebuilt.iter().any(|c| c == &tc1));
+        assert!(rebuilt.iter().any(|c| c == &tc2));
+    }
+
+    #[test]
+    fn crash_recovery_presumes_abort_and_compensates() {
+        // Crash with an in-doubt context: the written slot must revert.
+        let (tc, mut repo) = sample_context(None);
+        assert!(repo.get("d3").unwrap().to_xml().contains("written"));
+        let journal = journal_of(&tc);
+        // …crash; reboot from the journal…
+        let mut contexts = replay(&decode(&encode(&journal)).unwrap()).unwrap();
+        let outcome = recover_in_doubt(&mut contexts, &mut repo, 99);
+        assert_eq!(outcome.presumed_aborted, vec![tc.txn]);
+        assert!(outcome.comp_cost_nodes > 0);
+        assert!(repo.get("d3").unwrap().to_xml().contains("initial"), "{}", repo.get("d3").unwrap().to_xml());
+        assert_eq!(contexts[0].state, TxnState::Aborted);
+    }
+
+    #[test]
+    fn crash_recovery_leaves_terminal_contexts_alone() {
+        let (tc, mut repo) = sample_context(Some(TxnState::Committed));
+        let before = repo.get("d3").unwrap().to_xml();
+        let mut contexts = vec![tc.clone()];
+        let outcome = recover_in_doubt(&mut contexts, &mut repo, 99);
+        assert_eq!(outcome.already_terminal, vec![tc.txn]);
+        assert!(outcome.presumed_aborted.is_empty());
+        assert_eq!(repo.get("d3").unwrap().to_xml(), before, "committed effects are durable");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let err = decode("not json\n").unwrap_err();
+        assert!(matches!(err, JournalError::Decode { line: 1, .. }), "{err}");
+        // Line numbers point at the culprit.
+        let good = encode(&journal_of(&sample_context(None).0));
+        let mixed = format!("{good}broken line\n");
+        let err = decode(&mixed).unwrap_err();
+        let JournalError::Decode { line, .. } = err else { panic!() };
+        assert!(line > 1);
+    }
+
+    #[test]
+    fn replay_rejects_entries_before_begin() {
+        let txn = TxnId::new(PeerId(3), 9);
+        let entries = vec![JournalEntry::Resolved { txn, committed: true, at: 1 }];
+        assert!(matches!(replay(&entries), Err(JournalError::NoBegin(t)) if t == txn));
+    }
+
+    #[test]
+    fn journal_file_roundtrip() {
+        let (tc, _repo) = sample_context(None);
+        let journal = journal_of(&tc);
+        let path = std::env::temp_dir().join(format!("axml-journal-{}.jsonl", std::process::id()));
+        std::fs::write(&path, encode(&journal)).unwrap();
+        let loaded = decode(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, journal);
+    }
+
+    #[test]
+    fn entry_txn_accessor() {
+        let (tc, _) = sample_context(Some(TxnState::Aborted));
+        for e in journal_of(&tc) {
+            assert_eq!(e.txn(), tc.txn);
+        }
+    }
+}

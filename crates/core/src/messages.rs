@@ -1,0 +1,174 @@
+//! Protocol messages exchanged between AXML peers.
+//!
+//! The vocabulary of §3.2/§3.3: service invocations (with the active-peer
+//! list piggybacked — chaining), results (with compensating-service
+//! definitions piggybacked — peer-independent compensation), `Abort TA`
+//! messages, keep-alive pings, re-routed results, disconnection notices,
+//! and sibling data streams.
+
+use crate::chain::ActiveList;
+use crate::compensate::{CompBundle, CompensatingService};
+use crate::ids::{InvocationId, TxnId};
+use axml_doc::Fault;
+use axml_p2p::{Message, PeerId};
+use axml_xml::Fragment;
+
+/// A message of the transactional AXML protocol.
+#[derive(Debug, Clone)]
+pub enum TxnMsg {
+    /// Invoke a service as part of a transaction.
+    Invoke {
+        /// The transaction.
+        txn: TxnId,
+        /// Invocation id (allocated by the invoker).
+        inv: InvocationId,
+        /// Method to invoke.
+        method: String,
+        /// Resolved parameters.
+        params: Vec<(String, String)>,
+        /// The active-peer list so far (chaining, §3.3). A singleton list
+        /// when chaining is disabled.
+        chain: ActiveList,
+        /// Reused results from orphaned peers (work reuse, scenario (b)):
+        /// `(method, items)` pairs the provider applies instead of
+        /// re-invoking that method.
+        prefilled: Vec<(String, Vec<Fragment>)>,
+    },
+    /// A successful invocation result.
+    Result {
+        /// The transaction.
+        txn: TxnId,
+        /// The invocation being answered.
+        inv: InvocationId,
+        /// Result items.
+        items: Vec<Fragment>,
+        /// Per-peer compensating-service bundle covering everything the
+        /// provider (and its own subtree) did — peer-independent mode
+        /// (empty otherwise).
+        comp: CompBundle,
+        /// The provider's (possibly extended) view of the active list.
+        chain: ActiveList,
+    },
+    /// An invocation failed: the provider aborted its context. This is the
+    /// upward "Abort TA" of the nested recovery protocol, carrying the
+    /// fault so the invoker can consult the embedded call's handlers.
+    Fault {
+        /// The transaction.
+        txn: TxnId,
+        /// The invocation that failed.
+        inv: InvocationId,
+        /// Why.
+        fault: Fault,
+    },
+    /// Downward "Abort TA": abort your context (self-compensating from
+    /// your own log) and forward to your invokees.
+    Abort {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Finalize: the transaction committed.
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Peer-independent compensation: execute these compensating actions.
+    /// "The original peers do not even need to be aware that the services
+    /// they are executing are, basically, compensating services."
+    Compensate {
+        /// The transaction being compensated.
+        txn: TxnId,
+        /// What to run.
+        service: CompensatingService,
+    },
+    /// Keep-alive probe.
+    Ping,
+    /// Keep-alive reply.
+    Pong,
+    /// Scenario (b): results re-routed to an ancestor because the direct
+    /// parent disconnected.
+    Redirected {
+        /// The transaction.
+        txn: TxnId,
+        /// The disconnected parent the sender failed to reach.
+        failed_parent: PeerId,
+        /// The method whose results these are.
+        method: String,
+        /// The results.
+        items: Vec<Fragment>,
+        /// Compensating bundle, as in a normal result.
+        comp: CompBundle,
+    },
+    /// Scenarios (b)/(c)/(d): `disconnected` was detected as gone; stop
+    /// wasting effort / start recovery.
+    DisconnectNotice {
+        /// The transaction.
+        txn: TxnId,
+        /// The peer detected as disconnected.
+        disconnected: PeerId,
+    },
+    /// Subscription-based continuous data between siblings (scenario (d)).
+    StreamData {
+        /// The transaction.
+        txn: TxnId,
+        /// Sequence number.
+        seq: u64,
+    },
+    /// Chaining upkeep: a peer learned new invocation-tree edges and
+    /// shares them with its parent, children, and siblings (the paper's
+    /// "chaining mechanism is restricted to the parent, children and
+    /// sibling peers"). Gossip converges because merging is monotone.
+    ChainUpdate {
+        /// The transaction.
+        txn: TxnId,
+        /// The sender's current active-peer list.
+        chain: ActiveList,
+    },
+}
+
+impl Message for TxnMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            TxnMsg::Invoke { .. } => "invoke",
+            TxnMsg::Result { .. } => "result",
+            TxnMsg::Fault { .. } => "fault",
+            TxnMsg::Abort { .. } => "abort",
+            TxnMsg::Commit { .. } => "commit",
+            TxnMsg::Compensate { .. } => "compensate",
+            TxnMsg::Ping => "ping",
+            TxnMsg::Pong => "pong",
+            TxnMsg::Redirected { .. } => "redirected",
+            TxnMsg::DisconnectNotice { .. } => "disconnect-notice",
+            TxnMsg::StreamData { .. } => "stream",
+            TxnMsg::ChainUpdate { .. } => "chain-update",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        use std::collections::HashSet;
+        let txn = TxnId::new(PeerId(1), 0);
+        let inv = InvocationId::new(PeerId(1), 0);
+        let chain = ActiveList::new(PeerId(1), false);
+        let msgs: Vec<TxnMsg> = vec![
+            TxnMsg::Invoke { txn, inv, method: "m".into(), params: vec![], chain: chain.clone(), prefilled: vec![] },
+            TxnMsg::Result { txn, inv, items: vec![], comp: vec![], chain },
+            TxnMsg::Fault { txn, inv, fault: Fault::injected("x") },
+            TxnMsg::Abort { txn },
+            TxnMsg::Commit { txn },
+            TxnMsg::Compensate { txn, service: CompensatingService::default() },
+            TxnMsg::Ping,
+            TxnMsg::Pong,
+            TxnMsg::Redirected { txn, failed_parent: PeerId(3), method: "m".into(), items: vec![], comp: vec![] },
+            TxnMsg::DisconnectNotice { txn, disconnected: PeerId(3) },
+            TxnMsg::StreamData { txn, seq: 0 },
+            TxnMsg::ChainUpdate { txn, chain: ActiveList::new(PeerId(1), false) },
+        ];
+        let kinds: HashSet<&'static str> = msgs.iter().map(|m| m.kind()).collect();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+}

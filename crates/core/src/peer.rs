@@ -1,0 +1,1956 @@
+//! The transactional AXML peer.
+//!
+//! An [`AxmlPeer`] hosts documents and services ([`Repository`] +
+//! [`ServiceRegistry`]) and implements, as one [`Actor`], the paper's
+//! complete protocol stack:
+//!
+//! - **service processing with distributed nesting**: serving an
+//!   invocation scans the target document for relevant embedded calls
+//!   (lazy/eager, §3.1), issues them as asynchronous `Invoke` messages —
+//!   including to itself for local calls — applies the arriving results
+//!   per each call's mode, logging every effect, and finally executes the
+//!   service body;
+//! - **nested recovery (§3.2)**: on a child fault the peer consults the
+//!   embedded call's fault handlers (retry, replica retry, substitute) or
+//!   an alternative provider — *forward recovery* — else aborts its own
+//!   context (compensating its local effects from the log) and propagates
+//!   `Abort TA` to invokees and the invoker — *backward recovery*;
+//! - **peer-independent compensation (§3.2)**: results carry per-peer
+//!   compensating-service bundles; a recovering peer executes them by
+//!   sending `Compensate` messages directly, so "the original peers do
+//!   not even need to be aware that the services they are executing are,
+//!   basically, compensating services";
+//! - **disconnection handling via chaining (§3.3)**: scenarios (a)–(d),
+//!   driven by synchronous send failures, keep-alive timeouts, and missed
+//!   sibling stream intervals, using the piggybacked active-peer list.
+
+use crate::chain::ActiveList;
+use crate::compensate::{compensation_for_effects, CompBundle, CompensatingService};
+use crate::isolation::ConflictTable;
+use crate::context::{TransactionContext, TxnOutcome, TxnState};
+use crate::ids::{InvocationId, TxnId};
+use crate::messages::TxnMsg;
+use axml_doc::{
+    apply_call_results, EvalMode, Fault, MaterializationEngine, ParamValue, Repository,
+    ResolvedCall, ServiceCall, ServiceInvoker, ServiceKind, ServiceRegistry,
+};
+use axml_p2p::{Actor, Ctx, Directory, PeerId, PingMonitor};
+use axml_query::{Effect, NodePath, SelectQuery};
+use axml_xml::{Fragment, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Timer tag for the periodic keep-alive tick.
+const TAG_PING: u64 = 1;
+/// Timer tag for the periodic sibling-stream tick.
+const TAG_STREAM: u64 = 2;
+/// First tag available for payload timers.
+const TAG_PAYLOAD_BASE: u64 = 16;
+
+/// How far chain gossip and disconnect notifications reach (ablation of
+/// the paper's future work: "we are exploring the feasibility of
+/// extending \[chaining\] to uncles, cousins, etc.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChainScope {
+    /// The paper's mechanism: parent, children, and siblings.
+    #[default]
+    Standard,
+    /// Extended: additionally grandparent, uncles, and cousins.
+    Extended,
+}
+
+/// How a peer recovers from child faults (ablation D3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryStyle {
+    /// Try fault handlers and alternative providers first; abort only
+    /// when forward recovery is exhausted — the paper's preference
+    /// ("consider forward recovery as the preferred solution and undo
+    /// only as much as required").
+    #[default]
+    ForwardFirst,
+    /// Always propagate the abort (saga-style backward recovery baseline).
+    BackwardOnly,
+}
+
+/// Per-peer protocol configuration (the ablation toggles of DESIGN.md §4).
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// D3: forward-first vs backward-only recovery.
+    pub recovery: RecoveryStyle,
+    /// D5: ship compensating-service bundles with results and drive
+    /// compensation from the recovering peer.
+    pub peer_independent: bool,
+    /// D4: piggyback active-peer lists and use them on detection.
+    pub chaining: bool,
+    /// Gossip chain growth to parent/children/siblings as it happens.
+    /// Off = strict piggyback-only chaining (lists travel solely with
+    /// `Invoke`/`Result`): cheaper, but interior peers learn deeper edges
+    /// only when results return, degrading scenarios (c)/(d).
+    pub chain_gossip: bool,
+    /// How far gossip/notices reach (paper vs extended future work).
+    pub chain_scope: ChainScope,
+    /// Use the replica directory to re-invoke a failed/disconnected
+    /// child's service on an alternative provider.
+    pub use_alternative_providers: bool,
+    /// Keep-alive interval while waiting on children (0 disables pings).
+    pub ping_interval: u64,
+    /// Silence past this duration declares a watched peer disconnected.
+    pub ping_timeout: u64,
+    /// Subscription-stream interval between siblings (scenario (d));
+    /// `None` disables streams.
+    pub stream_interval: Option<u64>,
+    /// Lazy or eager materialization (§3.1).
+    pub eval: EvalMode,
+    /// Enable path-level isolation (first-writer-wins conflict detection
+    /// between concurrent transactions at this peer).
+    pub isolation: bool,
+    /// Whether this peer is a super peer (it advertises this in chains).
+    pub is_super: bool,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig {
+            recovery: RecoveryStyle::ForwardFirst,
+            peer_independent: false,
+            chaining: true,
+            chain_gossip: true,
+            chain_scope: ChainScope::Standard,
+            use_alternative_providers: true,
+            ping_interval: 10,
+            ping_timeout: 25,
+            stream_interval: None,
+            eval: EvalMode::Lazy,
+            isolation: false,
+            is_super: false,
+        }
+    }
+}
+
+/// How a disconnection was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectHow {
+    /// A synchronous send failed (scenario (b): child → dead parent).
+    SendFailure,
+    /// Keep-alive silence / failed ping (scenarios (a), (c)).
+    PingTimeout,
+    /// Missed sibling stream intervals (scenario (d)).
+    StreamSilence,
+    /// Told by another peer via the chain.
+    Notice,
+}
+
+/// One detection event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    /// The peer detected as disconnected.
+    pub disconnected: PeerId,
+    /// Logical time of detection.
+    pub at: u64,
+    /// Mechanism.
+    pub how: DetectHow,
+}
+
+/// Counters a peer accumulates (read by the experiment harness).
+#[derive(Debug, Clone, Default)]
+pub struct PeerStats {
+    /// Invocations served (started).
+    pub served: u64,
+    /// Effects rolled back due to isolation conflicts.
+    pub isolation_conflicts: u64,
+    /// Servings completed successfully.
+    pub completed: u64,
+    /// Faults this peer raised (own service failures).
+    pub faults_raised: u64,
+    /// Handler-driven retries performed.
+    pub retries: u64,
+    /// Handler-driven substitutions performed.
+    pub substitutions: u64,
+    /// Re-invocations on alternative providers.
+    pub alternatives_used: u64,
+    /// Compensations executed locally (own log or received request).
+    pub compensations_executed: u64,
+    /// Nodes touched by compensation (the paper's cost measure).
+    pub comp_cost_nodes: u64,
+    /// `Abort` messages received.
+    pub aborts_received: u64,
+    /// `Abort`/`Fault` messages sent while recovering.
+    pub aborts_sent: u64,
+    /// Completed work discarded (results that never reached a consumer).
+    pub work_wasted: u64,
+    /// Results accepted via `prefilled` instead of re-invoking.
+    pub work_reused: u64,
+    /// Servings stopped early thanks to a disconnect notice.
+    pub orphan_stops: u64,
+    /// Results re-routed past a dead parent.
+    pub redirects_sent: u64,
+    /// Re-routed results received.
+    pub redirects_received: u64,
+    /// Messages that arrived for unknown/finished invocations.
+    pub late_messages: u64,
+    /// Disconnections this peer detected.
+    pub detections: Vec<Detection>,
+}
+
+/// Where a child invocation's results go.
+#[derive(Debug, Clone)]
+enum ChildTarget {
+    /// Materialize into an `axml:sc` element of a hosted document.
+    ApplySc {
+        doc: String,
+        sc_path: NodePath,
+    },
+    /// Fill a parameter value (local nesting across peers).
+    ParamFill {
+        node: NodeId,
+    },
+}
+
+/// One resolved wave entry: the call, its result target, the provider
+/// peer, and the resolved parameters.
+type WaveEntry = (ServiceCall, ChildTarget, PeerId, Vec<(String, String)>);
+
+/// Bookkeeping for one outstanding child invocation.
+#[derive(Debug, Clone)]
+struct WaitingChild {
+    txn: TxnId,
+    serving_inv: InvocationId,
+    child_peer: PeerId,
+    method: String,
+    params: Vec<(String, String)>,
+    target: ChildTarget,
+    handlers: Vec<axml_doc::FaultHandler>,
+    retries_left: u32,
+    attempted: Vec<PeerId>,
+}
+
+/// One invocation this peer is processing.
+#[derive(Debug, Clone)]
+struct Serving {
+    txn: TxnId,
+    inv: InvocationId,
+    reply_to: Option<PeerId>,
+    method: String,
+    params: Vec<(String, String)>,
+    doc: Option<String>,
+    pending: BTreeSet<InvocationId>,
+    prefilled: Vec<(String, Vec<Fragment>)>,
+    done_sc: BTreeSet<NodeId>,
+    param_cache: BTreeMap<NodeId, String>,
+    rounds: usize,
+}
+
+#[derive(Debug, Clone)]
+enum TimerPayload {
+    /// The simulated processing duration elapsed: finish the serving.
+    ServiceDone(InvocationId),
+    /// Re-issue a child invocation (handler retry, possibly to a replica).
+    RetryChild {
+        wc: WaitingChild,
+        to_peer: PeerId,
+        to_method: String,
+        /// The failed invocation id still held in the serving's pending
+        /// set; swapped for the fresh one at reissue time.
+        placeholder: InvocationId,
+    },
+    /// Submit a transaction (harness-scheduled).
+    Submit {
+        method: String,
+        params: Vec<(String, String)>,
+    },
+}
+
+/// WSDL knowledge shared across the fabric: method → declared result
+/// element names (drives lazy relevance for *remote* calls).
+#[derive(Debug, Clone, Default)]
+pub struct WsdlCatalog {
+    entries: BTreeMap<String, Vec<String>>,
+}
+
+impl WsdlCatalog {
+    /// Publishes a service's declared result names.
+    ///
+    /// List the full result *vocabulary* (every element name the result
+    /// schema can contain), not just top-level elements: lazy relevance
+    /// analysis intersects these names with the query's name tests, and a
+    /// query selecting a descendant of the result (e.g. `citizenship`
+    /// inside a returned `player`) must still trigger the call.
+    pub fn publish(&mut self, method: impl Into<String>, result_names: &[&str]) {
+        self.entries.insert(method.into(), result_names.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Declared result names for a method.
+    pub fn hints(&self, method: &str) -> Option<Vec<String>> {
+        self.entries.get(method).cloned()
+    }
+}
+
+/// Invoker adapter used only for relevance probing (never invokes).
+struct HintOnly<'a> {
+    catalog: &'a WsdlCatalog,
+}
+
+impl ServiceInvoker for HintOnly<'_> {
+    fn invoke(&mut self, call: &ResolvedCall) -> Result<axml_doc::ServiceResponse, Fault> {
+        Err(Fault::execution(format!("hint-only invoker cannot invoke {}", call.method)))
+    }
+
+    fn result_hints(&self, call: &ResolvedCall) -> Option<Vec<String>> {
+        self.catalog.hints(&call.method)
+    }
+}
+
+/// A transactional AXML peer (one simulator actor).
+pub struct AxmlPeer {
+    /// This peer's id.
+    pub id: PeerId,
+    /// Protocol configuration.
+    pub config: PeerConfig,
+    /// Hosted documents.
+    pub repo: Repository,
+    /// Exposed services.
+    pub registry: ServiceRegistry,
+    /// Replica/provider knowledge.
+    pub directory: Directory,
+    /// Materialization engine (mode + externals).
+    pub engine: MaterializationEngine,
+    /// Published WSDLs (shared fabric knowledge).
+    pub wsdl: WsdlCatalog,
+    /// Transaction to submit when timer tag 0 fires.
+    pub auto_submit: Option<(String, Vec<(String, String)>)>,
+    /// Path-level conflict table (used when `config.isolation` is on).
+    pub conflicts: ConflictTable,
+    /// Counters.
+    pub stats: PeerStats,
+    /// Outcomes of transactions originated here.
+    pub outcomes: Vec<TxnOutcome>,
+    /// Results of committed transactions originated here.
+    pub results: BTreeMap<TxnId, Vec<Fragment>>,
+    contexts: BTreeMap<TxnId, TransactionContext>,
+    servings: BTreeMap<InvocationId, Serving>,
+    waiting: BTreeMap<InvocationId, WaitingChild>,
+    monitor: PingMonitor,
+    watch_counts: BTreeMap<PeerId, usize>,
+    timers: BTreeMap<u64, TimerPayload>,
+    next_tag: u64,
+    next_inv: u64,
+    next_txn: u64,
+    ping_running: bool,
+    stream_running: bool,
+    stream_seq: u64,
+    stream_last: BTreeMap<(TxnId, PeerId), u64>,
+    prefill_store: BTreeMap<TxnId, Vec<(String, Vec<Fragment>)>>,
+    /// Results of completed servings, retained until the transaction
+    /// resolves. If the consumer turns out to have disconnected (the
+    /// result was dropped in flight), a chain notice lets us re-offer the
+    /// work to an ancestor — scenario (c)'s reuse.
+    completed_results: BTreeMap<TxnId, (String, Vec<Fragment>, CompBundle)>,
+}
+
+impl AxmlPeer {
+    /// Builds a peer.
+    pub fn new(id: PeerId, config: PeerConfig) -> AxmlPeer {
+        let monitor = PingMonitor::new(config.ping_interval.max(1), config.ping_timeout.max(1));
+        let eval = config.eval;
+        AxmlPeer {
+            id,
+            config,
+            repo: Repository::new(),
+            registry: ServiceRegistry::new(),
+            directory: Directory::new(),
+            engine: MaterializationEngine::new(eval),
+            wsdl: WsdlCatalog::default(),
+            auto_submit: None,
+            conflicts: ConflictTable::new(),
+            stats: PeerStats::default(),
+            outcomes: Vec::new(),
+            results: BTreeMap::new(),
+            contexts: BTreeMap::new(),
+            servings: BTreeMap::new(),
+            waiting: BTreeMap::new(),
+            monitor,
+            watch_counts: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            next_tag: TAG_PAYLOAD_BASE,
+            next_inv: 0,
+            next_txn: 0,
+            ping_running: false,
+            stream_running: false,
+            stream_seq: 0,
+            stream_last: BTreeMap::new(),
+            prefill_store: BTreeMap::new(),
+            completed_results: BTreeMap::new(),
+        }
+    }
+
+    /// The context of a transaction, if this peer participated.
+    pub fn context(&self, txn: TxnId) -> Option<&TransactionContext> {
+        self.contexts.get(&txn)
+    }
+
+    /// All transaction ids this peer has contexts for.
+    pub fn known_txns(&self) -> Vec<TxnId> {
+        self.contexts.keys().copied().collect()
+    }
+
+    /// True if the peer has no in-flight work.
+    pub fn is_quiescent(&self) -> bool {
+        self.servings.is_empty() && self.waiting.is_empty()
+    }
+
+    /// Peers currently being kept alive by this peer's failure detector
+    /// (diagnostics; empty when quiescent).
+    pub fn watched_peers(&self) -> Vec<PeerId> {
+        self.monitor.watched()
+    }
+
+    fn alloc_inv(&mut self) -> InvocationId {
+        let inv = InvocationId::new(self.id, self.next_inv);
+        self.next_inv += 1;
+        inv
+    }
+
+    fn alloc_payload_tag(&mut self, payload: TimerPayload) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.timers.insert(tag, payload);
+        tag
+    }
+
+    // ------------------------------------------------------------------
+    // Submission (origin side).
+    // ------------------------------------------------------------------
+
+    /// Submits a transaction at this peer: invoke local service `method`.
+    /// Returns the new transaction id.
+    pub fn submit(&mut self, ctx: &mut Ctx<'_, TxnMsg>, method: &str, params: Vec<(String, String)>) -> TxnId {
+        let txn = TxnId::new(self.id, self.next_txn);
+        self.next_txn += 1;
+        let chain = ActiveList::new(self.id, self.config.is_super);
+        let tc = TransactionContext::new(txn, None, chain, ctx.now());
+        self.contexts.insert(txn, tc);
+        let inv = self.alloc_inv();
+        let serving = Serving {
+            txn,
+            inv,
+            reply_to: None,
+            method: method.to_string(),
+            params,
+            doc: self.service_doc(method),
+            pending: BTreeSet::new(),
+            prefilled: Vec::new(),
+            done_sc: BTreeSet::new(),
+            param_cache: BTreeMap::new(),
+            rounds: 0,
+        };
+        self.stats.served += 1;
+        self.servings.insert(inv, serving);
+        self.advance_serving(ctx, inv);
+        txn
+    }
+
+    fn service_doc(&self, method: &str) -> Option<String> {
+        match self.registry.get(method).map(|d| &d.kind) {
+            Some(ServiceKind::Query { doc, .. }) | Some(ServiceKind::Update { doc, .. }) => Some(doc.clone()),
+            _ => None,
+        }
+    }
+
+    fn service_query(&self, method: &str) -> Option<SelectQuery> {
+        match self.registry.get(method).map(|d| &d.kind) {
+            Some(ServiceKind::Query { query, .. }) => Some(query.clone()),
+            Some(ServiceKind::Update { action, .. }) => match &action.location {
+                axml_query::Locator::Select(q) => Some(q.clone()),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Serving: wave-based materialization, then execution.
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_invoke(
+        &mut self,
+        ctx: &mut Ctx<'_, TxnMsg>,
+        from: PeerId,
+        txn: TxnId,
+        inv: InvocationId,
+        method: String,
+        params: Vec<(String, String)>,
+        chain: ActiveList,
+        prefilled: Vec<(String, Vec<Fragment>)>,
+    ) {
+        // Context (re)use: one context per transaction per peer. A peer
+        // whose context was *aborted* (e.g. the subtree failed and was
+        // compensated) may legitimately be re-invoked during forward
+        // recovery — it re-joins with a fresh context. A committed
+        // context refuses.
+        match self.contexts.get(&txn) {
+            Some(tc) if tc.state == TxnState::Committed => {
+                let fault = Fault::new("TxnResolved", format!("{txn} already committed at {}", self.id));
+                let _ = ctx.send(from, TxnMsg::Fault { txn, inv, fault });
+                return;
+            }
+            Some(tc) if tc.is_terminal() => {
+                self.contexts.remove(&txn);
+            }
+            _ => {}
+        }
+        let tc = self
+            .contexts
+            .entry(txn)
+            .or_insert_with(|| TransactionContext::new(txn, Some((from, inv)), chain.clone(), ctx.now()));
+        // Adopt the (possibly richer) incoming chain, marking ourselves.
+        tc.chain = merge_chains(&tc.chain, &chain);
+        if self.config.is_super {
+            tc.chain.mark_super(self.id);
+        }
+        if self.registry.get(&method).is_none() {
+            let fault = Fault::no_such_service(format!("{method} at {}", self.id));
+            let _ = ctx.send(from, TxnMsg::Fault { txn, inv, fault });
+            return;
+        }
+        let serving = Serving {
+            txn,
+            inv,
+            reply_to: Some(from),
+            method: method.clone(),
+            params,
+            doc: self.service_doc(&method),
+            pending: BTreeSet::new(),
+            prefilled,
+            done_sc: BTreeSet::new(),
+            param_cache: BTreeMap::new(),
+            rounds: 0,
+        };
+        self.stats.served += 1;
+        self.servings.insert(inv, serving);
+        self.maybe_start_stream(ctx);
+        self.advance_serving(ctx, inv);
+    }
+
+    /// Issues the next wave of sub-invocations for a serving, or — when
+    /// nothing is pending — schedules its completion.
+    fn advance_serving(&mut self, ctx: &mut Ctx<'_, TxnMsg>, serving_inv: InvocationId) {
+        let Some(serving) = self.servings.get(&serving_inv) else { return };
+        if !serving.pending.is_empty() {
+            return;
+        }
+        let txn = serving.txn;
+        let doc_name = serving.doc.clone();
+        if let Some(doc_name) = doc_name {
+            let Some(serving) = self.servings.get_mut(&serving_inv) else { return };
+            serving.rounds += 1;
+            if serving.rounds > self.engine.max_depth {
+                let fault = Fault::execution(format!("materialization exceeded {} waves", self.engine.max_depth));
+                self.fail_serving(ctx, serving_inv, fault);
+                return;
+            }
+            let method = serving.method.clone();
+            let query = self.service_query(&method);
+            // Scan the hosted document for embedded calls to handle.
+            let mut to_issue: Vec<(ServiceCall, ChildTarget)> = Vec::new();
+            {
+                let Some(doc) = self.repo.get(&doc_name) else {
+                    let fault = Fault::execution(format!("document {doc_name} missing at {}", self.id));
+                    self.fail_serving(ctx, serving_inv, fault);
+                    return;
+                };
+                let serving = self.servings.get(&serving_inv).expect("serving exists");
+                let calls = ServiceCall::scan(doc);
+                let hint = HintOnly { catalog: &self.wsdl };
+                for call in calls {
+                    let Some(node) = call.node else { continue };
+                    if serving.done_sc.contains(&node) {
+                        continue;
+                    }
+                    let relevant = match (&query, self.config.eval) {
+                        (_, EvalMode::Eager) | (None, _) => true,
+                        (Some(q), EvalMode::Lazy) => {
+                            let names = axml_doc::materialize::QueryNames::collect(q);
+                            self.engine.relevant(doc, &call, q, &names, &hint)
+                        }
+                    };
+                    if !relevant {
+                        continue;
+                    }
+                    let Ok(sc_path) = NodePath::of(doc, node) else { continue };
+                    to_issue.push((call, ChildTarget::ApplySc { doc: doc_name.clone(), sc_path }));
+                }
+            }
+            if !to_issue.is_empty() {
+                self.issue_wave(ctx, serving_inv, txn, to_issue);
+                // The wave may have failed the serving synchronously
+                // (e.g. unreachable child with no forward recovery).
+                let Some(serving) = self.servings.get(&serving_inv) else { return };
+                if !serving.pending.is_empty() {
+                    return;
+                }
+                // Everything in the wave was prefilled/local-cached:
+                // immediately look for the next wave.
+                self.advance_serving(ctx, serving_inv);
+                return;
+            }
+        }
+        // Nothing (left) to materialize: run the service body after its
+        // simulated duration.
+        let Some(serving) = self.servings.get(&serving_inv) else { return };
+        let duration = self.registry.get(&serving.method).map(|d| d.duration).unwrap_or(1);
+        let tag = self.alloc_payload_tag(TimerPayload::ServiceDone(serving_inv));
+        ctx.set_timer(duration, tag);
+    }
+
+    /// Issues one wave of child invocations (applying prefills first).
+    fn issue_wave(
+        &mut self,
+        ctx: &mut Ctx<'_, TxnMsg>,
+        serving_inv: InvocationId,
+        txn: TxnId,
+        to_issue: Vec<(ServiceCall, ChildTarget)>,
+    ) {
+        // First, extend the chain with the whole wave so every child sees
+        // its siblings (the paper's scenario (d) relies on this).
+        let mut wave: Vec<WaveEntry> = Vec::new();
+        for (call, target) in to_issue {
+            // The serving can disappear mid-wave: issuing to an
+            // unreachable peer without forward recovery fails it.
+            let Some(serving) = self.servings.get_mut(&serving_inv) else { return };
+            let node = call.node.expect("scanned calls have nodes");
+            // Mark handled regardless of outcome (faults go through
+            // recovery, not re-scanning).
+            serving.done_sc.insert(node);
+            // Prefill reuse (scenario (b)): results forwarded from an
+            // orphaned peer stand in for the invocation.
+            let prefilled_items = serving
+                .prefilled
+                .iter()
+                .find(|(m, _)| *m == call.method)
+                .map(|(_, items)| items.clone());
+            if let Some(items) = prefilled_items {
+                self.stats.work_reused += 1;
+                self.apply_child_items(ctx, txn, serving_inv, &target, &call.method, &items);
+                continue;
+            }
+            // Resolve parameters; remote param-calls become waiting
+            // children of their own.
+            match self.resolve_params_for(serving_inv, &call) {
+                Err(NeedParams(nested)) => {
+                    for nc in nested {
+                        let Some(pnode) = nc.node else { continue };
+                        let params = match self.resolve_params_for(serving_inv, &nc) {
+                            Ok(p) => p,
+                            Err(_) => continue, // deeper nesting resolves in later waves
+                        };
+                        let peer = PeerId::from_url(&nc.service_url).unwrap_or(self.id);
+                        wave.push((nc.clone(), ChildTarget::ParamFill { node: pnode }, peer, params));
+                    }
+                    // Un-mark the outer call: it re-enters a later wave
+                    // once its params are cached.
+                    if let Some(s) = self.servings.get_mut(&serving_inv) {
+                        s.done_sc.remove(&node);
+                    }
+                }
+                Ok(params) => {
+                    let peer = PeerId::from_url(&call.service_url).unwrap_or(self.id);
+                    wave.push((call, target, peer, params));
+                }
+            }
+        }
+        // Chain first…
+        {
+            let my_super = self.config.is_super;
+            let chaining = self.config.chaining;
+            if let Some(tc) = self.contexts.get_mut(&txn) {
+                if chaining {
+                    if !tc.chain.contains(self.id) {
+                        // Shouldn't happen (parent added us), but be safe.
+                        tc.chain = ActiveList::new(self.id, my_super);
+                    }
+                    for (_, _, peer, _) in &wave {
+                        tc.chain.add_invocation(self.id, *peer, false);
+                    }
+                }
+            }
+        }
+        // …then send.
+        let grew = !wave.is_empty();
+        for (call, target, peer, params) in wave {
+            if !self.servings.contains_key(&serving_inv) {
+                return; // a send failure already failed this serving
+            }
+            self.issue_child(ctx, serving_inv, txn, call, target, peer, params);
+        }
+        if grew {
+            // Share the new edges with parent/children/siblings so they
+            // can act on disconnections (scenarios (c)/(d)).
+            self.gossip_chain(ctx, txn, None);
+        }
+    }
+
+    /// Shares this peer's chain view with its parent, children, and
+    /// siblings in the chain — the paper's chaining scope.
+    fn gossip_chain(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId, except: Option<PeerId>) {
+        if !self.config.chaining || !self.config.chain_gossip {
+            return;
+        }
+        let Some(tc) = self.contexts.get(&txn) else { return };
+        let chain = tc.chain.clone();
+        let mut targets: Vec<PeerId> = Vec::new();
+        if let Some(p) = chain.parent_of(self.id) {
+            targets.push(p);
+        }
+        targets.extend(chain.children_of(self.id));
+        targets.extend(chain.siblings_of(self.id));
+        if self.config.chain_scope == ChainScope::Extended {
+            if let Some(g) = chain.grandparent_of(self.id) {
+                targets.push(g);
+            }
+            targets.extend(chain.uncles_of(self.id));
+            targets.extend(chain.cousins_of(self.id));
+        }
+        targets.sort();
+        targets.dedup();
+        for t in targets {
+            if t == self.id || Some(t) == except {
+                continue;
+            }
+            let _ = ctx.send(t, TxnMsg::ChainUpdate { txn, chain: chain.clone() });
+        }
+    }
+
+    /// Merges a gossiped chain; re-gossips only when something new was
+    /// learned (monotone merge ⇒ convergence).
+    fn handle_chain_update(&mut self, ctx: &mut Ctx<'_, TxnMsg>, from: PeerId, txn: TxnId, chain: ActiveList) {
+        let Some(tc) = self.contexts.get_mut(&txn) else { return };
+        if tc.is_terminal() {
+            return;
+        }
+        let merged = merge_chains(&tc.chain, &chain);
+        if merged != tc.chain {
+            tc.chain = merged;
+            self.gossip_chain(ctx, txn, Some(from));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_child(
+        &mut self,
+        ctx: &mut Ctx<'_, TxnMsg>,
+        serving_inv: InvocationId,
+        txn: TxnId,
+        call: ServiceCall,
+        target: ChildTarget,
+        peer: PeerId,
+        params: Vec<(String, String)>,
+    ) {
+        let inv = self.alloc_inv();
+        let retries_left = call
+            .handlers
+            .iter()
+            .find_map(|h| match &h.action {
+                axml_doc::HandlerAction::Retry { times, .. } => Some(*times),
+                _ => None,
+            })
+            .unwrap_or(0);
+        let wc = WaitingChild {
+            txn,
+            serving_inv,
+            child_peer: peer,
+            method: call.method.clone(),
+            params: params.clone(),
+            target,
+            handlers: call.handlers.clone(),
+            retries_left,
+            attempted: vec![peer],
+        };
+        if let Some(tc) = self.contexts.get_mut(&txn) {
+            tc.record_remote(peer, inv, call.method.clone());
+        }
+        let chain = self.current_chain(txn);
+        let prefilled = self.prefill_store.get(&txn).cloned().unwrap_or_default();
+        self.waiting.insert(inv, wc);
+        if let Some(s) = self.servings.get_mut(&serving_inv) {
+            s.pending.insert(inv);
+        }
+        let msg = TxnMsg::Invoke { txn, inv, method: call.method.clone(), params, chain, prefilled };
+        match ctx.send(peer, msg) {
+            Ok(()) => {
+                self.watch(ctx, peer);
+            }
+            Err(_) => {
+                // Synchronous detection: the target is gone right now.
+                self.record_detection(ctx, peer, DetectHow::SendFailure);
+                self.child_failed(ctx, inv, Fault::peer_unreachable(format!("{peer} unreachable")));
+            }
+        }
+    }
+
+    /// The chain to piggyback on invocations. A singleton when chaining is
+    /// disabled (children then know nothing beyond their invoker).
+    fn current_chain(&self, txn: TxnId) -> ActiveList {
+        if self.config.chaining {
+            self.contexts
+                .get(&txn)
+                .map(|tc| tc.chain.clone())
+                .unwrap_or_else(|| ActiveList::new(self.id, self.config.is_super))
+        } else {
+            ActiveList::new(self.id, self.config.is_super)
+        }
+    }
+
+    fn resolve_params_for(&self, serving_inv: InvocationId, call: &ServiceCall) -> Result<Vec<(String, String)>, NeedParams> {
+        let Some(serving) = self.servings.get(&serving_inv) else {
+            return Err(NeedParams(Vec::new()));
+        };
+        let mut out = Vec::with_capacity(call.params.len());
+        let mut needed = Vec::new();
+        for p in &call.params {
+            match &p.value {
+                ParamValue::Literal(v) => out.push((p.name.clone(), v.clone())),
+                ParamValue::External(name) => {
+                    let v = self.engine.externals.get(name).cloned().unwrap_or_default();
+                    out.push((p.name.clone(), v));
+                }
+                ParamValue::Xml(frags) => {
+                    out.push((p.name.clone(), frags.iter().map(Fragment::text_content).collect()))
+                }
+                ParamValue::Call(nested) => match nested.node.and_then(|n| serving.param_cache.get(&n)) {
+                    Some(v) => out.push((p.name.clone(), v.clone())),
+                    None => needed.push((**nested).clone()),
+                },
+            }
+        }
+        if needed.is_empty() {
+            Ok(out)
+        } else {
+            Err(NeedParams(needed))
+        }
+    }
+
+    /// Validates freshly-applied effects against the conflict table
+    /// (optimistic: apply, validate, roll back on conflict). Returns
+    /// `false` — with the effects already undone — on conflict.
+    fn guard_effects(&mut self, txn: TxnId, doc: &str, effects: &[Effect]) -> bool {
+        if !self.config.isolation || effects.is_empty() {
+            return true;
+        }
+        if self.conflicts.claim_effects(txn, doc, effects).is_ok() {
+            return true;
+        }
+        self.stats.isolation_conflicts += 1;
+        if let Some(document) = self.repo.get_mut(doc) {
+            let inverse = compensation_for_effects(effects);
+            let _ = crate::compensate::apply_compensation(document, &inverse);
+        }
+        false
+    }
+
+    /// Applies a child's result items to its target, logging effects.
+    fn apply_child_items(
+        &mut self,
+        ctx: &mut Ctx<'_, TxnMsg>,
+        txn: TxnId,
+        serving_inv: InvocationId,
+        target: &ChildTarget,
+        method: &str,
+        items: &[Fragment],
+    ) {
+        match target {
+            ChildTarget::ApplySc { doc, sc_path } => {
+                let doc = doc.clone();
+                let effects = {
+                    let Some(document) = self.repo.get_mut(&doc) else { return };
+                    let Ok(sc_node) = sc_path.resolve(document) else { return };
+                    let Some(call) = ServiceCall::parse(document, sc_node) else { return };
+                    match apply_call_results(document, &call, sc_node, items) {
+                        Ok(effects) => effects,
+                        Err(_) => return, // surfaced at execution
+                    }
+                };
+                if !self.guard_effects(txn, &doc, &effects) {
+                    let fault = Fault::new("IsolationConflict", format!("{txn} conflicts on {doc}"));
+                    self.fail_serving(ctx, serving_inv, fault);
+                    return;
+                }
+                if let Some(tc) = self.contexts.get_mut(&txn) {
+                    tc.record_local(doc, format!("materialize {method}"), effects);
+                }
+            }
+            ChildTarget::ParamFill { node } => {
+                if let Some(s) = self.servings.get_mut(&serving_inv) {
+                    let text: String = items.iter().map(Fragment::text_content).collect();
+                    s.param_cache.insert(*node, text);
+                }
+            }
+        }
+    }
+
+    /// Runs the service body once every sub-invocation is in.
+    fn complete_serving(&mut self, ctx: &mut Ctx<'_, TxnMsg>, serving_inv: InvocationId) {
+        let Some(serving) = self.servings.get(&serving_inv) else { return };
+        let txn = serving.txn;
+        let method = serving.method.clone();
+        let params = serving.params.clone();
+        if self.contexts.get(&txn).map(|t| t.is_terminal()).unwrap_or(true) {
+            // Resolved while we were processing: the work is moot. Tell
+            // the invoker so it does not wait on us forever.
+            if let Some(serving) = self.servings.remove(&serving_inv) {
+                self.stats.work_wasted += 1;
+                if let Some(parent) = serving.reply_to {
+                    let fault = Fault::new("TxnResolved", format!("{txn} resolved at {}", self.id));
+                    let _ = ctx.send(parent, TxnMsg::Fault { txn, inv: serving.inv, fault });
+                }
+            }
+            return;
+        }
+        let Some(def) = self.registry.get(&method) else {
+            self.fail_serving(ctx, serving_inv, Fault::no_such_service(method));
+            return;
+        };
+        let def = def.clone();
+        match def.execute(&params, &mut self.repo) {
+            Err(fault) => {
+                self.stats.faults_raised += 1;
+                self.fail_serving(ctx, serving_inv, fault);
+            }
+            Ok(resp) => {
+                let doc = self.service_doc(&method);
+                if let Some(doc) = &doc {
+                    if !self.guard_effects(txn, doc, &resp.effects) {
+                        let fault = Fault::new("IsolationConflict", format!("{txn} conflicts on {doc}"));
+                        self.fail_serving(ctx, serving_inv, fault);
+                        return;
+                    }
+                }
+                if let (Some(tc), Some(doc)) = (self.contexts.get_mut(&txn), doc) {
+                    tc.record_local(doc, method.clone(), resp.effects.clone());
+                }
+                self.finish_serving(ctx, serving_inv, resp.items);
+            }
+        }
+    }
+
+    /// Ships a successful serving's results.
+    fn finish_serving(&mut self, ctx: &mut Ctx<'_, TxnMsg>, serving_inv: InvocationId, items: Vec<Fragment>) {
+        let Some(serving) = self.servings.remove(&serving_inv) else { return };
+        let txn = serving.txn;
+        self.stats.completed += 1;
+        let comp: CompBundle = if self.config.peer_independent {
+            let mut bundle = Vec::new();
+            if let Some(tc) = self.contexts.get(&txn) {
+                let own = tc.own_compensation();
+                if !own.is_empty() {
+                    bundle.push((self.id, own));
+                }
+                bundle.extend(tc.child_compensations());
+            }
+            bundle
+        } else {
+            Vec::new()
+        };
+        match serving.reply_to {
+            None => {
+                // Origin root: the transaction commits. With chaining on,
+                // fan the Commit out to *every* chained participant (the
+                // gossiped active list) — a dead intermediate peer then
+                // cannot cut its descendants off from the decision.
+                // Without chaining, cascade through direct invokees only.
+                let mut targets = self.contexts.get(&txn).map(|tc| tc.invoked_peers()).unwrap_or_default();
+                if self.config.chaining {
+                    if let Some(tc) = self.contexts.get(&txn) {
+                        for p in tc.chain.all_peers() {
+                            if !targets.contains(&p) {
+                                targets.push(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(tc) = self.contexts.get_mut(&txn) {
+                    tc.resolve(TxnState::Committed, ctx.now());
+                    self.outcomes.push(TxnOutcome {
+                        txn,
+                        committed: true,
+                        started_at: tc.created_at,
+                        resolved_at: ctx.now(),
+                    });
+                }
+                self.results.insert(txn, items);
+                for peer in targets {
+                    if peer != self.id {
+                        let _ = ctx.send(peer, TxnMsg::Commit { txn });
+                    }
+                }
+            }
+            Some(parent) => {
+                self.completed_results.insert(txn, (serving.method.clone(), items.clone(), comp.clone()));
+                let chain = self.current_chain(txn);
+                let msg = TxnMsg::Result { txn, inv: serving.inv, items: items.clone(), comp: comp.clone(), chain };
+                if ctx.send(parent, msg).is_err() {
+                    // Scenario (b): parent disconnected, detected while
+                    // returning results.
+                    self.record_detection(ctx, parent, DetectHow::SendFailure);
+                    self.reroute_past_dead_parent(ctx, txn, parent, &serving.method, items, comp);
+                }
+            }
+        }
+    }
+
+    /// Scenario (b): the parent is gone; re-route results to the nearest
+    /// reachable ancestor from the chain (falling back to the closest
+    /// super peer), or discard without chaining.
+    fn reroute_past_dead_parent(
+        &mut self,
+        ctx: &mut Ctx<'_, TxnMsg>,
+        txn: TxnId,
+        dead_parent: PeerId,
+        method: &str,
+        items: Vec<Fragment>,
+        comp: CompBundle,
+    ) {
+        // Whatever happens below, this result is now either delivered via
+        // Redirected or discarded — don't re-offer it on later notices.
+        self.completed_results.remove(&txn);
+        if !self.config.chaining {
+            // "Traditional recovery would lead to AP6 discarding its work."
+            self.stats.work_wasted += 1;
+            self.abort_local(ctx, txn);
+            self.propagate_abort(ctx, txn, None);
+            return;
+        }
+        let chain = self.contexts.get(&txn).map(|tc| tc.chain.clone()).unwrap_or_else(|| ActiveList::new(self.id, false));
+        let mut candidates: Vec<PeerId> = chain
+            .ancestors_of(self.id)
+            .into_iter()
+            .filter(|p| *p != dead_parent)
+            .collect();
+        if let Some(sp) = chain.closest_super_ancestor(self.id) {
+            if !candidates.contains(&sp) {
+                candidates.push(sp);
+            }
+        }
+        for target in candidates {
+            let msg = TxnMsg::Redirected {
+                txn,
+                failed_parent: dead_parent,
+                method: method.to_string(),
+                items: items.clone(),
+                comp: comp.clone(),
+            };
+            if ctx.send(target, msg).is_ok() {
+                self.stats.redirects_sent += 1;
+                return;
+            }
+            self.record_detection(ctx, target, DetectHow::SendFailure);
+        }
+        // No reachable ancestor at all.
+        self.stats.work_wasted += 1;
+        self.abort_local(ctx, txn);
+        self.propagate_abort(ctx, txn, None);
+    }
+
+    // ------------------------------------------------------------------
+    // Results and faults from children.
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_result(
+        &mut self,
+        ctx: &mut Ctx<'_, TxnMsg>,
+        from: PeerId,
+        txn: TxnId,
+        inv: InvocationId,
+        items: Vec<Fragment>,
+        comp: CompBundle,
+        chain: ActiveList,
+    ) {
+        let Some(wc) = self.waiting.remove(&inv) else {
+            // Unwanted work (the invocation was aborted/superseded): tell
+            // the sender to abort so its effects do not linger.
+            self.stats.late_messages += 1;
+            let _ = ctx.send(from, TxnMsg::Abort { txn });
+            return;
+        };
+        self.unwatch(from);
+        if let Some(tc) = self.contexts.get_mut(&txn) {
+            tc.complete_remote(inv, comp);
+            let merged = merge_chains(&tc.chain, &chain);
+            let grew = merged != tc.chain;
+            tc.chain = merged;
+            if grew {
+                self.gossip_chain(ctx, txn, Some(from));
+            }
+        }
+        self.apply_child_items(ctx, txn, wc.serving_inv, &wc.target, &wc.method, &items);
+        if let Some(s) = self.servings.get_mut(&wc.serving_inv) {
+            s.pending.remove(&inv);
+        }
+        self.advance_serving(ctx, wc.serving_inv);
+    }
+
+    /// A child invocation failed (fault message, failed send, or detected
+    /// disconnection): §3.2's recovery decision point.
+    fn child_failed(&mut self, ctx: &mut Ctx<'_, TxnMsg>, inv: InvocationId, fault: Fault) {
+        let Some(mut wc) = self.waiting.remove(&inv) else {
+            self.stats.late_messages += 1;
+            return;
+        };
+        self.unwatch(wc.child_peer);
+        // NOTE: the failed invocation stays in the serving's `pending` set
+        // while a retry/alternative is in flight — otherwise a sibling's
+        // result arriving in the gap would make the serving look complete
+        // and the service body would run without the redone branch.
+        if self.config.recovery == RecoveryStyle::ForwardFirst {
+            // 1. The embedded call's fault handlers.
+            if let Some(handler) = wc.handlers.iter().find(|h| h.matches(&fault.name)).cloned() {
+                match handler.action {
+                    axml_doc::HandlerAction::Retry { wait, alternative, .. } if wc.retries_left > 0 => {
+                        wc.retries_left -= 1;
+                        self.stats.retries += 1;
+                        let (to_peer, to_method) = match &alternative {
+                            Some(alt) => (
+                                PeerId::from_url(&alt.service_url).unwrap_or(wc.child_peer),
+                                alt.method.clone(),
+                            ),
+                            None => (wc.child_peer, wc.method.clone()),
+                        };
+                        let tag = self.alloc_payload_tag(TimerPayload::RetryChild {
+                            wc,
+                            to_peer,
+                            to_method,
+                            placeholder: inv,
+                        });
+                        ctx.set_timer(wait.max(1), tag);
+                        return;
+                    }
+                    axml_doc::HandlerAction::Substitute(frags) => {
+                        self.stats.substitutions += 1;
+                        let txn = wc.txn;
+                        if let Some(s) = self.servings.get_mut(&wc.serving_inv) {
+                            s.pending.remove(&inv);
+                        }
+                        self.apply_child_items(ctx, txn, wc.serving_inv, &wc.target, &wc.method, &frags);
+                        self.advance_serving(ctx, wc.serving_inv);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            // 2. An alternative provider from the directory ("the system
+            //    abandons the failed participant and invokes another
+            //    service providing similar functionality").
+            if self.config.use_alternative_providers {
+                if let Some(alt) = self.directory.alternative_provider(&wc.method, &wc.attempted) {
+                    self.stats.alternatives_used += 1;
+                    let mut wc2 = wc.clone();
+                    wc2.attempted.push(alt);
+                    let to_method = wc2.method.clone();
+                    let tag = self.alloc_payload_tag(TimerPayload::RetryChild {
+                        wc: wc2,
+                        to_peer: alt,
+                        to_method,
+                        placeholder: inv,
+                    });
+                    ctx.set_timer(1, tag);
+                    return;
+                }
+            }
+        }
+        // 3. Backward recovery: this serving fails, the abort propagates.
+        if let Some(s) = self.servings.get_mut(&wc.serving_inv) {
+            s.pending.remove(&inv);
+        }
+        self.fail_serving(ctx, wc.serving_inv, fault);
+    }
+
+    /// Re-issues a waiting child (handler retry or alternative provider).
+    #[allow(clippy::too_many_arguments)]
+    fn reissue_child(
+        &mut self,
+        ctx: &mut Ctx<'_, TxnMsg>,
+        mut wc: WaitingChild,
+        to_peer: PeerId,
+        to_method: String,
+        placeholder: InvocationId,
+    ) {
+        let txn = wc.txn;
+        if let Some(s) = self.servings.get_mut(&wc.serving_inv) {
+            s.pending.remove(&placeholder);
+        }
+        if self.contexts.get(&txn).map(|t| t.is_terminal()).unwrap_or(true) {
+            return; // aborted meanwhile
+        }
+        let inv = self.alloc_inv();
+        wc.child_peer = to_peer;
+        wc.method = to_method.clone();
+        if !wc.attempted.contains(&to_peer) {
+            wc.attempted.push(to_peer);
+        }
+        if let Some(tc) = self.contexts.get_mut(&txn) {
+            tc.record_remote(to_peer, inv, to_method.clone());
+            if self.config.chaining {
+                tc.chain.add_invocation(self.id, to_peer, false);
+            }
+        }
+        let chain = self.current_chain(txn);
+        let prefilled = self.prefill_store.get(&txn).cloned().unwrap_or_default();
+        let msg = TxnMsg::Invoke { txn, inv, method: to_method, params: wc.params.clone(), chain, prefilled };
+        let serving_inv = wc.serving_inv;
+        self.waiting.insert(inv, wc);
+        if let Some(s) = self.servings.get_mut(&serving_inv) {
+            s.pending.insert(inv);
+        }
+        match ctx.send(to_peer, msg) {
+            Ok(()) => self.watch(ctx, to_peer),
+            Err(_) => {
+                self.record_detection(ctx, to_peer, DetectHow::SendFailure);
+                self.child_failed(ctx, inv, Fault::peer_unreachable(format!("{to_peer} unreachable")));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Abort / compensation (§3.2).
+    // ------------------------------------------------------------------
+
+    /// A serving cannot complete: abort the local context and propagate
+    /// per the nested recovery protocol.
+    fn fail_serving(&mut self, ctx: &mut Ctx<'_, TxnMsg>, serving_inv: InvocationId, fault: Fault) {
+        let Some(serving) = self.servings.remove(&serving_inv) else { return };
+        let txn = serving.txn;
+        // Cancel the serving's outstanding children (they are told to
+        // abort below, via propagate_abort — they are invoked peers).
+        let pending: Vec<InvocationId> = serving.pending.iter().copied().collect();
+        for inv in pending {
+            if let Some(wc) = self.waiting.remove(&inv) {
+                self.unwatch(wc.child_peer);
+            }
+        }
+        // Abort locally (compensate own effects)…
+        self.abort_local(ctx, txn);
+        // …tell every other invoked peer…
+        self.propagate_abort(ctx, txn, None);
+        // …and notify the invoker (the upward "Abort TA" with the fault).
+        match serving.reply_to {
+            Some(parent) => {
+                self.stats.aborts_sent += 1;
+                if ctx
+                    .send(parent, TxnMsg::Fault { txn, inv: serving.inv, fault })
+                    .is_err()
+                {
+                    self.record_detection(ctx, parent, DetectHow::SendFailure);
+                    if self.config.chaining {
+                        // Route the bad news past the dead parent.
+                        let chain = self.contexts.get(&txn).map(|tc| tc.chain.clone());
+                        if let Some(chain) = chain {
+                            for target in chain.ancestors_of(self.id).into_iter().filter(|p| *p != parent) {
+                                if ctx.send(target, TxnMsg::DisconnectNotice { txn, disconnected: parent }).is_ok() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                // Origin: the transaction is aborted.
+                if let Some(tc) = self.contexts.get(&txn) {
+                    let started = tc.created_at;
+                    self.outcomes.push(TxnOutcome { txn, committed: false, started_at: started, resolved_at: ctx.now() });
+                }
+            }
+        }
+    }
+
+    /// Compensates this peer's own effects from its log and marks the
+    /// context aborted.
+    fn abort_local(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId) {
+        let Some(tc) = self.contexts.get_mut(&txn) else { return };
+        if tc.is_terminal() {
+            return;
+        }
+        let comp = tc.own_compensation();
+        tc.resolve(TxnState::Aborted, ctx.now());
+        self.completed_results.remove(&txn);
+        self.conflicts.release(txn);
+        if !comp.is_empty() {
+            let cost = self.execute_compensation(&comp);
+            self.stats.compensations_executed += 1;
+            self.stats.comp_cost_nodes += cost as u64;
+        }
+        // Drop any servings/waits of this transaction, telling their
+        // invokers (otherwise they would wait for a reply forever).
+        let dead_servings: Vec<InvocationId> =
+            self.servings.iter().filter(|(_, s)| s.txn == txn).map(|(i, _)| *i).collect();
+        for inv in dead_servings {
+            if let Some(serving) = self.servings.remove(&inv) {
+                self.stats.work_wasted += 1;
+                if let Some(parent) = serving.reply_to {
+                    let fault = Fault::new("TxnResolved", format!("{txn} aborted at {}", self.id));
+                    let _ = ctx.send(parent, TxnMsg::Fault { txn, inv: serving.inv, fault });
+                }
+            }
+        }
+        let dead_waits: Vec<InvocationId> =
+            self.waiting.iter().filter(|(_, w)| w.txn == txn).map(|(i, _)| *i).collect();
+        for inv in dead_waits {
+            if let Some(wc) = self.waiting.remove(&inv) {
+                self.unwatch(wc.child_peer);
+            }
+        }
+    }
+
+    fn execute_compensation(&mut self, comp: &CompensatingService) -> usize {
+        let mut cost = 0usize;
+        for (doc, actions) in &comp.actions {
+            if let Some(document) = self.repo.get_mut(doc) {
+                if let Ok(c) = crate::compensate::apply_compensation(document, actions) {
+                    cost += c;
+                }
+            }
+        }
+        cost
+    }
+
+    /// Sends abort/compensate messages to every peer this context invoked.
+    fn propagate_abort(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId, skip: Option<PeerId>) {
+        let Some(tc) = self.contexts.get(&txn) else { return };
+        if self.config.peer_independent {
+            // Drive compensation directly using the collected definitions;
+            // peers without a collected definition get a plain Abort.
+            let bundles = tc.child_compensations();
+            let mut covered: BTreeSet<PeerId> = BTreeSet::new();
+            let mut to_send: Vec<(PeerId, CompensatingService)> = Vec::new();
+            for (peer, cs) in bundles {
+                covered.insert(peer);
+                to_send.push((peer, cs));
+            }
+            let invoked = tc.invoked_peers();
+            for (peer, cs) in to_send {
+                if Some(peer) == skip || peer == self.id {
+                    if peer == self.id {
+                        // Our own bundle entry (if any) is our own log —
+                        // already compensated by abort_local.
+                        continue;
+                    }
+                    continue;
+                }
+                self.stats.aborts_sent += 1;
+                if ctx.send(peer, TxnMsg::Compensate { txn, service: cs.clone() }).is_err() {
+                    // Original peer gone: run it on a replica if one holds
+                    // the documents (structural addressing makes this
+                    // possible — the peer-independent payoff of E7).
+                    self.record_detection(ctx, peer, DetectHow::SendFailure);
+                    let mut sent = false;
+                    for (doc, _) in &cs.actions {
+                        if let Some(rep) = self.directory.alternative_replica(doc, &[peer, self.id]) {
+                            if ctx.send(rep, TxnMsg::Compensate { txn, service: cs.clone() }).is_ok() {
+                                sent = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !sent {
+                        // Compensation lost — atomicity violated (counted
+                        // by the harness via document divergence).
+                    }
+                }
+            }
+            for peer in invoked {
+                if Some(peer) == skip || peer == self.id || covered.contains(&peer) {
+                    continue;
+                }
+                self.stats.aborts_sent += 1;
+                let _ = ctx.send(peer, TxnMsg::Abort { txn });
+            }
+        } else {
+            for peer in tc.invoked_peers() {
+                if Some(peer) == skip || peer == self.id {
+                    continue;
+                }
+                self.stats.aborts_sent += 1;
+                let _ = ctx.send(peer, TxnMsg::Abort { txn });
+            }
+        }
+    }
+
+    fn handle_abort(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId, _from: PeerId) {
+        self.stats.aborts_received += 1;
+        let tc = self.contexts.entry(txn).or_insert_with(|| {
+            // Tombstone: the Abort can overtake the Invoke (message
+            // latencies are independent). Recording a terminal context
+            // makes the late Invoke get refused instead of resurrecting
+            // the transaction.
+            let mut t = TransactionContext::new(txn, None, ActiveList::new(txn.origin, false), ctx.now());
+            t.resolve(TxnState::Aborted, ctx.now());
+            t
+        });
+        if tc.is_terminal() {
+            return;
+        }
+        self.abort_local(ctx, txn);
+        self.propagate_abort(ctx, txn, None);
+    }
+
+    fn handle_commit(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId) {
+        let Some(tc) = self.contexts.get_mut(&txn) else { return };
+        if tc.is_terminal() {
+            return;
+        }
+        tc.resolve(TxnState::Committed, ctx.now());
+        let invoked = self.contexts.get(&txn).map(|tc| tc.invoked_peers()).unwrap_or_default();
+        for peer in invoked {
+            if peer != self.id {
+                let _ = ctx.send(peer, TxnMsg::Commit { txn });
+            }
+        }
+        self.stream_last.retain(|(t, _), _| *t != txn);
+        self.completed_results.remove(&txn);
+        self.conflicts.release(txn);
+        // Residual work for a committed transaction (possible when a
+        // recovery redo raced the commit) is moot: drop it and release
+        // the failure detector.
+        let dead_servings: Vec<InvocationId> =
+            self.servings.iter().filter(|(_, s)| s.txn == txn).map(|(i, _)| *i).collect();
+        for inv in dead_servings {
+            self.servings.remove(&inv);
+        }
+        let dead_waits: Vec<InvocationId> =
+            self.waiting.iter().filter(|(_, w)| w.txn == txn).map(|(i, _)| *i).collect();
+        for inv in dead_waits {
+            if let Some(wc) = self.waiting.remove(&inv) {
+                self.unwatch(wc.child_peer);
+            }
+        }
+    }
+
+    /// Executes a received compensating service — statelessly, as §3.2
+    /// prescribes.
+    fn handle_compensate(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId, service: CompensatingService) {
+        let cost = self.execute_compensation(&service);
+        self.stats.compensations_executed += 1;
+        self.stats.comp_cost_nodes += cost as u64;
+        // Mark the context resolved *without* self-compensating: the
+        // compensation just ran. Create a tombstone if we never saw the
+        // transaction (replica-targeted compensation).
+        let tc = self.contexts.entry(txn).or_insert_with(|| {
+            TransactionContext::new(txn, None, ActiveList::new(txn.origin, false), ctx.now())
+        });
+        tc.resolve(TxnState::Aborted, ctx.now());
+        self.conflicts.release(txn);
+    }
+
+    // ------------------------------------------------------------------
+    // Disconnection handling (§3.3).
+    // ------------------------------------------------------------------
+
+    fn record_detection(&mut self, ctx: &mut Ctx<'_, TxnMsg>, peer: PeerId, how: DetectHow) {
+        let d = Detection { disconnected: peer, at: ctx.now(), how };
+        // Concurrent notices about the same disconnection arrive in
+        // bursts; keep one record per (peer, mechanism, instant).
+        if self.stats.detections.last() != Some(&d) && !self.stats.detections.contains(&d) {
+            self.stats.detections.push(d);
+        }
+    }
+
+    /// A watched child stopped responding (scenarios (a)/(c)).
+    fn on_child_disconnected(&mut self, ctx: &mut Ctx<'_, TxnMsg>, peer: PeerId, how: DetectHow) {
+        self.record_detection(ctx, peer, how);
+        self.monitor.unwatch(peer);
+        self.watch_counts.remove(&peer);
+        // Every outstanding invocation on that peer fails.
+        let affected: Vec<InvocationId> = self
+            .waiting
+            .iter()
+            .filter(|(_, w)| w.child_peer == peer)
+            .map(|(i, _)| *i)
+            .collect();
+        // Scenario (c) chaining: warn the disconnected peer's descendants
+        // before recovering, so they stop wasting effort / offer reuse.
+        if self.config.chaining {
+            let txns: BTreeSet<TxnId> = affected.iter().filter_map(|i| self.waiting.get(i)).map(|w| w.txn).collect();
+            for txn in txns {
+                if let Some(tc) = self.contexts.get(&txn) {
+                    for desc in tc.chain.descendants_of(peer) {
+                        let _ = ctx.send(desc, TxnMsg::DisconnectNotice { txn, disconnected: peer });
+                    }
+                }
+            }
+        }
+        for inv in affected {
+            self.child_failed(ctx, inv, Fault::peer_unreachable(format!("{peer} disconnected")));
+        }
+    }
+
+    /// A re-routed result from an orphaned descendant (scenario (b)).
+    #[allow(clippy::too_many_arguments)]
+    fn handle_redirected(
+        &mut self,
+        ctx: &mut Ctx<'_, TxnMsg>,
+        from: PeerId,
+        txn: TxnId,
+        failed_parent: PeerId,
+        method: String,
+        items: Vec<Fragment>,
+        comp: CompBundle,
+    ) {
+        self.stats.redirects_received += 1;
+        self.record_detection(ctx, failed_parent, DetectHow::Notice);
+        // If the transaction already aborted here, the orphan's work is
+        // unwanted: tell it to abort (and compensate) itself. Without
+        // this, an orphan whose Redirected loses the race against the
+        // abort would keep its effects forever.
+        if self.contexts.get(&txn).map(|t| t.is_terminal()).unwrap_or(false) {
+            if self.config.peer_independent && !comp.is_empty() {
+                for (peer, cs) in comp {
+                    let _ = ctx.send(peer, TxnMsg::Compensate { txn, service: cs });
+                }
+            } else {
+                let _ = ctx.send(from, TxnMsg::Abort { txn });
+            }
+            return;
+        }
+        // Keep the orphan's results for reuse when re-invoking the dead
+        // peer's service, and its compensation bundle for abort-time.
+        self.prefill_store.entry(txn).or_default().push((method.clone(), items));
+        let orphan_inv = self.alloc_inv();
+        if let Some(tc) = self.contexts.get_mut(&txn) {
+            tc.record_orphan_comp(from, orphan_inv, method, comp);
+        }
+        // Now treat the dead parent like a disconnected child (it may or
+        // may not be one of ours; if it is, recovery starts here).
+        self.on_child_disconnected(ctx, failed_parent, DetectHow::Notice);
+    }
+
+    /// A disconnect notice from the chain (scenarios (b)/(c)/(d)).
+    fn handle_notice(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId, disconnected: PeerId) {
+        self.record_detection(ctx, disconnected, DetectHow::Notice);
+        let Some(tc) = self.contexts.get(&txn) else { return };
+        if tc.is_terminal() {
+            return;
+        }
+        let my_parent = tc.parent.map(|(p, _)| p);
+        if self
+            .waiting
+            .values()
+            .any(|w| w.child_peer == disconnected && w.txn == txn)
+        {
+            // It's one of our children: recover.
+            self.on_child_disconnected(ctx, disconnected, DetectHow::Notice);
+            return;
+        }
+        if my_parent == Some(disconnected) {
+            // Our consumer is gone: our work for this txn is orphaned.
+            let mine: Vec<InvocationId> =
+                self.servings.iter().filter(|(_, s)| s.txn == txn).map(|(i, _)| *i).collect();
+            if !mine.is_empty() {
+                self.stats.orphan_stops += 1;
+                self.abort_local(ctx, txn);
+                // Abort our own invokees too (they are orphaned with us).
+                self.propagate_abort(ctx, txn, None);
+            } else if let Some((method, items, comp)) = self.completed_results.remove(&txn) {
+                // We completed, but our result may have been consumed by
+                // the dead peer (or dropped in flight): re-offer the work
+                // up the chain so it can be reused — or aborted, if the
+                // transaction already failed above us.
+                self.reroute_past_dead_parent(ctx, txn, disconnected, &method, items, comp);
+            }
+        }
+    }
+
+    /// Sibling stream upkeep + silence detection (scenario (d)).
+    fn stream_tick(&mut self, ctx: &mut Ctx<'_, TxnMsg>) {
+        let Some(interval) = self.config.stream_interval else {
+            self.stream_running = false;
+            return;
+        };
+        let active_txns: BTreeSet<TxnId> = self.servings.values().map(|s| s.txn).collect();
+        if active_txns.is_empty() {
+            self.stream_running = false;
+            return;
+        }
+        for txn in &active_txns {
+            let Some(tc) = self.contexts.get(txn) else { continue };
+            if tc.is_terminal() {
+                continue;
+            }
+            let siblings = tc.chain.siblings_of(self.id);
+            for sib in siblings {
+                self.stream_seq += 1;
+                let seq = self.stream_seq;
+                if ctx.send(sib, TxnMsg::StreamData { txn: *txn, seq }).is_err() {
+                    // Scenario (d): sibling gone, detected by the stream.
+                    self.on_sibling_disconnected(ctx, *txn, sib, DetectHow::SendFailure);
+                }
+            }
+        }
+        // Silence check: a sibling we have heard from before going quiet.
+        let now = ctx.now();
+        let silent: Vec<(TxnId, PeerId)> = self
+            .stream_last
+            .iter()
+            .filter(|((txn, _), last)| {
+                active_txns.contains(txn) && now.saturating_sub(**last) > interval * 3
+            })
+            .map(|((t, p), _)| (*t, *p))
+            .collect();
+        for (txn, peer) in silent {
+            self.stream_last.remove(&(txn, peer));
+            self.on_sibling_disconnected(ctx, txn, peer, DetectHow::StreamSilence);
+        }
+        ctx.set_timer(interval, TAG_STREAM);
+        self.stream_running = true;
+    }
+
+    fn maybe_start_stream(&mut self, ctx: &mut Ctx<'_, TxnMsg>) {
+        if let Some(interval) = self.config.stream_interval {
+            if !self.stream_running {
+                self.stream_running = true;
+                ctx.set_timer(interval, TAG_STREAM);
+            }
+        }
+    }
+
+    /// Scenario (d): a sibling was detected disconnected; notify its
+    /// parent and children from the chain — they then run (b)/(c).
+    fn on_sibling_disconnected(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId, dead: PeerId, how: DetectHow) {
+        self.record_detection(ctx, dead, how);
+        if !self.config.chaining {
+            return;
+        }
+        let Some(tc) = self.contexts.get(&txn) else { return };
+        let chain = tc.chain.clone();
+        if let Some(parent) = chain.parent_of(dead) {
+            let _ = ctx.send(parent, TxnMsg::DisconnectNotice { txn, disconnected: dead });
+        }
+        for child in chain.children_of(dead) {
+            let _ = ctx.send(child, TxnMsg::DisconnectNotice { txn, disconnected: dead });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Keep-alive.
+    // ------------------------------------------------------------------
+
+    fn watch(&mut self, ctx: &mut Ctx<'_, TxnMsg>, peer: PeerId) {
+        if peer == self.id {
+            return;
+        }
+        *self.watch_counts.entry(peer).or_insert(0) += 1;
+        if !self.monitor.is_watching(peer) {
+            self.monitor.watch(peer, ctx.now());
+        }
+        if self.config.ping_interval > 0 && !self.ping_running {
+            self.ping_running = true;
+            ctx.set_timer(self.config.ping_interval, TAG_PING);
+        }
+    }
+
+    fn unwatch(&mut self, peer: PeerId) {
+        if let Some(count) = self.watch_counts.get_mut(&peer) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                self.watch_counts.remove(&peer);
+                self.monitor.unwatch(peer);
+            }
+        }
+    }
+
+    fn ping_tick(&mut self, ctx: &mut Ctx<'_, TxnMsg>) {
+        let watched = self.monitor.watched();
+        if watched.is_empty() {
+            self.ping_running = false;
+            return;
+        }
+        let mut dead = Vec::new();
+        for peer in watched {
+            if ctx.send(peer, TxnMsg::Ping).is_err() {
+                dead.push(peer);
+            }
+        }
+        for peer in dead {
+            self.on_child_disconnected(ctx, peer, DetectHow::PingTimeout);
+        }
+        for peer in self.monitor.suspects(ctx.now()) {
+            self.on_child_disconnected(ctx, peer, DetectHow::PingTimeout);
+        }
+        ctx.set_timer(self.config.ping_interval, TAG_PING);
+    }
+}
+
+struct NeedParams(Vec<ServiceCall>);
+
+/// Merges two active lists: edges present in either appear in the result
+/// (`a` is the base; unknown edges from `b` are grafted in).
+fn merge_chains(a: &ActiveList, b: &ActiveList) -> ActiveList {
+    let mut out = a.clone();
+    if !out.contains(b.root.peer) {
+        // Disjoint roots: keep ours (shouldn't happen within one txn).
+        return out;
+    }
+    fn graft(out: &mut ActiveList, node: &crate::chain::ChainNode) {
+        for child in &node.children {
+            out.add_invocation(node.peer, child.peer, child.is_super);
+            if child.is_super {
+                out.mark_super(child.peer);
+            }
+            graft(out, child);
+        }
+    }
+    graft(&mut out, &b.root);
+    if b.root.is_super {
+        out.mark_super(b.root.peer);
+    }
+    out
+}
+
+impl Actor<TxnMsg> for AxmlPeer {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, TxnMsg>, from: PeerId, msg: TxnMsg) {
+        // Any traffic from a peer proves liveness.
+        self.monitor.heard_from(from, ctx.now());
+        match msg {
+            TxnMsg::Invoke { txn, inv, method, params, chain, prefilled } => {
+                self.handle_invoke(ctx, from, txn, inv, method, params, chain, prefilled);
+            }
+            TxnMsg::Result { txn, inv, items, comp, chain } => {
+                self.handle_result(ctx, from, txn, inv, items, comp, chain);
+            }
+            TxnMsg::Fault { inv, fault, .. } => {
+                self.child_failed(ctx, inv, fault);
+            }
+            TxnMsg::Abort { txn } => self.handle_abort(ctx, txn, from),
+            TxnMsg::Commit { txn } => self.handle_commit(ctx, txn),
+            TxnMsg::Compensate { txn, service } => self.handle_compensate(ctx, txn, service),
+            TxnMsg::Ping => {
+                let _ = ctx.send(from, TxnMsg::Pong);
+            }
+            TxnMsg::Pong => { /* heard_from above is enough */ }
+            TxnMsg::Redirected { txn, failed_parent, method, items, comp } => {
+                self.handle_redirected(ctx, from, txn, failed_parent, method, items, comp);
+            }
+            TxnMsg::DisconnectNotice { txn, disconnected } => self.handle_notice(ctx, txn, disconnected),
+            TxnMsg::StreamData { txn, .. } => {
+                self.stream_last.insert((txn, from), ctx.now());
+                self.maybe_start_stream(ctx);
+            }
+            TxnMsg::ChainUpdate { txn, chain } => self.handle_chain_update(ctx, from, txn, chain),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, TxnMsg>, tag: u64) {
+        match tag {
+            0 => {
+                if let Some((method, params)) = self.auto_submit.clone() {
+                    self.submit(ctx, &method, params);
+                }
+            }
+            TAG_PING => self.ping_tick(ctx),
+            TAG_STREAM => self.stream_tick(ctx),
+            _ => match self.timers.remove(&tag) {
+                Some(TimerPayload::ServiceDone(inv)) => self.complete_serving(ctx, inv),
+                Some(TimerPayload::RetryChild { wc, to_peer, to_method, placeholder }) => {
+                    self.reissue_child(ctx, wc, to_peer, to_method, placeholder)
+                }
+                Some(TimerPayload::Submit { method, params }) => {
+                    self.submit(ctx, &method, params);
+                }
+                None => {}
+            },
+        }
+    }
+}
+
+impl AxmlPeer {
+    /// Schedules a transaction submission at a future time (harness use).
+    pub fn schedule_submit(&mut self, method: &str, params: Vec<(String, String)>) -> u64 {
+        self.alloc_payload_tag(TimerPayload::Submit { method: method.to_string(), params })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_doc::ServiceDef;
+    use axml_p2p::{Sim, SimConfig};
+    use axml_query::SelectQuery;
+
+    fn fabric(n: u32) -> Vec<AxmlPeer> {
+        (0..n).map(|i| AxmlPeer::new(PeerId(i), PeerConfig::default())).collect()
+    }
+
+    #[test]
+    fn wsdl_catalog() {
+        let mut w = WsdlCatalog::default();
+        assert_eq!(w.hints("m"), None);
+        w.publish("m", &["a", "b"]);
+        assert_eq!(w.hints("m"), Some(vec!["a".to_string(), "b".to_string()]));
+        w.publish("m", &["c"]);
+        assert_eq!(w.hints("m"), Some(vec!["c".to_string()]), "re-publish replaces");
+    }
+
+    #[test]
+    fn merge_chains_grafts_and_marks_super() {
+        let mut a = ActiveList::new(PeerId(1), false);
+        a.add_invocation(PeerId(1), PeerId(2), false);
+        let mut b = ActiveList::new(PeerId(1), true);
+        b.add_invocation(PeerId(1), PeerId(2), false);
+        b.add_invocation(PeerId(2), PeerId(3), true);
+        let m = merge_chains(&a, &b);
+        assert!(m.contains(PeerId(3)));
+        assert_eq!(m.parent_of(PeerId(3)), Some(PeerId(2)));
+        assert!(m.all_peers().len() == 3);
+        // Super flags flow across merges.
+        assert!(crate::spheres::sphere_violations(&m).len() < 3);
+        // Disjoint roots: ours wins.
+        let other = ActiveList::new(PeerId(9), false);
+        let m2 = merge_chains(&a, &other);
+        assert_eq!(m2, a);
+        // Merge is idempotent.
+        assert_eq!(merge_chains(&m, &m), m);
+    }
+
+    /// Local nesting across peers: "the service call parameters may
+    /// themselves be defined as service calls" — here the parameter call
+    /// targets a *remote* peer, exercising the ParamFill wave machinery.
+    #[test]
+    fn remote_param_call_resolves_before_outer_invocation() {
+        let mut peers = fabric(4);
+        // AP1: origin; its doc embeds outer@AP2 with param = inner@AP3.
+        peers[1]
+            .repo
+            .put_xml(
+                "main",
+                r#"<d><out>local</out>
+                    <axml:sc mode="replace" serviceNameSpace="o" serviceURL="peer://ap2" methodName="outer">
+                        <axml:params>
+                            <axml:param name="in">
+                                <axml:sc mode="replace" serviceNameSpace="i" serviceURL="peer://ap3" methodName="inner"/>
+                            </axml:param>
+                        </axml:params>
+                    </axml:sc>
+                </d>"#,
+            )
+            .unwrap();
+        peers[1].registry.register(
+            ServiceDef::query("root", "main", SelectQuery::parse("Select v//out from v in d").unwrap())
+                .with_results(&["out"]),
+        );
+        peers[1].wsdl.publish("outer", &["out"]);
+        peers[1].wsdl.publish("inner", &["seed"]);
+        // AP2: outer echoes its parameter.
+        peers[2].registry.register(
+            ServiceDef::function("outer", |params| {
+                let p = params.iter().find(|(k, _)| k == "in").map(|(_, v)| v.clone()).unwrap_or_default();
+                Ok(vec![Fragment::elem_text("out", format!("outer-got-{p}"))])
+            })
+            .with_results(&["out"]),
+        );
+        // AP3: inner supplies the seed value.
+        peers[3].registry.register(
+            ServiceDef::function("inner", |_| Ok(vec![Fragment::elem_text("seed", "42")]))
+                .with_results(&["seed"]),
+        );
+        let mut sim = Sim::new(SimConfig::default(), peers);
+        sim.actor_mut(PeerId(1)).auto_submit = Some(("root".into(), vec![]));
+        sim.schedule_timer(0, PeerId(1), 0);
+        sim.run();
+        let origin = sim.actor(PeerId(1));
+        let outcome = origin.outcomes.first().expect("resolved");
+        assert!(outcome.committed);
+        let items = &origin.results[&outcome.txn];
+        let text: String = items.iter().map(|f| f.to_xml()).collect();
+        assert!(text.contains("outer-got-42"), "{text}");
+        // Both providers served.
+        assert_eq!(sim.actor(PeerId(2)).stats.completed, 1);
+        assert_eq!(sim.actor(PeerId(3)).stats.completed, 1);
+    }
+
+    /// A fault in the *parameter* call follows the nested recovery
+    /// protocol like any other child failure.
+    #[test]
+    fn param_call_fault_aborts_transaction() {
+        let mut peers = fabric(4);
+        peers[1]
+            .repo
+            .put_xml(
+                "main",
+                r#"<d><out>local</out>
+                    <axml:sc mode="replace" serviceNameSpace="o" serviceURL="peer://ap2" methodName="outer">
+                        <axml:params>
+                            <axml:param name="in">
+                                <axml:sc mode="replace" serviceNameSpace="i" serviceURL="peer://ap3" methodName="inner"/>
+                            </axml:param>
+                        </axml:params>
+                    </axml:sc>
+                </d>"#,
+            )
+            .unwrap();
+        peers[1].registry.register(
+            ServiceDef::query("root", "main", SelectQuery::parse("Select v//out from v in d").unwrap())
+                .with_results(&["out"]),
+        );
+        peers[2].registry.register(ServiceDef::function("outer", |_| Ok(vec![])).with_results(&["out"]));
+        let mut inner = ServiceDef::function("inner", |_| Ok(vec![]));
+        inner.injected_fault = Some(Fault::injected("param provider down"));
+        peers[3].registry.register(inner);
+        let mut sim = Sim::new(SimConfig::default(), peers);
+        sim.actor_mut(PeerId(1)).auto_submit = Some(("root".into(), vec![]));
+        sim.schedule_timer(0, PeerId(1), 0);
+        sim.run();
+        let origin = sim.actor(PeerId(1));
+        assert!(!origin.outcomes.first().expect("resolved").committed);
+        assert!(origin.is_quiescent());
+    }
+
+    #[test]
+    fn unknown_service_faults_back() {
+        let mut peers = fabric(3);
+        peers[1]
+            .repo
+            .put_xml(
+                "main",
+                r#"<d><out>x</out><axml:sc serviceNameSpace="g" serviceURL="peer://ap2" methodName="ghost"/></d>"#,
+            )
+            .unwrap();
+        peers[1].registry.register(
+            ServiceDef::query("root", "main", SelectQuery::parse("Select v//out from v in d").unwrap())
+                .with_results(&["out"]),
+        );
+        let mut sim = Sim::new(SimConfig::default(), peers);
+        sim.actor_mut(PeerId(1)).auto_submit = Some(("root".into(), vec![]));
+        sim.schedule_timer(0, PeerId(1), 0);
+        sim.run();
+        let origin = sim.actor(PeerId(1));
+        assert!(!origin.outcomes.first().expect("resolved").committed);
+    }
+
+    #[test]
+    fn submitting_unknown_local_method_resolves_aborted() {
+        let mut peers = fabric(2);
+        peers[1].repo.put_xml("main", "<d/>").unwrap();
+        let mut sim = Sim::new(SimConfig::default(), peers);
+        sim.actor_mut(PeerId(1)).auto_submit = Some(("nope".into(), vec![]));
+        sim.schedule_timer(0, PeerId(1), 0);
+        sim.run();
+        let origin = sim.actor(PeerId(1));
+        let outcome = origin.outcomes.first().expect("resolved");
+        assert!(!outcome.committed);
+        assert!(origin.is_quiescent());
+    }
+
+    #[test]
+    fn schedule_submit_timer_payload() {
+        let mut peers = fabric(2);
+        peers[1].repo.put_xml("main", "<d><out>v</out></d>").unwrap();
+        peers[1].registry.register(
+            ServiceDef::query("root", "main", SelectQuery::parse("Select v//out from v in d").unwrap())
+                .with_results(&["out"]),
+        );
+        let tag = peers[1].schedule_submit("root", vec![]);
+        let mut sim = Sim::new(SimConfig::default(), peers);
+        sim.schedule_timer(5, PeerId(1), tag);
+        sim.run();
+        assert_eq!(sim.actor(PeerId(1)).outcomes.len(), 1);
+    }
+}

@@ -1,0 +1,879 @@
+//! Executable reproductions of the paper's figures, plus a general
+//! invocation-tree scenario builder used by tests, examples and benches.
+//!
+//! - **Fig. 1** (nested recovery): `AP1 → {AP2, AP3}`, `AP3 → {AP4, AP5}`,
+//!   `AP5 → AP6`; AP5 fails while processing S5.
+//! - **Fig. 2** (peer disconnection): `AP1* → AP2 → {AP3 → AP6,
+//!   AP4 → AP5}` with scenarios (a)–(d).
+//!
+//! Each peer `k` hosts document `d{k}` and service `S{k}`. Documents embed
+//! `axml:sc` calls to the child peers of the tree; services are queries or
+//! updates over the hosted document whose (lazy) evaluation requires those
+//! embedded calls — so a transaction submitted at the origin naturally
+//! unfolds into the paper's invocation tree.
+
+use crate::context::{TxnOutcome, TxnState};
+use crate::ids::TxnId;
+use crate::messages::TxnMsg;
+use crate::peer::{AxmlPeer, PeerConfig, PeerStats, WsdlCatalog};
+use axml_doc::Fault;
+use axml_p2p::{Directory, NetMetrics, PeerId, Sim, SimConfig};
+use std::collections::BTreeMap;
+
+/// What kind of service each peer exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Flavor {
+    /// Query services (`Select v//out from v in d`): effects come from
+    /// materialization only.
+    #[default]
+    Query,
+    /// Update services (replace the `slot` element): effects come from
+    /// the update *and* materialization.
+    Update,
+}
+
+/// Declarative description of an invocation-tree scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    /// Invocation edges `(parent, child)`; the tree root is `origin`.
+    pub edges: Vec<(u32, u32)>,
+    /// The origin peer.
+    pub origin: u32,
+    /// Super peers.
+    pub supers: Vec<u32>,
+    /// Template configuration applied to every peer.
+    pub config: PeerConfig,
+    /// Service flavor.
+    pub flavor: Flavor,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Service processing durations (defaults to 5).
+    pub durations: BTreeMap<u32, u64>,
+    /// Inject a fault into this peer's service (it fails *while
+    /// processing*, i.e. after its own sub-invocations completed).
+    pub inject_fault: Option<u32>,
+    /// Fault handlers: `(peer, child, handler-xml)` attached to the
+    /// `axml:sc` element in `peer`'s document that targets `child`.
+    pub handlers: Vec<(u32, u32, String)>,
+    /// Replicas: `(of, replica)` — peer `replica` hosts a copy of
+    /// `d{of}` and provides `S{of}`.
+    pub replicas: Vec<(u32, u32)>,
+    /// Scheduled disconnects `(time, peer)`.
+    pub disconnects: Vec<(u64, u32)>,
+    /// When the transaction is submitted.
+    pub submit_at: u64,
+    /// Hard stop for the simulation.
+    pub deadline: u64,
+}
+
+impl ScenarioBuilder {
+    /// A scenario over the given invocation tree.
+    pub fn new(origin: u32, edges: &[(u32, u32)]) -> ScenarioBuilder {
+        ScenarioBuilder {
+            edges: edges.to_vec(),
+            origin,
+            supers: Vec::new(),
+            config: PeerConfig::default(),
+            flavor: Flavor::Update,
+            seed: 7,
+            durations: BTreeMap::new(),
+            inject_fault: None,
+            handlers: Vec::new(),
+            replicas: Vec::new(),
+            disconnects: Vec::new(),
+            submit_at: 0,
+            deadline: 100_000,
+        }
+    }
+
+    /// The paper's Fig. 1 tree: AP1 → {AP2, AP3}, AP3 → {AP4, AP5},
+    /// AP5 → AP6.
+    pub fn fig1() -> ScenarioBuilder {
+        ScenarioBuilder::new(1, &[(1, 2), (1, 3), (3, 4), (3, 5), (5, 6)])
+    }
+
+    /// The paper's Fig. 2 tree: AP1* → AP2, AP2 → {AP3, AP4}, AP3 → AP6,
+    /// AP4 → AP5 (AP1 is a super peer).
+    pub fn fig2() -> ScenarioBuilder {
+        let mut b = ScenarioBuilder::new(1, &[(1, 2), (2, 3), (2, 4), (3, 6), (4, 5)]);
+        b.supers.push(1);
+        b
+    }
+
+    /// Builder: service flavor.
+    pub fn flavor(mut self, flavor: Flavor) -> Self {
+        self.flavor = flavor;
+        self
+    }
+
+    /// Builder: peer configuration template.
+    pub fn config(mut self, config: PeerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builder: inject a processing fault at a peer.
+    pub fn fault_at(mut self, peer: u32) -> Self {
+        self.inject_fault = Some(peer);
+        self
+    }
+
+    /// Builder: disconnect a peer at a time.
+    pub fn disconnect(mut self, at: u64, peer: u32) -> Self {
+        self.disconnects.push((at, peer));
+        self
+    }
+
+    /// Builder: add a replica of peer `of`'s document/service hosted on a
+    /// fresh peer; returns its id.
+    pub fn with_replica(mut self, of: u32) -> (Self, u32) {
+        let max = self
+            .edges
+            .iter()
+            .flat_map(|(a, b)| [*a, *b])
+            .chain(self.replicas.iter().map(|(_, r)| *r))
+            .chain([self.origin])
+            .max()
+            .unwrap_or(0);
+        let replica = max + 1;
+        self.replicas.push((of, replica));
+        (self, replica)
+    }
+
+    /// Builder: attach an `axml:retry` handler on `peer`'s call to `child`.
+    pub fn retry_handler(mut self, peer: u32, child: u32, fault_name: Option<&str>, times: u32, wait: u64) -> Self {
+        let open = match fault_name {
+            Some(f) => format!(r#"<axml:catch faultName="{f}">"#),
+            None => "<axml:catchAll>".to_string(),
+        };
+        let close = match fault_name {
+            Some(_) => "</axml:catch>",
+            None => "</axml:catchAll>",
+        };
+        self.handlers.push((peer, child, format!(r#"{open}<axml:retry times="{times}" wait="{wait}"/>{close}"#)));
+        self
+    }
+
+    /// Builder: attach a substitution handler (forward recovery with a
+    /// default value) on `peer`'s call to `child`.
+    pub fn substitute_handler(mut self, peer: u32, child: u32, fault_name: Option<&str>) -> Self {
+        let open = match fault_name {
+            Some(f) => format!(r#"<axml:catch faultName="{f}">"#),
+            None => "<axml:catchAll>".to_string(),
+        };
+        let close = match fault_name {
+            Some(_) => "</axml:catch>",
+            None => "</axml:catchAll>",
+        };
+        self.handlers
+            .push((peer, child, format!(r#"{open}<out>substituted-{peer}-{child}</out>{close}"#)));
+        self
+    }
+
+    fn children_of(&self, peer: u32) -> Vec<u32> {
+        self.edges.iter().filter(|(p, _)| *p == peer).map(|(_, c)| *c).collect()
+    }
+
+    fn peers(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .edges
+            .iter()
+            .flat_map(|(a, b)| [*a, *b])
+            .chain([self.origin])
+            .chain(self.replicas.iter().map(|(_, r)| *r))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    fn doc_xml(&self, peer: u32) -> String {
+        let mut xml = format!("<d><slot>initial-{peer}</slot><out>base-{peer}</out>");
+        for child in self.children_of(peer) {
+            let handlers: String = self
+                .handlers
+                .iter()
+                .filter(|(p, c, _)| *p == peer && *c == child)
+                .map(|(_, _, h)| h.clone())
+                .collect();
+            xml.push_str(&format!(
+                r#"<axml:sc mode="replace" serviceNameSpace="S{child}" serviceURL="peer://ap{child}" methodName="S{child}">{handlers}</axml:sc>"#
+            ));
+        }
+        xml.push_str("</d>");
+        xml
+    }
+
+    fn service_for(&self, peer: u32) -> axml_doc::ServiceDef {
+        let doc = format!("d{peer}");
+        match self.flavor {
+            Flavor::Query => {
+                let q = axml_query::SelectQuery::parse("Select v//out from v in d").expect("static query");
+                axml_doc::ServiceDef::query(format!("S{peer}"), doc, q).with_results(&["out"])
+            }
+            Flavor::Update => {
+                // The location query needs `out` data, so lazy evaluation
+                // materializes the embedded calls; the written element is
+                // named `done` so children's materialized results never
+                // collide with the parent's own `slot` target.
+                let loc = axml_query::Locator::parse("Select v/slot from v in d where exists v//out").expect("static locator");
+                let action = axml_query::UpdateAction::replace(
+                    loc,
+                    vec![axml_xml::Fragment::elem_text("done", format!("done-{peer}"))],
+                );
+                axml_doc::ServiceDef::update(format!("S{peer}"), doc, action).with_results(&["done"])
+            }
+        }
+    }
+
+    /// Builds the simulator and supporting state.
+    pub fn build(self) -> Scenario {
+        let peers = self.peers();
+        let n = peers.iter().max().copied().unwrap_or(0) as usize + 1;
+        // Shared fabric knowledge.
+        let mut wsdl = WsdlCatalog::default();
+        let mut directory = Directory::new();
+        for &p in &peers {
+            let result = match self.flavor {
+                Flavor::Query => "out",
+                Flavor::Update => "slot",
+            };
+            wsdl.publish(format!("S{p}"), &[result]);
+            directory.add_service_provider(format!("S{p}"), PeerId(p));
+            directory.add_doc_replica(format!("d{p}"), PeerId(p));
+        }
+        for &(of, replica) in &self.replicas {
+            directory.add_service_provider(format!("S{of}"), PeerId(replica));
+            directory.add_doc_replica(format!("d{of}"), PeerId(replica));
+        }
+        // Actors.
+        let mut actors = Vec::with_capacity(n);
+        for idx in 0..n as u32 {
+            let mut config = self.config.clone();
+            config.is_super = self.supers.contains(&idx);
+            let mut peer = AxmlPeer::new(PeerId(idx), config);
+            peer.wsdl = wsdl.clone();
+            peer.directory = directory.clone();
+            if peers.contains(&idx) {
+                let serves: Vec<u32> = std::iter::once(idx)
+                    .filter(|i| self.edges.iter().any(|(a, b)| a == i || b == i) || *i == self.origin)
+                    .chain(self.replicas.iter().filter(|(_, r)| *r == idx).map(|(of, _)| *of))
+                    .collect();
+                for of in serves {
+                    peer.repo.put_xml(format!("d{of}"), &self.doc_xml(of)).expect("scenario doc parses");
+                    let mut def = self.service_for(of);
+                    if let Some(d) = self.durations.get(&of) {
+                        def.duration = *d;
+                    } else {
+                        def.duration = 5;
+                    }
+                    if self.inject_fault == Some(idx) && of == idx {
+                        def.injected_fault = Some(Fault::injected(format!("S{of} fails while processing")));
+                    }
+                    peer.registry.register(def);
+                }
+            }
+            actors.push(peer);
+        }
+        let mut sim = Sim::new(SimConfig { seed: self.seed, ..Default::default() }, actors);
+        for &s in &self.supers {
+            sim.mark_super(PeerId(s));
+        }
+        for &(at, p) in &self.disconnects {
+            sim.schedule_disconnect(at, PeerId(p));
+        }
+        // Submission.
+        let origin = PeerId(self.origin);
+        sim.actor_mut(origin).auto_submit = Some((format!("S{}", self.origin), vec![]));
+        sim.schedule_timer(self.submit_at, origin, 0);
+        // Baseline snapshot for atomicity checking.
+        let mut baseline = BTreeMap::new();
+        for &p in &peers {
+            let actor = sim.actor(PeerId(p));
+            for name in actor.repo.names() {
+                baseline.insert((PeerId(p), name.to_string()), actor.repo.get(name).expect("listed").to_xml());
+            }
+        }
+        Scenario { sim, origin, participants: peers.iter().map(|p| PeerId(*p)).collect(), baseline, deadline: self.deadline }
+    }
+}
+
+/// A built scenario, ready to run.
+pub struct Scenario {
+    /// The simulator (public: tests drive it directly when needed).
+    pub sim: Sim<TxnMsg, AxmlPeer>,
+    /// The origin peer.
+    pub origin: PeerId,
+    /// All participating peers (including replicas).
+    pub participants: Vec<PeerId>,
+    baseline: BTreeMap<(PeerId, String), String>,
+    deadline: u64,
+}
+
+/// What a scenario run produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The transaction (if the origin submitted one).
+    pub txn: Option<TxnId>,
+    /// The origin-side outcome (None if unresolved by the deadline).
+    pub outcome: Option<TxnOutcome>,
+    /// Network counters.
+    pub metrics: NetMetrics,
+    /// True if the all-or-nothing check holds (see
+    /// [`Scenario::atomicity_holds`]).
+    pub atomic: bool,
+    /// Per-peer stats, indexed by peer id.
+    pub stats: BTreeMap<PeerId, PeerStats>,
+    /// Final logical time.
+    pub finished_at: u64,
+}
+
+impl Scenario {
+    /// Runs to quiescence (or the deadline) and reports.
+    pub fn run(&mut self) -> ScenarioReport {
+        let finished_at = self.sim.run_until(self.deadline);
+        let outcome = self.sim.actor(self.origin).outcomes.first().cloned();
+        let txn = outcome.as_ref().map(|o| o.txn).or_else(|| {
+            self.sim.actor(self.origin).known_txns().first().copied()
+        });
+        let atomic = self.atomicity_holds();
+        let mut stats = BTreeMap::new();
+        for &p in &self.participants {
+            stats.insert(p, self.sim.actor(p).stats.clone());
+        }
+        ScenarioReport { txn, outcome, metrics: self.sim.metrics().clone(), atomic, stats, finished_at }
+    }
+
+    /// The all-or-nothing check:
+    ///
+    /// - committed → every *connected* participant context is `Committed`;
+    /// - aborted → every connected participant's documents equal the
+    ///   pre-transaction baseline (compensation really undid everything);
+    /// - unresolved → not atomic.
+    ///
+    /// Disconnected peers are excluded: the paper is explicit that "it
+    /// might not be possible to guarantee atomicity as long as peer
+    /// disconnection is possible" — the Spheres-of-Atomicity experiment
+    /// (E8) quantifies exactly this by comparing against
+    /// [`crate::spheres::sphere_guarantees_atomicity`].
+    pub fn atomicity_holds(&self) -> bool {
+        let origin = self.sim.actor(self.origin);
+        let Some(outcome) = origin.outcomes.first() else { return false };
+        if outcome.committed {
+            // Committed: no connected participant may hold *aborted yet
+            // divergent* state (compensation must have run wherever an
+            // abort was decided). A context still `Active` is tolerated:
+            // its effects are part of the committed outcome; the peer
+            // merely has not heard the decision (possible when the
+            // committing chain is cut by disconnections and chaining is
+            // off — one more benefit chaining buys, measured in E6).
+            self.participants.iter().all(|&p| {
+                if !self.sim.is_connected(p) {
+                    return true;
+                }
+                let actor = self.sim.actor(p);
+                let any_aborted = actor
+                    .known_txns()
+                    .iter()
+                    .any(|t| actor.context(*t).map(|c| c.state == TxnState::Aborted).unwrap_or(false));
+                if any_aborted {
+                    actor.repo.names().iter().all(|name| {
+                        self.baseline
+                            .get(&(p, name.to_string()))
+                            .map(|base| actor.repo.get(name).expect("listed").to_xml() == *base)
+                            .unwrap_or(true)
+                    })
+                } else {
+                    true
+                }
+            })
+        } else {
+            self.participants.iter().all(|&p| {
+                if !self.sim.is_connected(p) {
+                    return true;
+                }
+                let actor = self.sim.actor(p);
+                actor.repo.names().iter().all(|name| {
+                    match self.baseline.get(&(p, name.to_string())) {
+                        None => true,
+                        Some(base) => {
+                            let now = actor.repo.get(name).expect("listed").to_xml();
+                            now == *base
+                        }
+                    }
+                })
+            })
+        }
+    }
+
+    /// Documents diverging from the baseline on connected peers
+    /// (diagnostics for failed atomicity checks).
+    pub fn divergent_docs(&self) -> Vec<(PeerId, String)> {
+        let mut out = Vec::new();
+        for &p in &self.participants {
+            if !self.sim.is_connected(p) {
+                continue;
+            }
+            let actor = self.sim.actor(p);
+            for name in actor.repo.names() {
+                if let Some(base) = self.baseline.get(&(p, name.to_string())) {
+                    if actor.repo.get(name).expect("listed").to_xml() != *base {
+                        out.push((p, name.to_string()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::{DetectHow, RecoveryStyle};
+
+    // ------------------------------------------------------------------
+    // Happy path.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fig1_commits_without_faults() {
+        let mut s = ScenarioBuilder::fig1().build();
+        let report = s.run();
+        let outcome = report.outcome.expect("resolved");
+        assert!(outcome.committed);
+        assert!(report.atomic);
+        // Every participant executed its update.
+        for p in [1u32, 2, 3, 4, 5, 6] {
+            let actor = s.sim.actor(PeerId(p));
+            let doc = actor.repo.get(&format!("d{p}")).unwrap();
+            assert!(doc.to_xml().contains(&format!("done-{p}")), "{p}: {}", doc.to_xml());
+        }
+        // 5 invocations (S2, S3, S4, S5, S6).
+        assert_eq!(report.metrics.kind("invoke"), 5);
+        assert_eq!(report.metrics.kind("result"), 5);
+        assert_eq!(report.metrics.kind("abort"), 0);
+    }
+
+    #[test]
+    fn fig1_query_flavor_commits_and_aggregates() {
+        let mut s = ScenarioBuilder::fig1().flavor(Flavor::Query).build();
+        let report = s.run();
+        assert!(report.outcome.expect("resolved").committed);
+        let origin = s.sim.actor(PeerId(1));
+        let txn = report.txn.unwrap();
+        let results = origin.results.get(&txn).expect("query results");
+        // The origin's query sees its own base plus everything the tree
+        // materialized upward.
+        let text: String = results.iter().map(|f| f.to_xml()).collect();
+        for p in [1u32, 2, 3, 4, 5, 6] {
+            assert!(text.contains(&format!("base-{p}")), "missing base-{p} in {text}");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // E1: Fig. 1 nested recovery.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fig1_nested_recovery_backward_propagation() {
+        // AP5 fails while processing S5 and no handlers exist anywhere:
+        // the abort propagates to the origin, exactly §3.2 steps 1–4.
+        let mut cfg = PeerConfig::default();
+        cfg.use_alternative_providers = false;
+        let mut s = ScenarioBuilder::fig1().fault_at(5).config(cfg).build();
+        let report = s.run();
+        let outcome = report.outcome.expect("resolved");
+        assert!(!outcome.committed, "transaction aborts");
+        assert!(report.atomic, "all effects compensated: {:?}", s.divergent_docs());
+        // Terminal states everywhere.
+        for p in [1u32, 2, 3, 4, 5, 6] {
+            let actor = s.sim.actor(PeerId(p));
+            for t in actor.known_txns() {
+                assert!(actor.context(t).unwrap().is_terminal(), "AP{p} context not terminal");
+            }
+        }
+        // The failing peer compensated itself and sent aborts both ways.
+        let ap5 = &report.stats[&PeerId(5)];
+        assert_eq!(ap5.faults_raised, 1);
+        assert!(ap5.aborts_sent >= 2, "to AP6 (down) and AP3 (up): {}", ap5.aborts_sent);
+        // Fault messages climbed AP5 → AP3 → AP1.
+        assert!(report.metrics.kind("fault") >= 2);
+        // AP2's branch got aborted from the origin.
+        let ap2 = &report.stats[&PeerId(2)];
+        assert!(ap2.aborts_received >= 1);
+    }
+
+    #[test]
+    fn fig1_forward_recovery_with_substitute_handler_at_ap3() {
+        // AP3 defines a catchAll substitution for S5: the fault is
+        // absorbed there ("the intermediate peers have the option of
+        // performing forward recovery") and the transaction commits.
+        let mut cfg = PeerConfig::default();
+        cfg.use_alternative_providers = false;
+        let mut s = ScenarioBuilder::fig1()
+            .fault_at(5)
+            .substitute_handler(3, 5, None)
+            .config(cfg)
+            .build();
+        let report = s.run();
+        let outcome = report.outcome.expect("resolved");
+        assert!(outcome.committed, "forward recovery absorbs the fault");
+        let ap3 = &report.stats[&PeerId(3)];
+        assert_eq!(ap3.substitutions, 1);
+        // The fault never reached AP1.
+        let ap1 = &report.stats[&PeerId(1)];
+        assert_eq!(ap1.aborts_received, 0);
+    }
+
+    #[test]
+    fn fig1_retry_handler_retries_then_propagates() {
+        // A retry handler on a permanently-failing service retries and
+        // then propagates.
+        let mut cfg = PeerConfig::default();
+        cfg.use_alternative_providers = false;
+        let mut s = ScenarioBuilder::fig1()
+            .fault_at(5)
+            .retry_handler(3, 5, None, 2, 3)
+            .config(cfg)
+            .build();
+        let report = s.run();
+        assert!(!report.outcome.expect("resolved").committed);
+        let ap3 = &report.stats[&PeerId(3)];
+        assert_eq!(ap3.retries, 2);
+        assert!(report.atomic, "divergent: {:?}", s.divergent_docs());
+    }
+
+    #[test]
+    fn fig1_alternative_provider_redoes_failed_service() {
+        // A replica of AP5 exists: forward recovery re-invokes S5 there
+        // ("a different peer … can only be a peer containing a replicated
+        // copy of the affected AXML document").
+        let (b, replica) = ScenarioBuilder::fig1().fault_at(5).with_replica(5);
+        let mut s = b.build();
+        let report = s.run();
+        let outcome = report.outcome.expect("resolved");
+        assert!(outcome.committed, "redo on the replica commits the transaction");
+        let ap3 = &report.stats[&PeerId(3)];
+        assert_eq!(ap3.alternatives_used, 1);
+        // The replica did the work.
+        let rep = s.sim.actor(PeerId(replica));
+        assert!(rep.repo.get("d5").unwrap().to_xml().contains("done-5"));
+        assert!(report.atomic);
+    }
+
+    #[test]
+    fn fig1_backward_only_never_tries_forward_recovery() {
+        let mut cfg = PeerConfig::default();
+        cfg.recovery = RecoveryStyle::BackwardOnly;
+        let (b, _replica) = ScenarioBuilder::fig1()
+            .fault_at(5)
+            .substitute_handler(3, 5, None)
+            .with_replica(5);
+        let mut s = b.config(cfg).build();
+        let report = s.run();
+        assert!(!report.outcome.expect("resolved").committed);
+        let ap3 = &report.stats[&PeerId(3)];
+        assert_eq!(ap3.substitutions, 0);
+        assert_eq!(ap3.alternatives_used, 0);
+        assert!(report.atomic);
+    }
+
+    #[test]
+    fn fig1_peer_independent_compensation() {
+        let mut cfg = PeerConfig::default();
+        cfg.peer_independent = true;
+        cfg.use_alternative_providers = false;
+        let mut s = ScenarioBuilder::fig1().fault_at(5).config(cfg).build();
+        let report = s.run();
+        assert!(!report.outcome.expect("resolved").committed);
+        assert!(report.atomic, "divergent: {:?}", s.divergent_docs());
+        // Compensate messages were used.
+        assert!(report.metrics.kind("compensate") >= 1, "metrics: {:?}", report.metrics.by_kind);
+    }
+
+    // ------------------------------------------------------------------
+    // E2: Fig. 2 disconnection scenarios.
+    // ------------------------------------------------------------------
+
+    /// Instruments Fig. 2 so the target peer is mid-work when it drops:
+    /// long service durations keep the tree busy.
+    fn fig2_with(durations: &[(u32, u64)]) -> ScenarioBuilder {
+        let mut b = ScenarioBuilder::fig2();
+        for (p, d) in durations {
+            b.durations.insert(*p, *d);
+        }
+        b
+    }
+
+    #[test]
+    fn fig2a_leaf_disconnection_detected_by_parent() {
+        // (a) AP6 disconnects while processing S6; parent AP3 detects via
+        // keep-alive and follows the nested recovery protocol.
+        let mut cfg = PeerConfig::default();
+        cfg.use_alternative_providers = false;
+        let mut s = fig2_with(&[(6, 500)]).disconnect(40, 6).config(cfg).build();
+        let report = s.run();
+        let outcome = report.outcome.expect("resolved");
+        assert!(!outcome.committed);
+        assert!(report.atomic, "divergent: {:?}", s.divergent_docs());
+        let ap3 = &report.stats[&PeerId(3)];
+        let det = ap3
+            .detections
+            .iter()
+            .find(|d| d.disconnected == PeerId(6))
+            .expect("AP3 detected AP6");
+        assert!(matches!(det.how, DetectHow::PingTimeout));
+    }
+
+    #[test]
+    fn fig2b_parent_disconnection_detected_by_child_with_chaining() {
+        // (b) AP3 disconnects while AP6 is processing; AP6 detects it when
+        // returning results and re-routes them to AP2 via the chain; AP2
+        // performs forward recovery on a replica of AP3, reusing AP6's work.
+        // Pings are slowed down so the chaining path (synchronous send
+        // failure) is the first detector, as in the paper's narrative.
+        let mut cfg = PeerConfig::default();
+        cfg.ping_interval = 300;
+        cfg.ping_timeout = 700;
+        let (b, replica) = fig2_with(&[(6, 60)]).with_replica(3);
+        let mut s = b.disconnect(30, 3).config(cfg).build();
+        let report = s.run();
+        let outcome = report.outcome.expect("resolved");
+        let ap6 = &report.stats[&PeerId(6)];
+        let det = ap6.detections.iter().find(|d| d.disconnected == PeerId(3)).expect("AP6 detected AP3");
+        assert_eq!(det.how, DetectHow::SendFailure, "detected while trying to return the results");
+        assert_eq!(ap6.redirects_sent, 1);
+        let ap2 = &report.stats[&PeerId(2)];
+        assert_eq!(ap2.redirects_received, 1);
+        assert_eq!(ap2.alternatives_used, 1, "S3 redone on the replica");
+        let rep = &report.stats[&PeerId(replica)];
+        assert_eq!(rep.work_reused, 1, "AP6's results passed as materialized input");
+        assert!(outcome.committed, "recovery completes the transaction");
+    }
+
+    #[test]
+    fn fig2b_without_chaining_work_is_wasted() {
+        // Same setup as the chaining variant, chaining off: AP6 discards
+        // its completed work ("traditional recovery"), AP2's pings detect
+        // AP3 much later, and the recovery on the replica redoes S6 from
+        // scratch — no reuse.
+        let mut cfg = PeerConfig::default();
+        cfg.chaining = false;
+        cfg.ping_interval = 300;
+        cfg.ping_timeout = 700;
+        let (b, _replica) = fig2_with(&[(6, 60)]).with_replica(3);
+        let mut s = b.disconnect(30, 3).config(cfg).build();
+        let report = s.run();
+        let ap6 = &report.stats[&PeerId(6)];
+        assert_eq!(ap6.redirects_sent, 0);
+        assert!(ap6.work_wasted >= 1, "AP6 discards its work");
+        for st in report.stats.values() {
+            assert_eq!(st.work_reused, 0, "no reuse without chaining");
+        }
+        // Chaining's benefit shows as detection latency: compare with the
+        // chaining run (see bench fig2_disconnection for the numbers).
+        let first_detect = report
+            .stats
+            .values()
+            .flat_map(|s| s.detections.iter())
+            .filter(|d| d.disconnected == PeerId(3))
+            .map(|d| d.at)
+            .min()
+            .expect("someone detects AP3");
+        assert!(first_detect > 60, "without chaining, detection waits for slow pings (got {first_detect})");
+    }
+
+    #[test]
+    fn fig2c_child_disconnection_notifies_descendants() {
+        // (c) AP3 disconnects; parent AP2 detects it via keep-alive and
+        // uses the chain to warn AP3's descendants (AP6), which stop
+        // working.
+        let mut cfg = PeerConfig::default();
+        cfg.use_alternative_providers = false;
+        // AP6 busy for a long time: without the notice it would keep going.
+        let mut s = fig2_with(&[(6, 2000), (3, 3000)]).disconnect(50, 3).config(cfg).build();
+        let report = s.run();
+        assert!(!report.outcome.expect("resolved").committed);
+        let ap2 = &report.stats[&PeerId(2)];
+        assert!(
+            ap2.detections.iter().any(|d| d.disconnected == PeerId(3) && d.how == DetectHow::PingTimeout),
+            "AP2 detects AP3 via pings"
+        );
+        let ap6 = &report.stats[&PeerId(6)];
+        assert_eq!(ap6.orphan_stops, 1, "AP6 stopped early thanks to the notice");
+        assert!(report.atomic, "divergent: {:?}", s.divergent_docs());
+    }
+
+    #[test]
+    fn fig2d_sibling_disconnection_via_streams() {
+        // (d) AP3 and AP4 exchange subscription streams; AP3 disconnects
+        // and AP4 notices the silence, then notifies AP3's parent and
+        // children via the chain.
+        let mut cfg = PeerConfig::default();
+        cfg.stream_interval = Some(7);
+        cfg.ping_interval = 400; // pings would otherwise detect first
+        cfg.ping_timeout = 900;
+        cfg.use_alternative_providers = false;
+        let mut s = fig2_with(&[(3, 3000), (4, 3000), (5, 50), (6, 50)])
+            .disconnect(60, 3)
+            .config(cfg)
+            .build();
+        let report = s.run();
+        let ap4 = &report.stats[&PeerId(4)];
+        let det = ap4
+            .detections
+            .iter()
+            .find(|d| d.disconnected == PeerId(3))
+            .expect("AP4 detected its sibling");
+        assert!(
+            matches!(det.how, DetectHow::StreamSilence | DetectHow::SendFailure),
+            "stream-based detection, got {:?}",
+            det.how
+        );
+        // The notice reached AP3's child (AP6) and parent (AP2).
+        let ap6 = &report.stats[&PeerId(6)];
+        assert!(
+            ap6.detections.iter().any(|d| d.disconnected == PeerId(3) && d.how == DetectHow::Notice),
+            "AP6 informed via the chain"
+        );
+        let ap2 = &report.stats[&PeerId(2)];
+        assert!(ap2.detections.iter().any(|d| d.disconnected == PeerId(3)));
+    }
+
+    // ------------------------------------------------------------------
+    // Spheres of atomicity sanity.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn all_super_sphere_survives_scheduled_churn() {
+        // Every participant is a super peer: scheduled disconnects are
+        // ignored and atomicity is guaranteed.
+        let mut b = ScenarioBuilder::fig2();
+        b.supers = vec![1, 2, 3, 4, 5, 6];
+        let mut s = b.disconnect(30, 3).disconnect(40, 6).build();
+        let report = s.run();
+        assert!(report.outcome.expect("resolved").committed);
+        assert!(report.atomic);
+        let txn = report.txn.unwrap();
+        let chain = s.sim.actor(PeerId(1)).context(txn).unwrap().chain.clone();
+        assert!(crate::spheres::sphere_guarantees_atomicity(&chain));
+    }
+
+    #[test]
+    fn chain_notation_of_fig2_run() {
+        let mut s = ScenarioBuilder::fig2().build();
+        let report = s.run();
+        let txn = report.txn.unwrap();
+        let chain = &s.sim.actor(PeerId(1)).context(txn).unwrap().chain;
+        assert_eq!(chain.to_notation(), "[AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]");
+    }
+}
+
+
+#[cfg(test)]
+mod config_matrix_tests {
+    use super::*;
+    use crate::peer::ChainScope;
+    use axml_doc::EvalMode;
+
+    /// The happy path commits and stays atomic under every configuration
+    /// knob combination.
+    #[test]
+    fn happy_path_commits_under_all_config_combinations() {
+        for peer_independent in [false, true] {
+            for chaining in [false, true] {
+                for eval in [EvalMode::Lazy, EvalMode::Eager] {
+                    for scope in [ChainScope::Standard, ChainScope::Extended] {
+                        for isolation in [false, true] {
+                            let mut cfg = PeerConfig::default();
+                            cfg.peer_independent = peer_independent;
+                            cfg.chaining = chaining;
+                            cfg.eval = eval;
+                            cfg.chain_scope = scope;
+                            cfg.isolation = isolation;
+                            let mut s = ScenarioBuilder::fig1().config(cfg).build();
+                            let report = s.run();
+                            let label = format!(
+                                "pi={peer_independent} chain={chaining} eval={eval:?} scope={scope:?} iso={isolation}"
+                            );
+                            assert!(report.outcome.as_ref().map(|o| o.committed).unwrap_or(false), "{label}");
+                            assert!(report.atomic, "{label}: {:?}", s.divergent_docs());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A fault aborts atomically under every configuration combination.
+    #[test]
+    fn fault_aborts_atomically_under_all_config_combinations() {
+        for peer_independent in [false, true] {
+            for chaining in [false, true] {
+                for scope in [ChainScope::Standard, ChainScope::Extended] {
+                    let mut cfg = PeerConfig::default();
+                    cfg.peer_independent = peer_independent;
+                    cfg.chaining = chaining;
+                    cfg.chain_scope = scope;
+                    cfg.use_alternative_providers = false;
+                    let mut s = ScenarioBuilder::fig1().fault_at(5).config(cfg).build();
+                    let report = s.run();
+                    let label = format!("pi={peer_independent} chain={chaining} scope={scope:?}");
+                    assert!(!report.outcome.as_ref().map(|o| o.committed).unwrap_or(true), "{label}");
+                    assert!(report.atomic, "{label}: {:?}", s.divergent_docs());
+                }
+            }
+        }
+    }
+
+    /// Query flavor with peer-independent compensation: materialization
+    /// effects on *intermediate* peers are compensated via shipped
+    /// definitions.
+    #[test]
+    fn query_flavor_peer_independent_abort() {
+        let mut cfg = PeerConfig::default();
+        cfg.peer_independent = true;
+        cfg.use_alternative_providers = false;
+        let mut b = ScenarioBuilder::fig1().flavor(Flavor::Query).fault_at(2).config(cfg);
+        b.durations.insert(2, 400); // AP3's subtree completes first
+        let mut s = b.build();
+        let report = s.run();
+        assert!(!report.outcome.unwrap().committed);
+        assert!(report.atomic, "divergent: {:?}", s.divergent_docs());
+        assert!(report.metrics.kind("compensate") > 0);
+    }
+
+    /// Commit fan-out without chaining still reaches every participant
+    /// through the invocation cascade.
+    #[test]
+    fn commit_cascade_without_chaining() {
+        let mut cfg = PeerConfig::default();
+        cfg.chaining = false;
+        let mut s = ScenarioBuilder::fig1().config(cfg).build();
+        let report = s.run();
+        let txn = report.txn.unwrap();
+        assert!(report.outcome.unwrap().committed);
+        for p in [1u32, 2, 3, 4, 5, 6] {
+            let tc = s.sim.actor(PeerId(p)).context(txn).expect("participated");
+            assert_eq!(tc.state, crate::context::TxnState::Committed, "AP{p}");
+        }
+    }
+
+    /// Extended chaining also runs the disconnection scenarios correctly
+    /// (scenario (b) with reuse).
+    #[test]
+    fn extended_scope_scenario_b_still_reuses_work() {
+        let mut cfg = PeerConfig::default();
+        cfg.chain_scope = ChainScope::Extended;
+        cfg.ping_interval = 300;
+        cfg.ping_timeout = 700;
+        let mut b = ScenarioBuilder::fig2();
+        b.durations.insert(6, 60);
+        let (b, replica) = b.with_replica(3);
+        let mut s = b.disconnect(30, 3).config(cfg).build();
+        let report = s.run();
+        assert!(report.outcome.unwrap().committed);
+        assert_eq!(report.stats[&PeerId(replica)].work_reused, 1);
+    }
+}

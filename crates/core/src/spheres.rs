@@ -1,0 +1,74 @@
+//! Spheres of Atomicity (§3.3).
+//!
+//! "It might not be possible to guarantee atomicity as long as peer
+//! disconnection is possible. Here, we can use the notions of Spheres of
+//! Atomicity \[18\] to check if atomicity is guaranteed, e.g., atomicity may
+//! still be guaranteed for a transaction if all the involved peers (for
+//! that transaction) are super peers."
+
+use crate::chain::ActiveList;
+use axml_p2p::PeerId;
+
+/// Static check: does the (planned or observed) participant set guarantee
+/// atomicity under arbitrary churn?
+///
+/// True iff every peer in the active list is a super peer. Super peers do
+/// not disconnect, so every compensation / abort message is deliverable
+/// and the relaxed-atomicity protocol always terminates in a consistent
+/// state.
+pub fn sphere_guarantees_atomicity(chain: &ActiveList) -> bool {
+    chain.all_super()
+}
+
+/// The subset of participants that break the sphere (non-super peers).
+pub fn sphere_violations(chain: &ActiveList) -> Vec<PeerId> {
+    chain
+        .all_peers()
+        .into_iter()
+        .filter(|p| {
+            // A peer not marked super in the list is a potential
+            // disconnection point.
+            !peer_is_super(chain, *p)
+        })
+        .collect()
+}
+
+fn peer_is_super(chain: &ActiveList, peer: PeerId) -> bool {
+    fn go(node: &crate::chain::ChainNode, peer: PeerId) -> Option<bool> {
+        if node.peer == peer {
+            return Some(node.is_super);
+        }
+        node.children.iter().find_map(|c| go(c, peer))
+    }
+    go(&chain.root, peer).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_super_guarantees() {
+        let mut l = ActiveList::new(PeerId(1), true);
+        l.add_invocation(PeerId(1), PeerId(2), true);
+        l.add_invocation(PeerId(2), PeerId(3), true);
+        assert!(sphere_guarantees_atomicity(&l));
+        assert!(sphere_violations(&l).is_empty());
+    }
+
+    #[test]
+    fn one_regular_peer_breaks_the_sphere() {
+        let mut l = ActiveList::new(PeerId(1), true);
+        l.add_invocation(PeerId(1), PeerId(2), true);
+        l.add_invocation(PeerId(2), PeerId(3), false);
+        assert!(!sphere_guarantees_atomicity(&l));
+        assert_eq!(sphere_violations(&l), vec![PeerId(3)]);
+    }
+
+    #[test]
+    fn origin_counts_too() {
+        let l = ActiveList::new(PeerId(1), false);
+        assert!(!sphere_guarantees_atomicity(&l));
+        assert_eq!(sphere_violations(&l), vec![PeerId(1)]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Service faults.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fault raised while processing a service invocation.
+///
+/// Faults carry a *name* that fault handlers match on (`axml:catch
+/// faultName="A"`), mirroring BPEL4WS fault handling as §3.2 prescribes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Handler-matchable fault name (e.g. `ServiceUnavailable`).
+    pub name: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Fault {
+    /// Builds a fault.
+    pub fn new(name: impl Into<String>, message: impl Into<String>) -> Fault {
+        Fault { name: name.into(), message: message.into() }
+    }
+
+    /// The fault used when a peer cannot be reached.
+    pub fn peer_unreachable(detail: impl Into<String>) -> Fault {
+        Fault::new("PeerUnreachable", detail)
+    }
+
+    /// The fault used when a service name does not resolve.
+    pub fn no_such_service(detail: impl Into<String>) -> Fault {
+        Fault::new("NoSuchService", detail)
+    }
+
+    /// The fault used when a service's own processing fails.
+    pub fn execution(detail: impl Into<String>) -> Fault {
+        Fault::new("ExecutionFault", detail)
+    }
+
+    /// The fault injected by workloads to exercise recovery.
+    pub fn injected(detail: impl Into<String>) -> Fault {
+        Fault::new("InjectedFault", detail)
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault {}: {}", self.name, self.message)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        assert_eq!(Fault::peer_unreachable("ap5").name, "PeerUnreachable");
+        assert_eq!(Fault::no_such_service("x").name, "NoSuchService");
+        assert_eq!(Fault::execution("y").name, "ExecutionFault");
+        assert_eq!(Fault::injected("z").name, "InjectedFault");
+        let f = Fault::new("A", "boom");
+        assert!(f.to_string().contains("fault A"));
+        assert!(f.to_string().contains("boom"));
+    }
+}

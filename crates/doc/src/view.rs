@@ -1,0 +1,248 @@
+//! Transparent query evaluation over AXML documents.
+//!
+//! Embedded `axml:sc` elements are **wrappers**: their previous invocation
+//! results are logically part of the surrounding content. The paper's
+//! query A (`Select p/citizenship, p/grandslamswon from p in
+//! ATPList//player …`) selects `grandslamswon` nodes even though they
+//! physically live *inside* the `axml:sc` element. A [`TransparentView`]
+//! realizes that semantics: it is a copy of the document in which every
+//! `axml:sc` element is elided — its control children (`axml:params`,
+//! fault handlers) hidden and its result children hoisted into the
+//! parent — together with a mapping back to the original nodes.
+
+use crate::consts;
+use axml_query::SelectQuery;
+use axml_xml::{Document, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// A copy of the document with `axml:sc` wrappers elided, plus a mapping
+/// from view nodes back to the original document's nodes.
+#[derive(Debug)]
+pub struct TransparentView {
+    /// The elided copy.
+    pub view: Document,
+    back: HashMap<NodeId, NodeId>,
+}
+
+impl TransparentView {
+    /// Builds the view of `doc`.
+    pub fn build(doc: &Document) -> TransparentView {
+        let root = doc.root();
+        let root_name = doc.name(root).cloned().unwrap_or_else(|_| "view".into());
+        let mut view = Document::new(root_name);
+        let vroot = view.root();
+        if let Ok(attrs) = doc.attrs(root) {
+            for (n, v) in attrs {
+                view.set_attr(vroot, n.clone(), v.clone()).expect("root is element");
+            }
+        }
+        let mut tv = TransparentView { view, back: HashMap::new() };
+        tv.back.insert(vroot, root);
+        tv.copy_children(doc, root, vroot);
+        tv
+    }
+
+    fn copy_children(&mut self, doc: &Document, orig: NodeId, vparent: NodeId) {
+        let Ok(children) = doc.children(orig) else { return };
+        for &child in children {
+            match doc.kind(child) {
+                Ok(NodeKind::Element { name, attrs }) => {
+                    if consts::is_sc(name.prefix.as_deref(), &name.local) {
+                        // Elide the wrapper: hoist its result children.
+                        let Ok(sc_children) = doc.children(child) else { continue };
+                        for &rc in sc_children {
+                            let control = doc
+                                .name(rc)
+                                .map(|q| consts::is_control_child(q.prefix.as_deref(), &q.local))
+                                .unwrap_or(false);
+                            if !control {
+                                self.copy_one(doc, rc, vparent);
+                            }
+                        }
+                        continue;
+                    }
+                    let vchild = self.view.create_element_with_attrs(name.clone(), attrs.iter().cloned());
+                    self.view.append_child(vparent, vchild).expect("parent is element");
+                    self.back.insert(vchild, child);
+                    self.copy_children(doc, child, vchild);
+                }
+                Ok(_) => {
+                    self.copy_one(doc, child, vparent);
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    fn copy_one(&mut self, doc: &Document, orig: NodeId, vparent: NodeId) {
+        match doc.kind(orig) {
+            Ok(NodeKind::Element { name, attrs }) => {
+                if consts::is_sc(name.prefix.as_deref(), &name.local) {
+                    // Nested wrapper in results: elide recursively.
+                    let Ok(sc_children) = doc.children(orig) else { return };
+                    for &rc in sc_children {
+                        let control = doc
+                            .name(rc)
+                            .map(|q| consts::is_control_child(q.prefix.as_deref(), &q.local))
+                            .unwrap_or(false);
+                        if !control {
+                            self.copy_one(doc, rc, vparent);
+                        }
+                    }
+                    return;
+                }
+                let v = self.view.create_element_with_attrs(name.clone(), attrs.iter().cloned());
+                self.view.append_child(vparent, v).expect("parent is element");
+                self.back.insert(v, orig);
+                self.copy_children(doc, orig, v);
+            }
+            Ok(NodeKind::Text(t)) => {
+                let v = self.view.create_text(t.clone());
+                self.view.append_child(vparent, v).expect("parent is element");
+                self.back.insert(v, orig);
+            }
+            Ok(NodeKind::Cdata(t)) => {
+                let v = self.view.create_cdata(t.clone());
+                self.view.append_child(vparent, v).expect("parent is element");
+                self.back.insert(v, orig);
+            }
+            Ok(NodeKind::Comment(_)) | Ok(NodeKind::Pi { .. }) | Err(_) => {}
+        }
+    }
+
+    /// Maps a view node back to the original document's node.
+    pub fn to_original(&self, view_node: NodeId) -> Option<NodeId> {
+        self.back.get(&view_node).copied()
+    }
+
+    /// Evaluates a select query on the view, returning **original**
+    /// document node ids.
+    pub fn eval_select(&self, query: &SelectQuery) -> Result<Vec<NodeId>, axml_query::QueryError> {
+        let hits = query.eval(&self.view)?;
+        Ok(hits.into_iter().filter_map(|v| self.to_original(v)).collect())
+    }
+
+    /// One-shot transparent evaluation.
+    pub fn eval(doc: &Document, query: &SelectQuery) -> Result<Vec<NodeId>, axml_query::QueryError> {
+        TransparentView::build(doc).eval_select(query)
+    }
+}
+
+/// Applies an update action with **transparent location**: `Select`/path
+/// locators are evaluated through the AXML view (so they can target nodes
+/// living inside `axml:sc` wrappers), then the action runs against the
+/// pre-located structural addresses.
+pub fn apply_update_transparent(
+    doc: &mut axml_xml::Document,
+    action: &axml_query::UpdateAction,
+) -> Result<axml_query::UpdateReport, axml_query::QueryError> {
+    use axml_query::{Locator, NodePath};
+    let targets: Vec<NodeId> = match &action.location {
+        Locator::Select(q) => TransparentView::eval(doc, q)?,
+        Locator::Path(_) | Locator::Node(_) | Locator::Nodes(_) => action.location.locate(doc)?,
+    };
+    let paths: Vec<NodePath> = targets
+        .iter()
+        .map(|t| NodePath::of(doc, *t))
+        .collect::<Result<_, _>>()?;
+    let located = axml_query::UpdateAction { location: Locator::Nodes(paths), ..action.clone() };
+    located.apply(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ATP: &str = r#"<ATPList date="18042005">
+        <player rank="1">
+            <name><lastname>Federer</lastname></name>
+            <citizenship>Swiss</citizenship>
+            <axml:sc mode="replace" serviceNameSpace="getPoints" serviceURL="peer://ap2" methodName="getPoints">
+                <axml:params><axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param></axml:params>
+                <points>475</points>
+            </axml:sc>
+            <axml:sc mode="merge" serviceNameSpace="g" serviceURL="peer://ap3" methodName="getGrandSlamsWonbyYear">
+                <grandslamswon year="2003">A, W</grandslamswon>
+                <grandslamswon year="2004">A, U</grandslamswon>
+            </axml:sc>
+        </player>
+    </ATPList>"#;
+
+    #[test]
+    fn view_elides_wrappers() {
+        let doc = Document::parse(ATP).unwrap();
+        let tv = TransparentView::build(&doc);
+        let xml = tv.view.to_xml();
+        assert!(!xml.contains("axml:sc"), "{xml}");
+        assert!(!xml.contains("axml:params"), "{xml}");
+        assert!(xml.contains("<points>475</points>"), "{xml}");
+        assert!(xml.contains("grandslamswon"), "{xml}");
+        assert!(!xml.contains("Roger Federer"), "params are hidden: {xml}");
+    }
+
+    #[test]
+    fn paper_query_b_sees_points_through_wrapper() {
+        let doc = Document::parse(ATP).unwrap();
+        let q = SelectQuery::parse(
+            "Select p/citizenship, p/points from p in ATPList//player where p/name/lastname = Federer;",
+        )
+        .unwrap();
+        let hits = TransparentView::eval(&doc, &q).unwrap();
+        assert_eq!(hits.len(), 2);
+        // The returned ids are in the ORIGINAL document.
+        assert_eq!(doc.text_content(hits[1]).unwrap(), "475");
+        let parent = doc.parent(hits[1]).unwrap().unwrap();
+        assert!(doc.name(parent).unwrap().is(Some("axml"), "sc"), "physically inside the wrapper");
+    }
+
+    #[test]
+    fn where_clause_sees_through_wrappers() {
+        let doc = Document::parse(ATP).unwrap();
+        let q = SelectQuery::parse("Select p/citizenship from p in ATPList//player where p/points = 475").unwrap();
+        let hits = TransparentView::eval(&doc, &q).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(doc.text_content(hits[0]).unwrap(), "Swiss");
+    }
+
+    #[test]
+    fn nested_wrapper_elision() {
+        let src = r#"<r>
+            <axml:sc methodName="outer" serviceURL="u" serviceNameSpace="o">
+                <axml:sc methodName="inner" serviceURL="u" serviceNameSpace="i">
+                    <got>deep</got>
+                </axml:sc>
+            </axml:sc>
+        </r>"#;
+        let doc = Document::parse(src).unwrap();
+        let tv = TransparentView::build(&doc);
+        assert_eq!(tv.view.to_xml(), "<r><got>deep</got></r>");
+        let q = SelectQuery::parse("Select v/got from v in r").unwrap();
+        let hits = tv.eval_select(&q).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(doc.text_content(hits[0]).unwrap(), "deep");
+    }
+
+    #[test]
+    fn plain_documents_unchanged() {
+        let doc = Document::parse(r#"<r a="1"><x>t</x><![CDATA[c]]></r>"#).unwrap();
+        let tv = TransparentView::build(&doc);
+        assert_eq!(tv.view.to_xml(), doc.to_xml());
+    }
+
+    #[test]
+    fn comments_dropped_from_view() {
+        let doc = Document::parse("<r><!-- hey --><x/></r>").unwrap();
+        let tv = TransparentView::build(&doc);
+        assert_eq!(tv.view.to_xml(), "<r><x/></r>");
+    }
+
+    #[test]
+    fn mapping_covers_all_view_nodes() {
+        let doc = Document::parse(ATP).unwrap();
+        let tv = TransparentView::build(&doc);
+        for v in tv.view.all_nodes() {
+            let orig = tv.to_original(v).expect("every view node maps back");
+            assert!(doc.contains(orig));
+        }
+    }
+}

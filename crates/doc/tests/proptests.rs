@@ -1,0 +1,150 @@
+//! Property-based tests for the ActiveXML layer.
+//!
+//! Headline invariant (§3.1, DESIGN.md §6): for any generated AXML
+//! document and any query, *materialize-then-compensate is the identity* —
+//! the compensation constructed from the materialization effects restores
+//! the exact original document, in both lazy and eager modes.
+
+use axml_doc::{
+    EvalMode, Fault, MaterializationEngine, ResolvedCall, ServiceCall, ServiceInvoker,
+    ServiceResponse, TransparentView,
+};
+use axml_query::{Effect, InsertPos, Locator, SelectQuery, UpdateAction};
+use axml_xml::{Document, Fragment, QName};
+use proptest::prelude::*;
+
+const NAMES: &[&str] = &["a", "b", "c", "r0", "r1", "r2"];
+
+/// Random AXML document: plain elements mixed with embedded calls whose
+/// methods `svcK` deterministically return `<rK>fresh</rK>`.
+fn axml_doc_strategy() -> impl Strategy<Value = Document> {
+    let leaf = prop_oneof![
+        (0usize..3).prop_map(|i| Fragment::elem(NAMES[i])),
+        (0usize..3, 0usize..3).prop_map(|(k, mode)| {
+            let call = ServiceCall::build(
+                "peer://ap9",
+                format!("svc{k}"),
+                if mode == 0 { axml_doc::ScMode::Merge } else { axml_doc::ScMode::Replace },
+            );
+            let mut frag = call.to_fragment();
+            if mode == 2 {
+                // Seed a previous result (exercises replace-mode deletion).
+                frag = frag.with_child(Fragment::elem_text(format!("r{k}"), "previous"));
+            }
+            frag
+        }),
+    ];
+    let frag = leaf.prop_recursive(3, 24, 4, |inner| {
+        (0usize..3, prop::collection::vec(inner, 0..4)).prop_map(|(i, children)| Fragment::Element {
+            name: QName::local(NAMES[i]),
+            attrs: vec![],
+            children,
+        })
+    });
+    prop::collection::vec(frag, 1..5).prop_map(|frags| {
+        let mut doc = Document::new("root");
+        let root = doc.root();
+        for f in &frags {
+            doc.append_fragment(root, f).unwrap();
+        }
+        doc
+    })
+}
+
+struct Fabric;
+
+impl ServiceInvoker for Fabric {
+    fn invoke(&mut self, call: &ResolvedCall) -> Result<ServiceResponse, Fault> {
+        let k = call.method.trim_start_matches("svc");
+        Ok(ServiceResponse { items: vec![Fragment::elem_text(format!("r{k}"), "fresh")], effects: vec![] })
+    }
+
+    fn result_hints(&self, call: &ResolvedCall) -> Option<Vec<String>> {
+        let k = call.method.trim_start_matches("svc");
+        Some(vec![format!("r{k}")])
+    }
+}
+
+fn compensate(doc: &mut Document, effects: &[Effect]) {
+    for effect in effects.iter().rev() {
+        match effect {
+            Effect::Deleted { fragment, parent_path, position } => {
+                UpdateAction::insert_at(
+                    Locator::Node(parent_path.clone()),
+                    vec![fragment.clone()],
+                    InsertPos::At(*position),
+                )
+                .apply(doc)
+                .unwrap();
+            }
+            Effect::Inserted { path, .. } => {
+                UpdateAction::delete(Locator::Node(path.clone())).apply(doc).unwrap();
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn materialize_then_compensate_is_identity(
+        doc in axml_doc_strategy(),
+        lazy in any::<bool>(),
+        which in 0usize..3,
+    ) {
+        let mut doc = doc;
+        let before = doc.to_xml();
+        let mode = if lazy { EvalMode::Lazy } else { EvalMode::Eager };
+        let engine = MaterializationEngine::new(mode);
+        let q = SelectQuery::parse(&format!("Select v//r{which} from v in root")).unwrap();
+        let (_hits, report) = engine.query(&mut doc, &q, &mut Fabric).unwrap();
+        compensate(&mut doc, &report.effects);
+        prop_assert_eq!(doc.to_xml(), before, "mode={:?}", mode);
+        doc.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn lazy_materializes_subset_of_eager(doc in axml_doc_strategy(), which in 0usize..3) {
+        let q = SelectQuery::parse(&format!("Select v//r{which} from v in root")).unwrap();
+        let mut d1 = doc.clone();
+        let (_h, lazy) = MaterializationEngine::new(EvalMode::Lazy).query(&mut d1, &q, &mut Fabric).unwrap();
+        let mut d2 = doc;
+        let (_h, eager) = MaterializationEngine::new(EvalMode::Eager).query(&mut d2, &q, &mut Fabric).unwrap();
+        prop_assert!(lazy.materialized <= eager.materialized);
+    }
+
+    #[test]
+    fn lazy_and_eager_agree_on_query_results(doc in axml_doc_strategy(), which in 0usize..3) {
+        // Whatever lazy skips is irrelevant to the query: both modes must
+        // return the same selected content.
+        let q = SelectQuery::parse(&format!("Select v//r{which} from v in root")).unwrap();
+        let mut d1 = doc.clone();
+        let (h1, _) = MaterializationEngine::new(EvalMode::Lazy).query(&mut d1, &q, &mut Fabric).unwrap();
+        let mut d2 = doc;
+        let (h2, _) = MaterializationEngine::new(EvalMode::Eager).query(&mut d2, &q, &mut Fabric).unwrap();
+        let c1: Vec<String> = h1.iter().map(|n| d1.subtree_to_xml(*n)).collect();
+        let c2: Vec<String> = h2.iter().map(|n| d2.subtree_to_xml(*n)).collect();
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn transparent_view_never_contains_control_elements(doc in axml_doc_strategy()) {
+        let tv = TransparentView::build(&doc);
+        let xml = tv.view.to_xml();
+        prop_assert!(!xml.contains("axml:sc"));
+        prop_assert!(!xml.contains("axml:params"));
+        tv.view.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn scan_is_stable_under_materialization(doc in axml_doc_strategy()) {
+        // Materializing every call must not invent or lose calls
+        // (results here are plain nodes, not new service calls).
+        let mut doc = doc;
+        let n_before = ServiceCall::scan(&doc).len();
+        let engine = MaterializationEngine::new(EvalMode::Eager);
+        let _ = engine.materialize_all(&mut doc, &mut Fabric).unwrap();
+        prop_assert_eq!(ServiceCall::scan(&doc).len(), n_before);
+    }
+}

@@ -1,0 +1,140 @@
+//! Churn traces: scripted or randomly generated disconnect/reconnect
+//! schedules.
+
+use crate::ids::PeerId;
+use crate::sim::{Actor, Message, Sim};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// When it happens.
+    pub at: u64,
+    /// Which peer.
+    pub peer: PeerId,
+    /// `true` = disconnect, `false` = reconnect.
+    pub disconnect: bool,
+}
+
+/// A reproducible churn trace.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnSchedule {
+    /// The events, in generation order (the simulator orders by time).
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// An empty schedule.
+    pub fn new() -> ChurnSchedule {
+        ChurnSchedule::default()
+    }
+
+    /// Adds a disconnect.
+    pub fn disconnect(mut self, at: u64, peer: PeerId) -> ChurnSchedule {
+        self.events.push(ChurnEvent { at, peer, disconnect: true });
+        self
+    }
+
+    /// Adds a reconnect.
+    pub fn reconnect(mut self, at: u64, peer: PeerId) -> ChurnSchedule {
+        self.events.push(ChurnEvent { at, peer, disconnect: false });
+        self
+    }
+
+    /// Generates a random trace: each non-super peer independently
+    /// disconnects with probability `p_disconnect` in every window of
+    /// `window` time units over `[0, horizon)`, staying away for a random
+    /// downtime in `[window/2, 2*window]`.
+    ///
+    /// `exempt` lists peers (e.g. super peers, the origin) never touched.
+    pub fn random(
+        seed: u64,
+        peers: &[PeerId],
+        exempt: &[PeerId],
+        horizon: u64,
+        window: u64,
+        p_disconnect: f64,
+    ) -> ChurnSchedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for &peer in peers {
+            if exempt.contains(&peer) {
+                continue;
+            }
+            let mut t = 0u64;
+            while t < horizon {
+                if rng.gen_bool(p_disconnect.clamp(0.0, 1.0)) {
+                    let offset = rng.gen_range(0..window.max(1));
+                    let down_at = t + offset;
+                    let downtime = rng.gen_range(window.max(2) / 2..=window.max(1) * 2);
+                    events.push(ChurnEvent { at: down_at, peer, disconnect: true });
+                    events.push(ChurnEvent { at: down_at + downtime, peer, disconnect: false });
+                    t = down_at + downtime;
+                }
+                t += window.max(1);
+            }
+        }
+        ChurnSchedule { events }
+    }
+
+    /// Installs the trace into a simulator.
+    pub fn install<M: Message, A: Actor<M>>(&self, sim: &mut Sim<M, A>) {
+        for e in &self.events {
+            if e.disconnect {
+                sim.schedule_disconnect(e.at, e.peer);
+            } else {
+                sim.schedule_reconnect(e.at, e.peer);
+            }
+        }
+    }
+
+    /// Number of disconnect events.
+    pub fn disconnect_count(&self) -> usize {
+        self.events.iter().filter(|e| e.disconnect).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder() {
+        let s = ChurnSchedule::new().disconnect(5, PeerId(1)).reconnect(10, PeerId(1));
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.disconnect_count(), 1);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let peers: Vec<PeerId> = (0..10).map(PeerId).collect();
+        let a = ChurnSchedule::random(42, &peers, &[PeerId(0)], 1000, 100, 0.3);
+        let b = ChurnSchedule::random(42, &peers, &[PeerId(0)], 1000, 100, 0.3);
+        assert_eq!(a.events, b.events);
+        assert!(!a.events.is_empty());
+    }
+
+    #[test]
+    fn random_respects_exemptions() {
+        let peers: Vec<PeerId> = (0..10).map(PeerId).collect();
+        let s = ChurnSchedule::random(1, &peers, &[PeerId(3)], 1000, 50, 0.9);
+        assert!(s.events.iter().all(|e| e.peer != PeerId(3)));
+    }
+
+    #[test]
+    fn zero_probability_means_no_events() {
+        let peers: Vec<PeerId> = (0..5).map(PeerId).collect();
+        let s = ChurnSchedule::random(1, &peers, &[], 1000, 50, 0.0);
+        assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn disconnects_paired_with_reconnects() {
+        let peers: Vec<PeerId> = (0..8).map(PeerId).collect();
+        let s = ChurnSchedule::random(9, &peers, &[], 500, 50, 0.5);
+        let d = s.events.iter().filter(|e| e.disconnect).count();
+        let r = s.events.iter().filter(|e| !e.disconnect).count();
+        assert_eq!(d, r);
+    }
+}

@@ -1,0 +1,112 @@
+//! Keep-alive failure detection.
+//!
+//! "Related P2P research relies on ping (or keep-alive) messages to detect
+//! peer disconnection." (§3.3) A [`PingMonitor`] is the bookkeeping a peer
+//! embeds to watch a set of peers: it tells the protocol when to ping and
+//! which peers have been silent past the timeout. The actual ping/pong
+//! messages are the embedding protocol's own message variants.
+
+use crate::ids::PeerId;
+use std::collections::BTreeMap;
+
+/// Tracks last-heard times for a set of watched peers.
+#[derive(Debug, Clone)]
+pub struct PingMonitor {
+    /// How often to send pings.
+    pub interval: u64,
+    /// Silence longer than this declares the peer disconnected.
+    pub timeout: u64,
+    watched: BTreeMap<PeerId, u64>, // last heard-from time
+}
+
+impl PingMonitor {
+    /// A monitor with the given ping interval and timeout.
+    pub fn new(interval: u64, timeout: u64) -> PingMonitor {
+        PingMonitor { interval, timeout, watched: BTreeMap::new() }
+    }
+
+    /// Starts watching a peer (counts as heard-from at `now`).
+    pub fn watch(&mut self, peer: PeerId, now: u64) {
+        self.watched.insert(peer, now);
+    }
+
+    /// Stops watching a peer.
+    pub fn unwatch(&mut self, peer: PeerId) {
+        self.watched.remove(&peer);
+    }
+
+    /// Records any message (ping reply or payload) from a watched peer.
+    pub fn heard_from(&mut self, peer: PeerId, now: u64) {
+        if let Some(t) = self.watched.get_mut(&peer) {
+            *t = now;
+        }
+    }
+
+    /// Peers silent past the timeout as of `now`.
+    pub fn suspects(&self, now: u64) -> Vec<PeerId> {
+        self.watched
+            .iter()
+            .filter(|(_, &last)| now.saturating_sub(last) > self.timeout)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Peers currently watched.
+    pub fn watched(&self) -> Vec<PeerId> {
+        self.watched.keys().copied().collect()
+    }
+
+    /// True if `peer` is watched.
+    pub fn is_watching(&self, peer: PeerId) -> bool {
+        self.watched.contains_key(&peer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silence_past_timeout_raises_suspicion() {
+        let mut m = PingMonitor::new(10, 25);
+        m.watch(PeerId(3), 0);
+        m.watch(PeerId(4), 0);
+        assert!(m.suspects(20).is_empty());
+        m.heard_from(PeerId(3), 20);
+        assert_eq!(m.suspects(30), vec![PeerId(4)]);
+        assert_eq!(m.suspects(50), vec![PeerId(3), PeerId(4)]);
+    }
+
+    #[test]
+    fn heard_from_unwatched_is_noop() {
+        let mut m = PingMonitor::new(10, 25);
+        m.heard_from(PeerId(9), 5);
+        assert!(m.suspects(1000).is_empty());
+        assert!(!m.is_watching(PeerId(9)));
+    }
+
+    #[test]
+    fn unwatch_clears_suspicion() {
+        let mut m = PingMonitor::new(10, 25);
+        m.watch(PeerId(1), 0);
+        assert_eq!(m.suspects(100), vec![PeerId(1)]);
+        m.unwatch(PeerId(1));
+        assert!(m.suspects(100).is_empty());
+    }
+
+    #[test]
+    fn exact_timeout_boundary_is_not_suspect() {
+        let mut m = PingMonitor::new(10, 25);
+        m.watch(PeerId(1), 0);
+        assert!(m.suspects(25).is_empty(), "strictly-greater comparison");
+        assert_eq!(m.suspects(26), vec![PeerId(1)]);
+    }
+
+    #[test]
+    fn watched_list() {
+        let mut m = PingMonitor::new(5, 10);
+        m.watch(PeerId(2), 0);
+        m.watch(PeerId(1), 0);
+        assert_eq!(m.watched(), vec![PeerId(1), PeerId(2)]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Identifier types for the simulated fabric.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A peer in the simulated network. Displayed as `AP1`, `AP2`, … to match
+/// the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PeerId(pub u32);
+
+impl PeerId {
+    /// The peer's canonical address in `serviceURL` form, e.g. `peer://ap3`.
+    pub fn url(&self) -> String {
+        format!("peer://ap{}", self.0)
+    }
+
+    /// Parses a `peer://apN` address.
+    pub fn from_url(url: &str) -> Option<PeerId> {
+        let rest = url.strip_prefix("peer://ap")?;
+        rest.parse().ok().map(PeerId)
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AP{}", self.0)
+    }
+}
+
+/// A scheduled timer, unique within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(PeerId(5).to_string(), "AP5");
+    }
+
+    #[test]
+    fn url_roundtrip() {
+        let p = PeerId(3);
+        assert_eq!(p.url(), "peer://ap3");
+        assert_eq!(PeerId::from_url("peer://ap3"), Some(p));
+        assert_eq!(PeerId::from_url("peer://x"), None);
+        assert_eq!(PeerId::from_url("http://ap3"), None);
+        assert_eq!(PeerId::from_url("peer://ap"), None);
+    }
+}

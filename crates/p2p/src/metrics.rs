@@ -1,0 +1,45 @@
+//! Network-level counters collected by the simulator.
+
+use std::collections::BTreeMap;
+
+/// Counters the experiment harness reads after a run.
+#[derive(Debug, Clone, Default)]
+pub struct NetMetrics {
+    /// Messages successfully enqueued for delivery.
+    pub sent: u64,
+    /// Messages delivered to their target actor.
+    pub delivered: u64,
+    /// Sends that failed synchronously (target disconnected).
+    pub send_failures: u64,
+    /// In-flight messages dropped because the target disconnected before
+    /// delivery.
+    pub dropped_in_flight: u64,
+    /// Messages by kind (see [`crate::Message::kind`]).
+    pub by_kind: BTreeMap<&'static str, u64>,
+    /// Timers fired.
+    pub timers_fired: u64,
+    /// Disconnect events applied.
+    pub disconnects: u64,
+    /// Reconnect events applied.
+    pub reconnects: u64,
+}
+
+impl NetMetrics {
+    /// Count of messages of one kind.
+    pub fn kind(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_lookup_defaults_to_zero() {
+        let mut m = NetMetrics::default();
+        assert_eq!(m.kind("invoke"), 0);
+        *m.by_kind.entry("invoke").or_default() += 3;
+        assert_eq!(m.kind("invoke"), 3);
+    }
+}

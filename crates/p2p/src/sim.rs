@@ -1,0 +1,584 @@
+//! The discrete-event simulator.
+//!
+//! One [`Actor`] per peer; events are message deliveries, timer firings,
+//! and churn (disconnect/reconnect). Everything is driven by a seeded RNG
+//! and a logical clock, so every run is exactly reproducible — the
+//! property that lets the test suite assert precise message sequences for
+//! the paper's Fig. 1 and Fig. 2 scenarios.
+
+use crate::ids::{PeerId, TimerId};
+use crate::metrics::NetMetrics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+/// Messages exchanged between actors.
+pub trait Message: Clone + fmt::Debug {
+    /// A short label used for per-kind metrics.
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
+}
+
+/// A peer's protocol logic.
+pub trait Actor<M: Message> {
+    /// A message arrived.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: PeerId, msg: M);
+
+    /// A timer set via [`Ctx::set_timer`] (or [`Sim::schedule_timer`]) fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, tag: u64);
+
+    /// The peer just reconnected after a disconnection (optional hook).
+    fn on_reconnect(&mut self, _ctx: &mut Ctx<'_, M>) {}
+}
+
+/// Why a send failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The target peer is disconnected *right now* — the synchronous
+    /// detection path of §3.3 ("AP6 detects the disconnection of AP3 while
+    /// trying to return the results").
+    Unreachable(PeerId),
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::Unreachable(p) => write!(f, "peer {p} is unreachable"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Message latency: uniform in `[min, max]` time units, seeded.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Minimum delivery delay.
+    pub min: u64,
+    /// Maximum delivery delay (inclusive).
+    pub max: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel { min: 1, max: 5 }
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed (drives latency jitter).
+    pub seed: u64,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Hard cap on processed events (runaway-protocol guard).
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 7, latency: LatencyModel::default(), max_events: 1_000_000 }
+    }
+}
+
+enum Event<M> {
+    Deliver { from: PeerId, to: PeerId, msg: M },
+    Timer { peer: PeerId, id: TimerId, tag: u64 },
+    Disconnect(PeerId),
+    Reconnect(PeerId),
+}
+
+struct Scheduled<M> {
+    at: u64,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Shared simulator state, accessed by actors through [`Ctx`].
+pub struct SimState<M> {
+    now: u64,
+    seq: u64,
+    next_timer: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    connected: Vec<bool>,
+    super_peer: Vec<bool>,
+    cancelled: HashSet<u64>,
+    rng: StdRng,
+    latency: LatencyModel,
+    max_events: u64,
+    /// Counters, readable after the run.
+    pub metrics: NetMetrics,
+}
+
+impl<M: Message> SimState<M> {
+    fn schedule(&mut self, at: u64, event: Event<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+}
+
+/// What an actor can do while handling an event.
+pub struct Ctx<'a, M: Message> {
+    state: &'a mut SimState<M>,
+    me: PeerId,
+}
+
+impl<M: Message> Ctx<'_, M> {
+    /// The current logical time.
+    pub fn now(&self) -> u64 {
+        self.state.now
+    }
+
+    /// This actor's peer id.
+    pub fn me(&self) -> PeerId {
+        self.me
+    }
+
+    /// Sends a message. Fails synchronously if the target is disconnected
+    /// at this instant; otherwise the message is delivered after a seeded
+    /// latency (and silently dropped if the target disconnects in flight).
+    pub fn send(&mut self, to: PeerId, msg: M) -> Result<(), SendError> {
+        if !self.state.connected.get(to.0 as usize).copied().unwrap_or(false) {
+            self.state.metrics.send_failures += 1;
+            return Err(SendError::Unreachable(to));
+        }
+        let delay = self.state.rng.gen_range(self.state.latency.min..=self.state.latency.max);
+        let at = self.state.now + delay;
+        self.state.metrics.sent += 1;
+        *self.state.metrics.by_kind.entry(msg.kind()).or_default() += 1;
+        let from = self.me;
+        self.state.schedule(at, Event::Deliver { from, to, msg });
+        Ok(())
+    }
+
+    /// Sets a timer that fires on this peer after `delay` time units,
+    /// delivering `tag` to [`Actor::on_timer`].
+    pub fn set_timer(&mut self, delay: u64, tag: u64) -> TimerId {
+        let id = TimerId(self.state.next_timer);
+        self.state.next_timer += 1;
+        let me = self.me;
+        let at = self.state.now + delay;
+        self.state.schedule(at, Event::Timer { peer: me, id, tag });
+        id
+    }
+
+    /// Cancels a pending timer (no-op if it already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.state.cancelled.insert(id.0);
+    }
+
+    /// Connectivity oracle — **for assertions and the churn driver only**.
+    /// Protocol code must detect disconnection the way the paper does:
+    /// failed sends, missed pings, missed stream intervals.
+    pub fn is_connected(&self, peer: PeerId) -> bool {
+        self.state.connected.get(peer.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// True if `peer` is a super peer.
+    pub fn is_super(&self, peer: PeerId) -> bool {
+        self.state.super_peer.get(peer.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// A seeded random draw in `[lo, hi]`.
+    pub fn rand_range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.state.rng.gen_range(lo..=hi)
+    }
+}
+
+/// The simulator: actors plus the event queue.
+pub struct Sim<M: Message, A: Actor<M>> {
+    state: SimState<M>,
+    actors: Vec<Option<A>>,
+}
+
+impl<M: Message, A: Actor<M>> Sim<M, A> {
+    /// Builds a simulator over `actors`; peer `i` runs `actors[i]` and all
+    /// peers start connected.
+    pub fn new(config: SimConfig, actors: Vec<A>) -> Sim<M, A> {
+        let n = actors.len();
+        Sim {
+            state: SimState {
+                now: 0,
+                seq: 0,
+                next_timer: 0,
+                queue: BinaryHeap::new(),
+                connected: vec![true; n],
+                super_peer: vec![false; n],
+                cancelled: HashSet::new(),
+                rng: StdRng::seed_from_u64(config.seed),
+                latency: config.latency,
+                max_events: config.max_events,
+                metrics: NetMetrics::default(),
+            },
+            actors: actors.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Marks a peer as a super peer (disconnect events are ignored for it).
+    pub fn mark_super(&mut self, peer: PeerId) {
+        if let Some(s) = self.state.super_peer.get_mut(peer.0 as usize) {
+            *s = true;
+        }
+    }
+
+    /// Schedules a disconnect at time `at` (ignored for super peers when
+    /// it fires).
+    pub fn schedule_disconnect(&mut self, at: u64, peer: PeerId) {
+        self.state.schedule(at, Event::Disconnect(peer));
+    }
+
+    /// Schedules a reconnect at time `at`.
+    pub fn schedule_reconnect(&mut self, at: u64, peer: PeerId) {
+        self.state.schedule(at, Event::Reconnect(peer));
+    }
+
+    /// Schedules a timer on a peer from outside (how the harness starts a
+    /// scenario: e.g. tag 0 = "submit the transaction now").
+    pub fn schedule_timer(&mut self, at: u64, peer: PeerId, tag: u64) {
+        let id = TimerId(self.state.next_timer);
+        self.state.next_timer += 1;
+        self.state.schedule(at, Event::Timer { peer, id, tag });
+    }
+
+    /// Runs until the queue drains or the event cap is hit. Returns the
+    /// final logical time.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(u64::MAX)
+    }
+
+    /// Runs until logical time `deadline` (events at `deadline` included),
+    /// the queue drains, or the event cap is hit.
+    pub fn run_until(&mut self, deadline: u64) -> u64 {
+        let mut processed = 0u64;
+        while let Some(head) = self.state.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            if processed >= self.state.max_events {
+                break;
+            }
+            processed += 1;
+            let Scheduled { at, event, .. } = self.state.queue.pop().expect("peeked");
+            self.state.now = at;
+            match event {
+                Event::Deliver { from, to, msg } => {
+                    if !self.state.connected[to.0 as usize] {
+                        self.state.metrics.dropped_in_flight += 1;
+                        continue;
+                    }
+                    self.state.metrics.delivered += 1;
+                    self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                }
+                Event::Timer { peer, id, tag } => {
+                    if self.state.cancelled.remove(&id.0) {
+                        continue;
+                    }
+                    if !self.state.connected[peer.0 as usize] {
+                        continue; // offline peers' timers don't fire
+                    }
+                    self.state.metrics.timers_fired += 1;
+                    self.with_actor(peer, |actor, ctx| actor.on_timer(ctx, tag));
+                }
+                Event::Disconnect(peer) => {
+                    if self.state.super_peer[peer.0 as usize] {
+                        continue; // "trusted peers which do not disconnect"
+                    }
+                    if std::mem::replace(&mut self.state.connected[peer.0 as usize], false) {
+                        self.state.metrics.disconnects += 1;
+                    }
+                }
+                Event::Reconnect(peer) => {
+                    if !std::mem::replace(&mut self.state.connected[peer.0 as usize], true) {
+                        self.state.metrics.reconnects += 1;
+                        self.with_actor(peer, |actor, ctx| actor.on_reconnect(ctx));
+                    }
+                }
+            }
+        }
+        self.state.now
+    }
+
+    fn with_actor(&mut self, peer: PeerId, f: impl FnOnce(&mut A, &mut Ctx<'_, M>)) {
+        let slot = peer.0 as usize;
+        let Some(mut actor) = self.actors.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        {
+            let mut ctx = Ctx { state: &mut self.state, me: peer };
+            f(&mut actor, &mut ctx);
+        }
+        self.actors[slot] = Some(actor);
+    }
+
+    /// Immutable access to an actor (assertions after a run).
+    pub fn actor(&self, peer: PeerId) -> &A {
+        self.actors[peer.0 as usize].as_ref().expect("actor not in use")
+    }
+
+    /// Mutable access to an actor (setup between runs).
+    pub fn actor_mut(&mut self, peer: PeerId) -> &mut A {
+        self.actors[peer.0 as usize].as_mut().expect("actor not in use")
+    }
+
+    /// The current logical time.
+    pub fn now(&self) -> u64 {
+        self.state.now
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.state.metrics
+    }
+
+    /// Connectivity oracle for assertions.
+    pub fn is_connected(&self, peer: PeerId) -> bool {
+        self.state.connected[peer.0 as usize]
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// True if the simulator has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    impl Message for Msg {
+        fn kind(&self) -> &'static str {
+            match self {
+                Msg::Ping(_) => "ping",
+                Msg::Pong(_) => "pong",
+            }
+        }
+    }
+
+    /// Echoes pings; counts everything it sees.
+    #[derive(Default)]
+    struct Echo {
+        pings: u32,
+        pongs: u32,
+        send_failures: u32,
+        fired: Vec<u64>,
+        reconnects: u32,
+        deliveries_at: Vec<u64>,
+    }
+
+    impl Actor<Msg> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: PeerId, msg: Msg) {
+            self.deliveries_at.push(ctx.now());
+            match msg {
+                Msg::Ping(n) => {
+                    self.pings += 1;
+                    if ctx.send(from, Msg::Pong(n)).is_err() {
+                        self.send_failures += 1;
+                    }
+                }
+                Msg::Pong(n) => self.pongs += n,
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+            self.fired.push(tag);
+            // tag = target peer to ping
+            if tag < 100 && ctx.send(PeerId(tag as u32), Msg::Ping(1)).is_err() {
+                self.send_failures += 1;
+            }
+        }
+
+        fn on_reconnect(&mut self, _ctx: &mut Ctx<'_, Msg>) {
+            self.reconnects += 1;
+        }
+    }
+
+    fn sim(n: usize) -> Sim<Msg, Echo> {
+        Sim::new(SimConfig::default(), (0..n).map(|_| Echo::default()).collect())
+    }
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        let mut s = sim(2);
+        s.schedule_timer(0, PeerId(0), 1); // AP0 pings AP1
+        s.run();
+        assert_eq!(s.actor(PeerId(1)).pings, 1);
+        assert_eq!(s.actor(PeerId(0)).pongs, 1);
+        assert_eq!(s.metrics().sent, 2);
+        assert_eq!(s.metrics().delivered, 2);
+        assert_eq!(s.metrics().kind("ping"), 1);
+        assert_eq!(s.metrics().kind("pong"), 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut s = sim(3);
+            for t in 0..10 {
+                s.schedule_timer(t, PeerId(0), 1);
+                s.schedule_timer(t, PeerId(1), 2);
+            }
+            s.run();
+            (s.now(), s.metrics().sent, s.actor(PeerId(2)).deliveries_at.clone())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_change_latency_schedule() {
+        let run = |seed| {
+            let mut s = Sim::new(
+                SimConfig { seed, ..Default::default() },
+                vec![Echo::default(), Echo::default()],
+            );
+            s.schedule_timer(0, PeerId(0), 1);
+            s.run();
+            s.actor(PeerId(1)).deliveries_at.clone()
+        };
+        // With latency jitter 1..=5, some seed pair must differ.
+        let schedules: Vec<_> = (0..10).map(run).collect();
+        assert!(schedules.iter().any(|s| *s != schedules[0]), "latency should be seed-dependent");
+    }
+
+    #[test]
+    fn synchronous_unreachable_detection() {
+        let mut s = sim(2);
+        s.schedule_disconnect(0, PeerId(1));
+        s.schedule_timer(5, PeerId(0), 1); // ping after the disconnect
+        s.run();
+        assert_eq!(s.actor(PeerId(0)).send_failures, 1);
+        assert_eq!(s.metrics().send_failures, 1);
+        assert_eq!(s.metrics().sent, 0);
+    }
+
+    #[test]
+    fn in_flight_messages_dropped_on_disconnect() {
+        let mut s = sim(2);
+        s.schedule_timer(0, PeerId(0), 1); // ping departs at t=0, arrives t∈[1,5]
+        s.schedule_disconnect(0, PeerId(1)); // but AP1 disconnects at t=0 — wait, same time
+        s.run();
+        // Disconnect at t=0 happens... event order by seq: timer scheduled
+        // first, so ping send succeeds (AP1 still connected at t=0? The
+        // disconnect was scheduled second, so at equal time the timer runs
+        // first). The delivery later finds AP1 disconnected → dropped.
+        assert_eq!(s.metrics().sent, 1);
+        assert_eq!(s.metrics().dropped_in_flight, 1);
+        assert_eq!(s.actor(PeerId(1)).pings, 0);
+    }
+
+    #[test]
+    fn super_peers_never_disconnect() {
+        let mut s = sim(2);
+        s.mark_super(PeerId(1));
+        s.schedule_disconnect(0, PeerId(1));
+        s.schedule_timer(5, PeerId(0), 1);
+        s.run();
+        assert!(s.is_connected(PeerId(1)));
+        assert_eq!(s.actor(PeerId(1)).pings, 1);
+        assert_eq!(s.metrics().disconnects, 0);
+    }
+
+    #[test]
+    fn reconnect_fires_hook_and_restores_delivery() {
+        let mut s = sim(2);
+        s.schedule_disconnect(0, PeerId(1));
+        s.schedule_reconnect(10, PeerId(1));
+        s.schedule_timer(20, PeerId(0), 1);
+        s.run();
+        assert_eq!(s.actor(PeerId(1)).reconnects, 1);
+        assert_eq!(s.actor(PeerId(1)).pings, 1);
+        assert_eq!(s.metrics().disconnects, 1);
+        assert_eq!(s.metrics().reconnects, 1);
+    }
+
+    #[test]
+    fn offline_peer_timers_do_not_fire() {
+        let mut s = sim(1);
+        s.schedule_timer(5, PeerId(0), 42);
+        s.schedule_disconnect(0, PeerId(0));
+        s.run();
+        assert!(s.actor(PeerId(0)).fired.is_empty());
+    }
+
+    #[test]
+    fn timer_cancellation() {
+        struct Canceller {
+            fired: Vec<u64>,
+            pending: Option<TimerId>,
+        }
+        impl Actor<Msg> for Canceller {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: PeerId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+                self.fired.push(tag);
+                if tag == 1 {
+                    // Set a timer then immediately cancel it; set another that survives.
+                    let t = ctx.set_timer(10, 2);
+                    ctx.cancel_timer(t);
+                    ctx.set_timer(10, 3);
+                }
+            }
+        }
+        let mut s = Sim::new(SimConfig::default(), vec![Canceller { fired: vec![], pending: None }]);
+        let _ = &s.actor(PeerId(0)).pending; // silence unused-field pattern
+        s.schedule_timer(0, PeerId(0), 1);
+        s.run();
+        assert_eq!(s.actor(PeerId(0)).fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut s = sim(2);
+        s.schedule_timer(100, PeerId(0), 1);
+        let t = s.run_until(50);
+        assert!(t <= 50);
+        assert!(s.actor(PeerId(0)).fired.is_empty());
+        s.run();
+        assert_eq!(s.actor(PeerId(0)).fired, vec![1]);
+    }
+
+    #[test]
+    fn same_time_events_fifo_by_schedule_order() {
+        let mut s = sim(2);
+        s.schedule_timer(5, PeerId(0), 10);
+        s.schedule_timer(5, PeerId(0), 11);
+        s.schedule_timer(5, PeerId(0), 12);
+        s.run();
+        // Tags 10..12 don't trigger sends (>= 100? no, < 100 sends to
+        // PeerId(tag)); they do attempt sends to out-of-range peers, which
+        // fail — but firing order must be FIFO.
+        assert_eq!(s.actor(PeerId(0)).fired, vec![10, 11, 12]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Query-layer errors.
+
+use axml_xml::TreeError;
+use std::fmt;
+
+/// An error while parsing or evaluating a query/update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Syntax error in a path, select query, or action.
+    Syntax {
+        /// What was being parsed.
+        what: &'static str,
+        /// Error description.
+        message: String,
+    },
+    /// The underlying tree rejected an operation.
+    Tree(TreeError),
+    /// An update's `<data>` part was required but missing.
+    MissingData,
+    /// The location query selected no target nodes and the action requires
+    /// at least one (configurable; see [`crate::UpdateAction`]).
+    EmptyLocation,
+    /// A structural address did not resolve (replica divergence).
+    PathUnresolved(String),
+}
+
+impl QueryError {
+    pub(crate) fn syntax(what: &'static str, message: impl Into<String>) -> Self {
+        QueryError::Syntax { what, message: message.into() }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Syntax { what, message } => write!(f, "syntax error in {what}: {message}"),
+            QueryError::Tree(e) => write!(f, "tree error: {e}"),
+            QueryError::MissingData => write!(f, "update action requires a <data> part"),
+            QueryError::EmptyLocation => write!(f, "location query selected no nodes"),
+            QueryError::PathUnresolved(p) => write!(f, "structural path does not resolve: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<TreeError> for QueryError {
+    fn from(e: TreeError) -> Self {
+        QueryError::Tree(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(QueryError::syntax("path", "bad step").to_string().contains("path"));
+        assert!(QueryError::Tree(TreeError::StaleNode).to_string().contains("stale"));
+        assert!(QueryError::MissingData.to_string().contains("<data>"));
+        assert!(QueryError::EmptyLocation.to_string().contains("no nodes"));
+        assert!(QueryError::PathUnresolved("/0/1".into()).to_string().contains("/0/1"));
+    }
+
+    #[test]
+    fn from_tree_error() {
+        let q: QueryError = TreeError::StaleNode.into();
+        assert_eq!(q, QueryError::Tree(TreeError::StaleNode));
+    }
+}

@@ -1,0 +1,178 @@
+//! Document generators.
+
+use axml_doc::{ScMode, ServiceCall};
+use axml_xml::{Document, Fragment};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for random document generation.
+#[derive(Debug, Clone)]
+pub struct DocParams {
+    /// Approximate number of element nodes.
+    pub nodes: usize,
+    /// Maximum children per element.
+    pub max_fanout: usize,
+    /// Element-name alphabet size (names `e0`, `e1`, …).
+    pub name_alphabet: usize,
+    /// Probability that a leaf carries a text child.
+    pub p_text: f64,
+    /// Number of embedded service calls to sprinkle in.
+    pub service_calls: usize,
+    /// Service-call target URL pool (e.g. `peer://ap2`).
+    pub sc_urls: Vec<String>,
+}
+
+impl Default for DocParams {
+    fn default() -> Self {
+        DocParams {
+            nodes: 100,
+            max_fanout: 5,
+            name_alphabet: 8,
+            p_text: 0.5,
+            service_calls: 0,
+            sc_urls: vec!["peer://ap2".into()],
+        }
+    }
+}
+
+/// Generates a random plain XML document (no service calls).
+pub fn random_plain_doc(seed: u64, params: &DocParams) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut doc = Document::new("root");
+    let root = doc.root();
+    let mut frontier = vec![root];
+    let mut created = 1usize;
+    while created < params.nodes {
+        let parent = frontier[rng.gen_range(0..frontier.len())];
+        let kids = doc.children(parent).map(|c| c.len()).unwrap_or(0);
+        if kids >= params.max_fanout {
+            // Densely-filled parent: retire it from the frontier.
+            if frontier.len() > 1 {
+                let pos = frontier.iter().position(|n| *n == parent).expect("in frontier");
+                frontier.swap_remove(pos);
+            }
+            continue;
+        }
+        let name = format!("e{}", rng.gen_range(0..params.name_alphabet));
+        let elem = doc.create_element(name);
+        if rng.gen_bool(params.p_text) {
+            let t = doc.create_text(format!("v{}", rng.gen_range(0..1000)));
+            doc.append_child(elem, t).expect("fresh element");
+        }
+        doc.append_child(parent, elem).expect("parent is element");
+        frontier.push(elem);
+        created += 1;
+    }
+    doc
+}
+
+/// Generates a random AXML document: a plain tree with
+/// `params.service_calls` embedded calls placed under random elements.
+/// Call `k` targets `sc_urls[k % len]` with method `svc{k}`.
+pub fn random_axml_doc(seed: u64, params: &DocParams) -> Document {
+    let mut doc = random_plain_doc(seed, params);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let elements: Vec<_> = doc
+        .all_nodes()
+        .filter(|n| doc.name(*n).is_ok())
+        .collect();
+    for k in 0..params.service_calls {
+        let host = elements[rng.gen_range(0..elements.len())];
+        let url = &params.sc_urls[k % params.sc_urls.len()];
+        let mode = if rng.gen_bool(0.5) { ScMode::Replace } else { ScMode::Merge };
+        let call = ServiceCall::build(url.clone(), format!("svc{k}"), mode)
+            .with_param("k", k.to_string());
+        let frag = call.to_fragment();
+        // Seed a previous result so relevance analysis has a hint.
+        let frag = frag.with_child(Fragment::elem_text(format!("r{k}"), format!("prev{k}")));
+        doc.append_fragment(host, &frag).expect("host is element");
+    }
+    doc
+}
+
+/// The paper's running example, `ATPList.xml` (§3.1), verbatim in
+/// structure: both embedded calls, params, and previous results.
+pub fn atp_document() -> Document {
+    Document::parse(
+        r#"<ATPList date="18042005">
+            <player rank="1">
+                <name><firstname>Roger</firstname><lastname>Federer</lastname></name>
+                <citizenship>Swiss</citizenship>
+                <axml:sc mode="replace" serviceNameSpace="getPoints" serviceURL="peer://ap2" methodName="getPoints">
+                    <axml:params>
+                        <axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param>
+                    </axml:params>
+                    <points>475</points>
+                </axml:sc>
+                <axml:sc mode="merge" serviceNameSpace="getGrandSlamsWonbyYear" serviceURL="peer://ap3" methodName="getGrandSlamsWonbyYear">
+                    <axml:params>
+                        <axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param>
+                        <axml:param name="year"><axml:value>$year (external value)</axml:value></axml:param>
+                    </axml:params>
+                    <grandslamswon year="2003">A, W</grandslamswon>
+                    <grandslamswon year="2004">A, U</grandslamswon>
+                </axml:sc>
+            </player>
+            <player rank="2">
+                <name><firstname>Rafael</firstname><lastname>Nadal</lastname></name>
+                <citizenship>Spanish</citizenship>
+                <points>390</points>
+            </player>
+        </ATPList>"#,
+    )
+    .expect("ATP document parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_doc_respects_node_budget() {
+        let params = DocParams { nodes: 50, ..Default::default() };
+        let doc = random_plain_doc(1, &params);
+        // Elements ≥ requested; text nodes add some more.
+        let elems = doc.all_nodes().filter(|n| doc.name(*n).is_ok()).count();
+        assert_eq!(elems, 50);
+        doc.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn plain_doc_deterministic() {
+        let params = DocParams::default();
+        let a = random_plain_doc(7, &params);
+        let b = random_plain_doc(7, &params);
+        assert_eq!(a.to_xml(), b.to_xml());
+        let c = random_plain_doc(8, &params);
+        assert_ne!(a.to_xml(), c.to_xml());
+    }
+
+    #[test]
+    fn fanout_respected() {
+        let params = DocParams { nodes: 200, max_fanout: 3, p_text: 0.0, ..Default::default() };
+        let doc = random_plain_doc(3, &params);
+        for n in doc.all_nodes() {
+            assert!(doc.children(n).map(|c| c.len()).unwrap_or(0) <= 3);
+        }
+    }
+
+    #[test]
+    fn axml_doc_embeds_requested_calls() {
+        let params = DocParams { nodes: 60, service_calls: 5, sc_urls: vec!["peer://ap2".into(), "peer://ap3".into()], ..Default::default() };
+        let doc = random_axml_doc(11, &params);
+        let calls = ServiceCall::scan(&doc);
+        assert_eq!(calls.len(), 5);
+        assert!(calls.iter().all(|c| !c.result_names(&doc).is_empty()), "previous results seeded");
+        doc.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn atp_matches_paper() {
+        let doc = atp_document();
+        let calls = ServiceCall::scan(&doc);
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0].method, "getPoints");
+        assert_eq!(calls[1].method, "getGrandSlamsWonbyYear");
+        assert!(doc.to_xml().contains("Nadal"));
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Workload generators for the experiments (DESIGN.md §5).
+//!
+//! Everything is seeded and deterministic:
+//!
+//! - [`docs`]: random AXML documents (plain trees plus embedded service
+//!   calls) and the paper's ATP running example;
+//! - [`ops`]: random operation sequences (insert/delete/replace/query
+//!   mixes) used by the compensation experiments;
+//! - [`trees`]: invocation-tree shapes (depth × fanout) for the recovery
+//!   cost sweeps;
+//! - the churn workloads for E6 are generated in `axml-bench` directly
+//!   from [`trees`] plus seeded disconnect schedules.
+
+pub mod docs;
+pub mod ops;
+pub mod trees;
+
+pub use docs::{atp_document, random_axml_doc, random_plain_doc, DocParams};
+pub use ops::{random_ops, OpMix};
+pub use trees::{tree_edges, TreeShape};

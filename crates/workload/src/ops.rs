@@ -1,0 +1,117 @@
+//! Random operation sequences for the compensation experiments (E3).
+
+use axml_query::{Locator, PathExpr, UpdateAction};
+use axml_xml::{Document, Fragment};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative frequencies of the four operation types.
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// Weight of inserts.
+    pub insert: u32,
+    /// Weight of deletes.
+    pub delete: u32,
+    /// Weight of replaces.
+    pub replace: u32,
+    /// Weight of queries.
+    pub query: u32,
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        OpMix { insert: 3, delete: 2, replace: 2, query: 3 }
+    }
+}
+
+impl OpMix {
+    fn total(&self) -> u32 {
+        self.insert + self.delete + self.replace + self.query
+    }
+}
+
+/// Generates `count` applicable update actions against (an evolving copy
+/// of) `doc`. Each action's location targets element names that exist in
+/// the document, so sequences exercise real effects. The returned actions
+/// are replayable against any equivalent replica.
+pub fn random_ops(seed: u64, doc: &Document, mix: OpMix, count: usize) -> Vec<UpdateAction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shadow = doc.clone();
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count && attempts < count * 20 {
+        attempts += 1;
+        // Pick an existing element name other than the root's.
+        let names: Vec<String> = shadow
+            .all_nodes()
+            .skip(1)
+            .filter_map(|n| shadow.name(n).ok().map(|q| q.local.clone()))
+            .collect();
+        if names.is_empty() {
+            break;
+        }
+        let name = names[rng.gen_range(0..names.len())].clone();
+        let root_name = shadow.name(shadow.root()).expect("root").local.clone();
+        let path = format!("{root_name}//{name}");
+        let total = mix.total().max(1);
+        let roll = rng.gen_range(0..total);
+        let action = if roll < mix.insert {
+            let fresh = Fragment::elem_text(format!("n{}", rng.gen_range(0..100)), format!("t{}", rng.gen_range(0..100)));
+            UpdateAction::insert(Locator::Path(PathExpr::parse(&path).expect("generated path")), vec![fresh])
+        } else if roll < mix.insert + mix.delete {
+            UpdateAction::delete(Locator::Path(PathExpr::parse(&path).expect("generated path")))
+        } else if roll < mix.insert + mix.delete + mix.replace {
+            let fresh = Fragment::elem_text(name.clone(), format!("r{}", rng.gen_range(0..100)));
+            UpdateAction::replace(Locator::Path(PathExpr::parse(&path).expect("generated path")), vec![fresh])
+        } else {
+            UpdateAction::query(Locator::Path(PathExpr::parse(&path).expect("generated path")))
+        };
+        // Keep only actions that apply cleanly to the evolving state.
+        let mut probe = action.clone();
+        probe.allow_empty_location = false;
+        match probe.apply(&mut shadow) {
+            Ok(_) => out.push(action),
+            Err(_) => continue,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docs::{random_plain_doc, DocParams};
+
+    fn doc() -> Document {
+        random_plain_doc(5, &DocParams { nodes: 60, ..Default::default() })
+    }
+
+    #[test]
+    fn generated_ops_apply_in_sequence() {
+        let base = doc();
+        let ops = random_ops(1, &base, OpMix::default(), 20);
+        assert_eq!(ops.len(), 20);
+        let mut d = base.clone();
+        for op in &ops {
+            op.apply(&mut d).expect("generated ops apply");
+        }
+        d.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let base = doc();
+        let a = random_ops(9, &base, OpMix::default(), 10);
+        let b = random_ops(9, &base, OpMix::default(), 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix_extremes() {
+        let base = doc();
+        let deletes_only = random_ops(2, &base, OpMix { insert: 0, delete: 1, replace: 0, query: 0 }, 5);
+        assert!(deletes_only.iter().all(|a| a.ty == axml_query::ActionType::Delete));
+        let queries_only = random_ops(2, &base, OpMix { insert: 0, delete: 0, replace: 0, query: 1 }, 5);
+        assert!(queries_only.iter().all(|a| a.ty == axml_query::ActionType::Query));
+    }
+}

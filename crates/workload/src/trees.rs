@@ -1,0 +1,88 @@
+//! Invocation-tree shapes for the recovery experiments (E5/E6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A regular invocation-tree shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeShape {
+    /// Depth below the origin (0 = origin only).
+    pub depth: usize,
+    /// Children per internal node.
+    pub fanout: usize,
+}
+
+/// Builds the `(parent, child)` edge list of a complete tree with the
+/// given shape. Peers are numbered from `origin` upward in BFS order.
+pub fn tree_edges(origin: u32, shape: TreeShape) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    let mut next = origin + 1;
+    let mut level = vec![origin];
+    for _ in 0..shape.depth {
+        let mut next_level = Vec::new();
+        for &parent in &level {
+            for _ in 0..shape.fanout {
+                edges.push((parent, next));
+                next_level.push(next);
+                next += 1;
+            }
+        }
+        level = next_level;
+    }
+    edges
+}
+
+/// Picks a peer at the requested depth of a [`tree_edges`] tree
+/// (deterministic via seed). Depth 0 returns the origin.
+pub fn peer_at_depth(origin: u32, shape: TreeShape, depth: usize, seed: u64) -> u32 {
+    if depth == 0 {
+        return origin;
+    }
+    let edges = tree_edges(origin, shape);
+    // BFS levels.
+    let mut level = vec![origin];
+    for _ in 0..depth.min(shape.depth) {
+        let mut next = Vec::new();
+        for &p in &level {
+            next.extend(edges.iter().filter(|(a, _)| *a == p).map(|(_, c)| *c));
+        }
+        level = next;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    level[rng.gen_range(0..level.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_tree_sizes() {
+        let edges = tree_edges(1, TreeShape { depth: 3, fanout: 2 });
+        // 2 + 4 + 8 = 14 edges.
+        assert_eq!(edges.len(), 14);
+        let edges = tree_edges(1, TreeShape { depth: 2, fanout: 3 });
+        assert_eq!(edges.len(), 3 + 9);
+        assert!(tree_edges(1, TreeShape { depth: 0, fanout: 3 }).is_empty());
+    }
+
+    #[test]
+    fn bfs_numbering_contiguous() {
+        let edges = tree_edges(1, TreeShape { depth: 2, fanout: 2 });
+        let mut ids: Vec<u32> = edges.iter().map(|(_, c)| *c).collect();
+        ids.sort();
+        assert_eq!(ids, (2..=7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peer_at_depth_levels() {
+        let shape = TreeShape { depth: 3, fanout: 2 };
+        assert_eq!(peer_at_depth(1, shape, 0, 0), 1);
+        let d1 = peer_at_depth(1, shape, 1, 0);
+        assert!((2..=3).contains(&d1));
+        let d3 = peer_at_depth(1, shape, 3, 5);
+        assert!((8..=15).contains(&d3));
+        // Deterministic.
+        assert_eq!(peer_at_depth(1, shape, 3, 5), peer_at_depth(1, shape, 3, 5));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the workload generators: everything seeded,
+//! deterministic, structurally valid, and within its declared envelope.
+
+use axml_doc::ServiceCall;
+use axml_workload::{
+    random_axml_doc, random_ops, random_plain_doc, tree_edges, DocParams, OpMix, TreeShape,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plain_docs_valid_and_deterministic(
+        seed in 0u64..1000,
+        nodes in 5usize..150,
+        fanout in 2usize..6,
+    ) {
+        let params = DocParams { nodes, max_fanout: fanout, ..Default::default() };
+        let a = random_plain_doc(seed, &params);
+        let b = random_plain_doc(seed, &params);
+        prop_assert_eq!(a.to_xml(), b.to_xml());
+        a.check_consistency().unwrap();
+        let elems = a.all_nodes().filter(|n| a.name(*n).is_ok()).count();
+        prop_assert_eq!(elems, nodes);
+        for n in a.all_nodes() {
+            prop_assert!(a.children(n).map(|c| c.len()).unwrap_or(0) <= fanout);
+        }
+    }
+
+    #[test]
+    fn axml_docs_embed_exactly_requested_calls(
+        seed in 0u64..1000,
+        nodes in 10usize..100,
+        calls in 0usize..10,
+    ) {
+        let params = DocParams {
+            nodes,
+            service_calls: calls,
+            sc_urls: vec!["peer://ap2".into(), "peer://ap3".into()],
+            ..Default::default()
+        };
+        let doc = random_axml_doc(seed, &params);
+        doc.check_consistency().unwrap();
+        prop_assert_eq!(ServiceCall::scan(&doc).len(), calls);
+        // Every generated call is parseable back and carries its seed
+        // result hint.
+        for call in ServiceCall::scan(&doc) {
+            prop_assert!(!call.result_names(&doc).is_empty());
+            prop_assert!(call.service_url.starts_with("peer://"));
+        }
+    }
+
+    #[test]
+    fn generated_ops_apply_cleanly_in_order(
+        seed in 0u64..1000,
+        nodes in 20usize..80,
+        count in 1usize..25,
+    ) {
+        let params = DocParams { nodes, ..Default::default() };
+        let base = random_plain_doc(seed, &params);
+        let ops = random_ops(seed ^ 1, &base, OpMix::default(), count);
+        prop_assert!(ops.len() <= count);
+        let mut doc = base.clone();
+        for op in &ops {
+            op.apply(&mut doc).expect("generated ops apply in sequence");
+        }
+        doc.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn tree_edges_form_a_tree(
+        depth in 0usize..5,
+        fanout in 1usize..4,
+    ) {
+        let edges = tree_edges(1, TreeShape { depth, fanout });
+        // Expected size: fanout + fanout² + … + fanout^depth.
+        let expected: usize = (1..=depth).map(|d| fanout.pow(d as u32)).sum();
+        prop_assert_eq!(edges.len(), expected);
+        // Every child appears exactly once (single parent), parents exist.
+        let mut seen = std::collections::BTreeSet::new();
+        seen.insert(1u32);
+        for (parent, child) in &edges {
+            prop_assert!(seen.contains(parent), "parent {parent} introduced before child {child}");
+            prop_assert!(seen.insert(*child), "child {child} has two parents");
+        }
+    }
+}

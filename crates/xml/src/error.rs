@@ -1,0 +1,100 @@
+//! Error types for parsing and tree manipulation.
+
+use std::fmt;
+
+/// An error produced while parsing XML text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line number of the error.
+    pub line: usize,
+    /// 1-based column number of the error.
+    pub column: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError { offset, line, column, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}:{} (offset {}): {}", self.line, self.column, self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An error produced by a structural edit on a [`crate::Document`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The node id does not refer to a live node of this document
+    /// (it was never allocated here, or its subtree has been deleted).
+    StaleNode,
+    /// The operation would detach, delete, or re-parent the document root.
+    RootImmutable,
+    /// The operation would create a cycle (e.g. appending an ancestor
+    /// under one of its own descendants).
+    WouldCycle,
+    /// A child position index was out of bounds for the parent.
+    PositionOutOfBounds {
+        /// Number of children the parent has.
+        len: usize,
+        /// The requested index.
+        index: usize,
+    },
+    /// The target node has the wrong kind for this operation
+    /// (e.g. setting an attribute on a text node).
+    WrongKind {
+        /// The node kind the operation requires.
+        expected: &'static str,
+    },
+    /// The referenced node is not attached to the tree in the way the
+    /// operation requires (e.g. `insert_before` on a node with no parent).
+    NotAttached,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::StaleNode => write!(f, "stale or foreign node id"),
+            TreeError::RootImmutable => write!(f, "the document root cannot be detached or deleted"),
+            TreeError::WouldCycle => write!(f, "operation would create a cycle in the tree"),
+            TreeError::PositionOutOfBounds { len, index } => {
+                write!(f, "child position {index} out of bounds (parent has {len} children)")
+            }
+            TreeError::WrongKind { expected } => write!(f, "node has wrong kind, expected {expected}"),
+            TreeError::NotAttached => write!(f, "node is not attached where the operation requires"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display_includes_location() {
+        let e = ParseError::new(10, 2, 3, "unexpected `<`");
+        let s = e.to_string();
+        assert!(s.contains("2:3"), "{s}");
+        assert!(s.contains("offset 10"), "{s}");
+        assert!(s.contains("unexpected `<`"), "{s}");
+    }
+
+    #[test]
+    fn tree_error_display_variants() {
+        assert!(TreeError::StaleNode.to_string().contains("stale"));
+        assert!(TreeError::RootImmutable.to_string().contains("root"));
+        assert!(TreeError::WouldCycle.to_string().contains("cycle"));
+        assert!(TreeError::PositionOutOfBounds { len: 2, index: 5 }.to_string().contains('5'));
+        assert!(TreeError::WrongKind { expected: "element" }.to_string().contains("element"));
+        assert!(TreeError::NotAttached.to_string().contains("attached"));
+    }
+}

@@ -1,0 +1,233 @@
+//! XML serialization: escaping plus compact and pretty output.
+
+use crate::tree::{Document, NodeId, NodeKind};
+
+/// Options controlling serialization.
+#[derive(Debug, Clone)]
+pub struct SerializeOptions {
+    /// Emit `<?xml version="1.0" encoding="UTF-8"?>` first.
+    pub declaration: bool,
+    /// Indent nested elements (2 spaces per level). Text-bearing elements
+    /// are kept on one line so no whitespace-only text nodes are invented.
+    pub pretty: bool,
+}
+
+impl SerializeOptions {
+    /// Compact output: no declaration, no indentation.
+    pub fn compact() -> Self {
+        SerializeOptions { declaration: false, pretty: false }
+    }
+
+    /// Pretty output with declaration.
+    pub fn pretty() -> Self {
+        SerializeOptions { declaration: true, pretty: true }
+    }
+}
+
+impl Default for SerializeOptions {
+    fn default() -> Self {
+        SerializeOptions::compact()
+    }
+}
+
+/// Escapes text-node content (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes attribute-value content (also `"` and newlines).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the subtree rooted at `node`.
+pub fn serialize(doc: &Document, node: NodeId, opts: &SerializeOptions) -> String {
+    let mut out = String::new();
+    if opts.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if opts.pretty {
+            out.push('\n');
+        }
+    }
+    write_node(doc, node, opts, 0, &mut out);
+    out
+}
+
+fn has_element_children(doc: &Document, node: NodeId) -> bool {
+    doc.children(node)
+        .map(|cs| {
+            cs.iter().any(|c| {
+                matches!(
+                    doc.kind(*c),
+                    Ok(NodeKind::Element { .. }) | Ok(NodeKind::Comment(_)) | Ok(NodeKind::Pi { .. })
+                )
+            })
+        })
+        .unwrap_or(false)
+}
+
+fn write_node(doc: &Document, node: NodeId, opts: &SerializeOptions, depth: usize, out: &mut String) {
+    let indent = |out: &mut String, depth: usize| {
+        if opts.pretty {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+    };
+    match doc.kind(node) {
+        Ok(NodeKind::Element { name, attrs }) => {
+            indent(out, depth);
+            out.push('<');
+            out.push_str(&name.as_string());
+            for (an, av) in attrs {
+                out.push(' ');
+                out.push_str(&an.as_string());
+                out.push_str("=\"");
+                out.push_str(&escape_attr(av));
+                out.push('"');
+            }
+            let children = doc.children(node).map(|c| c.to_vec()).unwrap_or_default();
+            if children.is_empty() {
+                out.push_str("/>");
+                if opts.pretty {
+                    out.push('\n');
+                }
+                return;
+            }
+            out.push('>');
+            let block = opts.pretty && has_element_children(doc, node);
+            if block {
+                out.push('\n');
+            }
+            for child in children {
+                if block {
+                    write_node(doc, child, opts, depth + 1, out);
+                } else {
+                    // Inline (text-only content, or compact mode).
+                    let inline_opts = SerializeOptions { declaration: false, pretty: false };
+                    write_node(doc, child, &inline_opts, 0, out);
+                }
+            }
+            if block {
+                indent(out, depth);
+            }
+            out.push_str("</");
+            out.push_str(&name.as_string());
+            out.push('>');
+            if opts.pretty {
+                out.push('\n');
+            }
+        }
+        Ok(NodeKind::Text(t)) => {
+            out.push_str(&escape_text(t));
+        }
+        Ok(NodeKind::Cdata(t)) => {
+            out.push_str("<![CDATA[");
+            out.push_str(t);
+            out.push_str("]]>");
+        }
+        Ok(NodeKind::Comment(t)) => {
+            indent(out, depth);
+            out.push_str("<!--");
+            out.push_str(t);
+            out.push_str("-->");
+            if opts.pretty {
+                out.push('\n');
+            }
+        }
+        Ok(NodeKind::Pi { target, data }) => {
+            indent(out, depth);
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+            if opts.pretty {
+                out.push('\n');
+            }
+        }
+        Err(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Document;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+        assert_eq!(escape_attr("say \"hi\"\n"), "say &quot;hi&quot;&#10;");
+        assert_eq!(escape_attr("tab\there"), "tab&#9;here");
+    }
+
+    #[test]
+    fn compact_output() {
+        let mut doc = Document::new("r");
+        let root = doc.root();
+        let a = doc.create_element("a");
+        let t = doc.create_text("x & y");
+        doc.append_child(a, t).unwrap();
+        doc.append_child(root, a).unwrap();
+        assert_eq!(doc.to_xml(), "<r><a>x &amp; y</a></r>");
+    }
+
+    #[test]
+    fn pretty_output_indents_elements() {
+        let mut doc = Document::new("r");
+        let root = doc.root();
+        let a = doc.create_element("a");
+        let b = doc.create_element("b");
+        let t = doc.create_text("leaf");
+        doc.append_child(b, t).unwrap();
+        doc.append_child(a, b).unwrap();
+        doc.append_child(root, a).unwrap();
+        let s = doc.to_xml_with(&SerializeOptions::pretty());
+        assert!(s.starts_with("<?xml"));
+        assert!(s.contains("\n  <a>\n"), "{s}");
+        assert!(s.contains("\n    <b>leaf</b>\n"), "{s}");
+    }
+
+    #[test]
+    fn cdata_comment_pi() {
+        let mut doc = Document::new("r");
+        let root = doc.root();
+        let c = doc.create_cdata("a<b");
+        doc.append_child(root, c).unwrap();
+        let com = doc.create_comment(" note ");
+        doc.append_child(root, com).unwrap();
+        let pi = doc.create_pi("go", "now");
+        doc.append_child(root, pi).unwrap();
+        assert_eq!(doc.to_xml(), "<r><![CDATA[a<b]]><!-- note --><?go now?></r>");
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let doc = Document::new("solo");
+        assert_eq!(doc.to_xml(), "<solo/>");
+    }
+}

@@ -1,0 +1,240 @@
+//! Property-based tests for the XML substrate.
+//!
+//! Invariants (DESIGN.md §6):
+//! - parse ∘ serialize = id on the fragment value domain;
+//! - instantiate ∘ extract = id;
+//! - arbitrary edit sequences keep the arena internally consistent and
+//!   node ids stable;
+//! - canonical equivalence is reflexive and invariant under comment noise.
+
+use axml_xml::{
+    canonical, equivalent_ordered, equivalent_unordered, Document, Fragment, NodeId, QName,
+};
+use proptest::prelude::*;
+
+/// Strategy for XML names (restricted alphabet keeps shrinking readable).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,7}"
+}
+
+/// Strategy for text content, including characters that require escaping.
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Avoid strings that are pure whitespace (parser trims those) and avoid
+    // the control characters the serializer does not round-trip.
+    "[ -~]{1,20}".prop_map(|s| s.trim().to_string()).prop_filter("non-empty after trim", |s| !s.is_empty())
+}
+
+fn attr_strategy() -> impl Strategy<Value = (QName, String)> {
+    (name_strategy(), text_strategy()).prop_map(|(n, v)| (QName::local(n), v))
+}
+
+/// Recursive fragment strategy.
+fn fragment_strategy() -> impl Strategy<Value = Fragment> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(Fragment::Text),
+        (name_strategy(), prop::collection::vec(attr_strategy(), 0..3)).prop_map(|(n, mut attrs)| {
+            attrs.sort();
+            attrs.dedup_by(|a, b| a.0 == b.0);
+            Fragment::Element { name: QName::local(n), attrs, children: vec![] }
+        }),
+    ];
+    leaf.prop_recursive(4, 64, 5, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec(attr_strategy(), 0..3),
+            prop::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(n, mut attrs, children)| {
+                attrs.sort();
+                attrs.dedup_by(|a, b| a.0 == b.0);
+                // Adjacent text nodes are merged by the parser; normalize the
+                // generated value so round-trips are comparable.
+                let mut merged: Vec<Fragment> = Vec::new();
+                for c in children {
+                    match (merged.last_mut(), c) {
+                        (Some(Fragment::Text(prev)), Fragment::Text(t)) => prev.push_str(&t),
+                        (_, c) => merged.push(c),
+                    }
+                }
+                Fragment::Element { name: QName::local(n), attrs, children: merged }
+            })
+    })
+}
+
+/// Element-rooted fragment (documents need an element root).
+fn element_strategy() -> impl Strategy<Value = Fragment> {
+    fragment_strategy().prop_filter("element root", |f| matches!(f, Fragment::Element { .. }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parse_serialize_roundtrip(frag in element_strategy()) {
+        let xml = frag.to_xml();
+        let parsed = Fragment::parse_one(&xml).unwrap();
+        // Trimming: the parser trims leading/trailing whitespace of text
+        // nodes, so compare canonically.
+        prop_assert!(canonical::fragments_equivalent_ordered(&frag, &parsed),
+            "frag={frag:?} xml={xml} parsed={parsed:?}");
+    }
+
+    #[test]
+    fn instantiate_extract_roundtrip(frag in fragment_strategy()) {
+        let mut doc = Document::new("host");
+        let root = doc.root();
+        let id = doc.append_fragment(root, &frag).unwrap();
+        let back = doc.extract_fragment(id).unwrap();
+        prop_assert_eq!(&back, &frag);
+        doc.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn document_roundtrip_through_text(frag in element_strategy()) {
+        let mut doc = Document::new("host");
+        let root = doc.root();
+        doc.append_fragment(root, &frag).unwrap();
+        let xml = doc.to_xml();
+        let doc2 = Document::parse(&xml).unwrap();
+        prop_assert!(equivalent_ordered(&doc, &doc2), "xml={xml}");
+        prop_assert!(equivalent_unordered(&doc, &doc2));
+    }
+
+    #[test]
+    fn random_edit_sequences_keep_consistency(
+        frags in prop::collection::vec(fragment_strategy(), 1..8),
+        ops in prop::collection::vec(0u8..4, 1..30),
+        seeds in prop::collection::vec(any::<u32>(), 30),
+    ) {
+        let mut doc = Document::new("r");
+        let root = doc.root();
+        for f in &frags {
+            doc.append_fragment(root, f).unwrap();
+        }
+        let mut live: Vec<NodeId> = doc.all_nodes().collect();
+        for (i, op) in ops.iter().enumerate() {
+            let seed = seeds[i % seeds.len()] as usize;
+            if live.is_empty() { break; }
+            let target = live[seed % live.len()];
+            match op {
+                0 => {
+                    // Append a fresh element under an element target.
+                    if doc.contains(target) && doc.name(target).is_ok() {
+                        let e = doc.create_element(format!("e{i}"));
+                        doc.append_child(target, e).unwrap();
+                    }
+                }
+                1 => {
+                    // Delete the target subtree (root excluded).
+                    if doc.contains(target) && target != root {
+                        doc.delete(target).unwrap();
+                    }
+                }
+                2 => {
+                    // Set an attribute if it's an element.
+                    if doc.contains(target) && doc.name(target).is_ok() {
+                        doc.set_attr(target, "k", format!("{i}")).unwrap();
+                    }
+                }
+                _ => {
+                    // Detach + reinsert at front of root.
+                    if doc.contains(target) && target != root
+                        && doc.parent(target).ok().flatten().is_some() {
+                        doc.detach(target).unwrap();
+                        doc.insert_child(root, 0, target).unwrap();
+                    }
+                }
+            }
+            doc.check_consistency().unwrap();
+            live = doc.all_nodes().collect();
+        }
+        // All live ids still resolve; all remembered-but-deleted ids are stale.
+        for id in &live {
+            prop_assert!(doc.contains(*id));
+        }
+    }
+
+    #[test]
+    fn comment_noise_does_not_affect_equivalence(frag in element_strategy()) {
+        let mut a = Document::new("host");
+        let ra = a.root();
+        a.append_fragment(ra, &frag).unwrap();
+        let mut b = Document::new("host");
+        let rb = b.root();
+        let c1 = b.create_comment("noise");
+        b.append_child(rb, c1).unwrap();
+        b.append_fragment(rb, &frag).unwrap();
+        let c2 = b.create_comment("more noise");
+        b.append_child(rb, c2).unwrap();
+        prop_assert!(equivalent_ordered(&a, &b));
+    }
+
+    #[test]
+    fn subtree_size_matches_fragment_node_count(frag in fragment_strategy()) {
+        let mut doc = Document::new("host");
+        let root = doc.root();
+        let id = doc.append_fragment(root, &frag).unwrap();
+        prop_assert_eq!(doc.subtree_size(id), frag.node_count());
+    }
+
+    #[test]
+    fn remove_then_restore_is_identity(frag in element_strategy(), extra in element_strategy()) {
+        let mut doc = Document::new("host");
+        let root = doc.root();
+        doc.append_fragment(root, &extra).unwrap();
+        let id = doc.append_fragment(root, &frag).unwrap();
+        doc.append_fragment(root, &extra).unwrap();
+        let before = doc.to_xml();
+        let (captured, parent, pos) = doc.remove_to_fragment(id).unwrap();
+        prop_assert_eq!(&captured, &frag);
+        doc.insert_fragment(parent, pos, &captured).unwrap();
+        prop_assert_eq!(doc.to_xml(), before);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser never panics: arbitrary input yields Ok or a located
+    /// error, and successful parses produce consistent arenas.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,200}") {
+        match Document::parse(&input) {
+            Ok(doc) => {
+                doc.check_consistency().unwrap();
+                // And what we serialize re-parses.
+                let again = Document::parse(&doc.to_xml()).unwrap();
+                prop_assert!(equivalent_ordered(&doc, &again));
+            }
+            Err(e) => {
+                prop_assert!(e.line >= 1);
+                prop_assert!(e.column >= 1);
+            }
+        }
+    }
+
+    /// Near-XML input (random tags/text glued together) never panics.
+    #[test]
+    fn parser_never_panics_on_tag_soup(
+        pieces in prop::collection::vec(
+            prop_oneof![
+                "[a-z]{1,4}".prop_map(|t| format!("<{t}>")),
+                "[a-z]{1,4}".prop_map(|t| format!("</{t}>")),
+                "[a-z]{1,4}".prop_map(|t| format!("<{t}/>")),
+                Just("<![CDATA[".to_string()),
+                Just("]]>".to_string()),
+                Just("<!--".to_string()),
+                Just("-->".to_string()),
+                Just("&amp;".to_string()),
+                Just("&#x41;".to_string()),
+                Just("&bogus;".to_string()),
+                "[ -~]{0,8}".prop_map(|s| s),
+            ],
+            0..24,
+        )
+    ) {
+        let input: String = pieces.concat();
+        let _ = Document::parse(&input); // must not panic
+        let _ = Fragment::parse_all(&input); // must not panic
+    }
+}

@@ -1,0 +1,57 @@
+//! Durability: journal a transaction context to disk, "crash", replay,
+//! and recover in-doubt work by presumed abort.
+//!
+//! ```text
+//! cargo run --example durable_journal
+//! ```
+
+use axml::core::durability::{decode, encode, journal_of, recover_in_doubt, replay};
+use axml::core::{ActiveList, InvocationId, TransactionContext, TxnId};
+use axml::prelude::*;
+
+fn main() {
+    // A peer (AP3) serving part of transaction T1.0: it has replaced a
+    // slot in its document and invoked S6 on AP6.
+    let txn = TxnId::new(PeerId(1), 0);
+    let mut chain = ActiveList::new(PeerId(1), true);
+    chain.add_invocation(PeerId(1), PeerId(3), false);
+    let mut tc = TransactionContext::new(txn, Some((PeerId(1), InvocationId::new(PeerId(1), 0))), chain, 10);
+
+    let mut repo = Repository::new();
+    repo.put_xml("d3", "<d><slot>initial</slot></d>").unwrap();
+    let action = UpdateAction::replace(
+        Locator::parse("d/slot").unwrap(),
+        vec![Fragment::elem_text("slot", "half-done-work")],
+    );
+    let report = action.apply(repo.get_mut("d3").unwrap()).unwrap();
+    tc.record_local("d3", "S3", report.effects);
+    tc.record_remote(PeerId(6), InvocationId::new(PeerId(3), 0), "S6");
+
+    println!("document before crash : {}", repo.get("d3").unwrap().to_xml());
+
+    // Persist the journal (JSON lines), as the peer would incrementally.
+    let path = std::env::temp_dir().join("axml-demo-journal.jsonl");
+    let text = encode(&journal_of(&tc));
+    std::fs::write(&path, &text).expect("journal written");
+    println!("\njournal ({} entries) written to {}:", journal_of(&tc).len(), path.display());
+    for line in text.lines() {
+        let shown = if line.len() > 100 { format!("{}…", &line[..100]) } else { line.to_string() };
+        println!("  {shown}");
+    }
+
+    // 💥 crash: the in-memory context is gone; only the repo (recovered
+    // from its own storage) and the journal survive.
+    drop(tc);
+
+    // Reboot: replay the journal, find the in-doubt context, presume
+    // abort, and compensate from the log.
+    let loaded = decode(&std::fs::read_to_string(&path).expect("journal read")).expect("journal decodes");
+    let mut contexts = replay(&loaded).expect("journal replays");
+    println!("\nreplayed {} context(s); state: {:?}", contexts.len(), contexts[0].state);
+    let outcome = recover_in_doubt(&mut contexts, &mut repo, 99);
+    println!("recovery: presumed aborted {:?}, compensated {} node(s)", outcome.presumed_aborted, outcome.comp_cost_nodes);
+    println!("document after recovery: {}", repo.get("d3").unwrap().to_xml());
+    assert!(repo.get("d3").unwrap().to_xml().contains("initial"));
+    std::fs::remove_file(&path).ok();
+    println!("\n✔ the in-doubt transaction's effects were rolled back from the durable log");
+}

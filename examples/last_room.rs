@@ -1,0 +1,86 @@
+//! Isolation: two travel agencies race for the last hotel room.
+//!
+//! Both submit a booking transaction against the same hotel peer at
+//! (almost) the same instant. With path-level isolation enabled, the
+//! hotel serializes them: the first writer books the room, the second's
+//! transaction aborts cleanly and is compensated — no double booking, no
+//! lost update.
+//!
+//! ```text
+//! cargo run --example last_room
+//! ```
+
+use axml::core::peer::WsdlCatalog;
+use axml::prelude::*;
+
+fn run(isolation: bool) {
+    println!("— isolation {} —", if isolation { "ON" } else { "OFF" });
+    let mut wsdl = WsdlCatalog::default();
+    wsdl.publish("bookRoom", &["room"]);
+    let mut peers = Vec::new();
+    for id in 0..4u32 {
+        let mut config = PeerConfig::default();
+        config.isolation = isolation;
+        config.use_alternative_providers = false;
+        let mut peer = AxmlPeer::new(PeerId(id), config);
+        peer.wsdl = wsdl.clone();
+        peers.push(peer);
+    }
+    // AP1: the hotel, with exactly one free room.
+    peers[1].repo.put_xml("rooms", r#"<rooms><room n="204">free</room></rooms>"#).unwrap();
+    peers[1].registry.register(
+        ServiceDef::update(
+            "bookRoom",
+            "rooms",
+            // No availability check in the service itself — that is the
+            // point: without isolation the second writer silently
+            // overwrites the first (a lost update / double booking).
+            UpdateAction::replace(
+                Locator::parse("Select v/room from v in rooms").unwrap(),
+                vec![Fragment::elem("room").with_attr("n", "204").with_text("booked for $who")],
+            ),
+        )
+        .with_results(&["room"])
+        .with_duration(30),
+    );
+    // AP2 and AP3: competing agencies.
+    for (agency, who) in [(2u32, "Alice"), (3u32, "Bob")] {
+        peers[agency as usize]
+            .repo
+            .put_xml(
+                "trip",
+                &format!(
+                    r#"<trip><axml:sc mode="replace" serviceNameSpace="h" serviceURL="peer://ap1" methodName="bookRoom">
+                        <axml:params><axml:param name="who"><axml:value>{who}</axml:value></axml:param></axml:params>
+                    </axml:sc></trip>"#
+                ),
+            )
+            .unwrap();
+        peers[agency as usize].registry.register(
+            ServiceDef::query("book", "trip", SelectQuery::parse("Select v//room from v in trip").unwrap())
+                .with_results(&["room"]),
+        );
+    }
+    let mut sim = Sim::new(SimConfig::default(), peers);
+    sim.actor_mut(PeerId(2)).auto_submit = Some(("book".into(), vec![]));
+    sim.actor_mut(PeerId(3)).auto_submit = Some(("book".into(), vec![]));
+    sim.schedule_timer(0, PeerId(2), 0);
+    sim.schedule_timer(2, PeerId(3), 0);
+    sim.run();
+    for (agency, who) in [(2u32, "Alice"), (3u32, "Bob")] {
+        let outcome = sim.actor(PeerId(agency)).outcomes.first().expect("resolved");
+        println!("  {who}: {}", if outcome.committed { "their booking committed" } else { "aborted (room taken)" });
+    }
+    let rooms = sim.actor(PeerId(1)).repo.get("rooms").unwrap().to_xml();
+    println!("  hotel state: {rooms}");
+    let conflicts = sim.actor(PeerId(1)).stats.isolation_conflicts;
+    println!("  conflicts detected: {conflicts}\n");
+}
+
+fn main() {
+    run(true);
+    run(false);
+    println!("With isolation, exactly one booking wins; the loser aborts atomically.");
+    println!("Without it, both transactions 'commit' — but only Bob's booking exists:");
+    println!("Alice's committed booking was silently overwritten (the lost update).");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: the paper's §3.1 in twenty lines.
+//!
+//! Parse the ATPList document, run the paper's delete/replace operations,
+//! and watch dynamic compensation restore the exact original state from
+//! the log — no pre-declared compensators anywhere.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use axml::core::compensate::{apply_compensation, compensation_for_effects};
+use axml::prelude::*;
+
+fn main() {
+    let mut doc = Document::parse(
+        r#"<ATPList>
+            <player rank="1">
+                <name><lastname>Federer</lastname></name>
+                <citizenship>Swiss</citizenship>
+            </player>
+            <player rank="2">
+                <name><lastname>Nadal</lastname></name>
+                <citizenship>Spanish</citizenship>
+            </player>
+        </ATPList>"#,
+    )
+    .expect("well-formed XML");
+    let before = doc.to_xml();
+    println!("initial document:\n  {before}\n");
+
+    // The paper's delete operation (§3.1), verbatim.
+    let delete = UpdateAction::delete(
+        Locator::parse("Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;")
+            .expect("locator parses"),
+    );
+    // And its replace operation: Nadal becomes a USA citizen.
+    let replace = UpdateAction::replace(
+        Locator::parse("Select p/citizenship from p in ATPList//player where p/name/lastname = Nadal;")
+            .expect("locator parses"),
+        vec![Fragment::elem_text("citizenship", "USA")],
+    );
+
+    // Apply both, logging the primitive effects.
+    let mut log = Vec::new();
+    for (name, action) in [("delete", &delete), ("replace", &replace)] {
+        let report = action.apply(&mut doc).expect("applies");
+        println!("applied {name:7} → {} effect(s), {} node(s) touched", report.effects.len(), report.cost_nodes);
+        log.extend(report.effects);
+    }
+    println!("after updates:\n  {}\n", doc.to_xml());
+
+    // Dynamic compensation: constructed from the log, at run time.
+    let compensation = compensation_for_effects(&log);
+    println!("compensating operations (reverse order):");
+    for action in &compensation {
+        println!("  {}", action.to_action_xml());
+    }
+    apply_compensation(&mut doc, &compensation).expect("compensation applies");
+    println!("\nafter compensation:\n  {}", doc.to_xml());
+    assert_eq!(doc.to_xml(), before, "exact original state restored");
+    println!("\n✔ compensation restored the exact pre-transaction state");
+}

@@ -1,0 +1,127 @@
+//! The classic compensation example — "the compensation of Book Hotel is
+//! Cancel Hotel Booking" — run over the distributed transactional stack.
+//!
+//! A travel agency peer (AP1) plans a trip whose document embeds calls to
+//! a flight-booking service on AP2 and a hotel-booking service on AP3.
+//! Both are *update* services writing real bookings into their peers'
+//! documents. When the hotel service faults, the nested recovery protocol
+//! aborts the transaction and the flight booking is compensated away —
+//! dynamically, from the log. A second run attaches a fault handler
+//! (voucher substitution) and commits instead.
+//!
+//! ```text
+//! cargo run --example travel_booking
+//! ```
+
+use axml::core::peer::WsdlCatalog;
+use axml::prelude::*;
+
+fn build_network(hotel_fails: bool, with_handler: bool) -> Sim<TxnMsg, AxmlPeer> {
+    let mut wsdl = WsdlCatalog::default();
+    wsdl.publish("bookFlight", &["confirmation"]);
+    wsdl.publish("bookHotel", &["confirmation"]);
+    let mut directory = Directory::new();
+    directory.add_service_provider("bookFlight", PeerId(2));
+    directory.add_service_provider("bookHotel", PeerId(3));
+
+    let mut peers = Vec::new();
+    for id in 0..4u32 {
+        let mut config = PeerConfig::default();
+        config.use_alternative_providers = false;
+        let mut peer = AxmlPeer::new(PeerId(id), config);
+        peer.wsdl = wsdl.clone();
+        peer.directory = directory.clone();
+        peers.push(peer);
+    }
+
+    // AP1: the travel agency. Its trip document embeds both bookings.
+    let handler = if with_handler {
+        r#"<axml:catchAll><confirmation hotel="voucher">fallback voucher issued</confirmation></axml:catchAll>"#
+    } else {
+        ""
+    };
+    let trip = format!(
+        r#"<trip dest="Rennes">
+            <axml:sc mode="replace" serviceNameSpace="travel" serviceURL="peer://ap2" methodName="bookFlight">
+                <axml:params><axml:param name="who"><axml:value>Dr. Biswas</axml:value></axml:param></axml:params>
+            </axml:sc>
+            <axml:sc mode="replace" serviceNameSpace="travel" serviceURL="peer://ap3" methodName="bookHotel">
+                <axml:params><axml:param name="who"><axml:value>Dr. Biswas</axml:value></axml:param></axml:params>
+                {handler}
+            </axml:sc>
+        </trip>"#
+    );
+    peers[1].repo.put_xml("trip", &trip).expect("trip parses");
+    peers[1].registry.register(
+        ServiceDef::query(
+            "planTrip",
+            "trip",
+            SelectQuery::parse("Select v//confirmation from v in trip").expect("query"),
+        )
+        .with_results(&["confirmation"]),
+    );
+
+    // AP2: the airline. bookFlight writes a booking into flights.xml.
+    peers[2].repo.put_xml("flights", r#"<flights airline="AF"/>"#).expect("parses");
+    peers[2].registry.register(
+        ServiceDef::update(
+            "bookFlight",
+            "flights",
+            UpdateAction::insert(
+                Locator::parse("flights").expect("locator"),
+                vec![Fragment::elem("confirmation").with_attr("flight", "AF-123").with_text("seat 12A for $who")],
+            ),
+        )
+        .with_results(&["confirmation"]),
+    );
+
+    // AP3: the hotel. bookHotel writes into rooms.xml — or faults.
+    peers[3].repo.put_xml("rooms", r#"<rooms hotel="Le Central"/>"#).expect("parses");
+    let mut hotel = ServiceDef::update(
+        "bookHotel",
+        "rooms",
+        UpdateAction::insert(
+            Locator::parse("rooms").expect("locator"),
+            vec![Fragment::elem("confirmation").with_attr("room", "204").with_text("double room for $who")],
+        ),
+    )
+    .with_results(&["confirmation"]);
+    if hotel_fails {
+        hotel.injected_fault = Some(Fault::new("NoVacancy", "hotel fully booked"));
+    }
+    peers[3].registry.register(hotel);
+
+    let mut sim = Sim::new(SimConfig::default(), peers);
+    sim.actor_mut(PeerId(1)).auto_submit = Some(("planTrip".into(), vec![]));
+    sim.schedule_timer(0, PeerId(1), 0);
+    sim
+}
+
+fn run(label: &str, hotel_fails: bool, with_handler: bool) {
+    println!("— {label} —");
+    let mut sim = build_network(hotel_fails, with_handler);
+    sim.run();
+    let origin = sim.actor(PeerId(1));
+    let outcome = origin.outcomes.first().expect("transaction resolved");
+    println!("  outcome: {}", if outcome.committed { "COMMITTED" } else { "ABORTED" });
+    if let Some(items) = origin.results.get(&outcome.txn) {
+        for item in items {
+            println!("  confirmation: {}", item.to_xml());
+        }
+    }
+    println!("  airline db : {}", sim.actor(PeerId(2)).repo.get("flights").expect("doc").to_xml());
+    println!("  hotel db   : {}", sim.actor(PeerId(3)).repo.get("rooms").expect("doc").to_xml());
+    println!();
+}
+
+fn main() {
+    // Happy path: both bookings land.
+    run("trip booking succeeds", false, false);
+    // The hotel faults: the flight booking is compensated away ("Cancel
+    // Hotel Booking" generalized — constructed from the log, not
+    // pre-declared).
+    run("hotel faults → flight booking compensated", true, false);
+    // Forward recovery: a catchAll handler substitutes a voucher and the
+    // transaction commits without the hotel.
+    run("hotel faults, voucher handler → commits", true, true);
+}

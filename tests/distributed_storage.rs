@@ -1,0 +1,160 @@
+//! Distributed storage of document fragments (§1).
+//!
+//! "In case of distributed storage, if a query Q on peer AP1 is interested
+//! in part of an AXML document stored on peer AP2 then there are two
+//! options: a) the query Q is decomposed and the relevant sub-query sent
+//! to the peer AP2 for evaluation, or b) the required fragment of the
+//! AXML document is copied to the peer AP1 and the query Q evaluated
+//! locally (on AP1). Both the above options require invoking a service on
+//! the remote peer and as such are similar in functionality to [remote
+//! invocation]."
+//!
+//! These tests realize both options as AXML services — exactly the
+//! reduction the paper describes — and check that the transactional
+//! machinery (logging, compensation) covers them.
+
+use axml::core::peer::WsdlCatalog;
+use axml::prelude::*;
+
+/// AP2 hosts the `players` fragment of a logically-distributed ranking
+/// document; AP1 holds the head plus an embedded call fetching it.
+fn fabric(option_a: bool) -> Sim<TxnMsg, AxmlPeer> {
+    let mut wsdl = WsdlCatalog::default();
+    // WSDL hints list the full result vocabulary (the schema of the
+    // fragment), not just the top-level element — that is what lets lazy
+    // relevance see that a query on `citizenship` needs this call.
+    wsdl.publish("getFragment", &["player", "name", "lastname", "citizenship"]);
+    wsdl.publish("subQuery", &["citizenship"]);
+    let mut peers = Vec::new();
+    for id in 0..3u32 {
+        let mut peer = AxmlPeer::new(PeerId(id), PeerConfig::default());
+        peer.wsdl = wsdl.clone();
+        peers.push(peer);
+    }
+    // AP2: the remote fragment, exposed two ways.
+    peers[2]
+        .repo
+        .put_xml(
+            "fragment",
+            r#"<players>
+                <player rank="1"><name><lastname>Federer</lastname></name><citizenship>Swiss</citizenship></player>
+                <player rank="2"><name><lastname>Nadal</lastname></name><citizenship>Spanish</citizenship></player>
+            </players>"#,
+        )
+        .unwrap();
+    // Option (b): copy the fragment wholesale.
+    peers[2].registry.register(
+        ServiceDef::query(
+            "getFragment",
+            "fragment",
+            SelectQuery::parse("Select p from p in players//player").unwrap(),
+        )
+        .with_results(&["player"]),
+    );
+    // Option (a): evaluate the sub-query remotely, ship only results.
+    peers[2].registry.register(
+        ServiceDef::query(
+            "subQuery",
+            "fragment",
+            SelectQuery::parse(
+                "Select p/citizenship from p in players//player where p/name/lastname = Federer",
+            )
+            .unwrap(),
+        )
+        .with_results(&["citizenship"]),
+    );
+    // AP1: the document head, embedding whichever option we exercise.
+    let method = if option_a { "subQuery" } else { "getFragment" };
+    peers[1]
+        .repo
+        .put_xml(
+            "head",
+            &format!(
+                r#"<ATPList date="18042005">
+                    <axml:sc mode="replace" serviceNameSpace="dist" serviceURL="peer://ap2" methodName="{method}"/>
+                </ATPList>"#
+            ),
+        )
+        .unwrap();
+    let local_query = if option_a {
+        // The remote side already filtered; locally we just read the results.
+        "Select v//citizenship from v in ATPList"
+    } else {
+        // Fragment copied here; the *whole* query runs locally on AP1.
+        "Select v//citizenship from v in ATPList where v//lastname = Federer"
+    };
+    peers[1].registry.register(
+        ServiceDef::query("Q", "head", SelectQuery::parse(local_query).unwrap()).with_results(&["citizenship"]),
+    );
+    let mut sim = Sim::new(SimConfig::default(), peers);
+    sim.actor_mut(PeerId(1)).auto_submit = Some(("Q".into(), vec![]));
+    sim.schedule_timer(0, PeerId(1), 0);
+    sim
+}
+
+#[test]
+fn option_b_fragment_copied_and_queried_locally() {
+    let mut sim = fabric(false);
+    sim.run();
+    let origin = sim.actor(PeerId(1));
+    let outcome = origin.outcomes.first().expect("resolved");
+    assert!(outcome.committed);
+    let items = &origin.results[&outcome.txn];
+    let text: String = items.iter().map(|f| f.to_xml()).collect();
+    assert!(text.contains("<citizenship>Swiss</citizenship>"), "{text}");
+    // The fragment (both players) was materialized into AP1's head.
+    let head = origin.repo.get("head").unwrap().to_xml();
+    assert!(head.contains("Nadal"), "whole fragment copied: {head}");
+}
+
+#[test]
+fn option_a_subquery_ships_only_results() {
+    let mut sim = fabric(true);
+    sim.run();
+    let origin = sim.actor(PeerId(1));
+    let outcome = origin.outcomes.first().expect("resolved");
+    assert!(outcome.committed);
+    let items = &origin.results[&outcome.txn];
+    let text: String = items.iter().map(|f| f.to_xml()).collect();
+    assert!(text.contains("<citizenship>Swiss</citizenship>"), "{text}");
+    // Only the sub-query *results* traveled — the rest of the fragment
+    // never reached AP1.
+    let head = origin.repo.get("head").unwrap().to_xml();
+    assert!(!head.contains("Nadal"), "no wholesale copy under option (a): {head}");
+    assert!(!head.contains("Spanish"), "{head}");
+}
+
+#[test]
+fn aborting_undoes_the_fragment_copy() {
+    // Same as option (b) but a second embedded call faults: the copied
+    // fragment is compensated away with everything else.
+    let mut sim = fabric(false);
+    // Break the transaction by injecting a fault into AP1's own service
+    // *after* the copy happens: register a faulting second call target.
+    let head = r#"<ATPList date="18042005">
+        <axml:sc mode="replace" serviceNameSpace="dist" serviceURL="peer://ap2" methodName="getFragment"/>
+        <axml:sc mode="replace" serviceNameSpace="dist" serviceURL="peer://ap2" methodName="boom"/>
+    </ATPList>"#;
+    {
+        let ap1 = sim.actor_mut(PeerId(1));
+        ap1.repo.put_xml("head", head).unwrap();
+        ap1.wsdl.publish("boom", &["citizenship"]);
+        ap1.config.use_alternative_providers = false;
+    }
+    {
+        let ap2 = sim.actor_mut(PeerId(2));
+        let mut boom = ServiceDef::function("boom", |_| Ok(vec![]));
+        boom.injected_fault = Some(Fault::injected("remote side down"));
+        ap2.registry.register(boom);
+    }
+    let baseline = sim.actor(PeerId(1)).repo.get("head").unwrap().to_xml();
+    sim.run();
+    let origin = sim.actor(PeerId(1));
+    let outcome = origin.outcomes.first().expect("resolved");
+    assert!(!outcome.committed);
+    assert_eq!(
+        origin.repo.get("head").unwrap().to_xml(),
+        baseline,
+        "the copied fragment was compensated away"
+    );
+}

@@ -1,0 +1,66 @@
+//! Peers *joining* the system (§1: "the set of peers … keeps changing
+//! with peers joining and leaving the system arbitrarily").
+//!
+//! A joining peer is modeled as a pre-provisioned replica that starts
+//! disconnected and comes online mid-run. These tests check that the
+//! recovery protocol picks a replica up only once it has actually joined.
+
+use axml::prelude::*;
+
+/// Fig. 1 with a fault at AP5 and a replica of AP5 that joins at `join_at`.
+fn run_with_join(join_at: Option<u64>) -> (bool, bool) {
+    let (builder, replica) = ScenarioBuilder::fig1().fault_at(5).with_replica(5);
+    let mut builder = builder;
+    // The replica starts offline; it "joins" by reconnecting.
+    builder = builder.disconnect(0, replica);
+    let mut scenario = builder.build();
+    if let Some(at) = join_at {
+        scenario.sim.schedule_reconnect(at, PeerId(replica));
+    }
+    let report = scenario.run();
+    let committed = report.outcome.map(|o| o.committed).unwrap_or(false);
+    (committed, report.atomic)
+}
+
+#[test]
+fn replica_joining_before_the_fault_enables_forward_recovery() {
+    // AP5's fault fires around t≈30; the replica joins at t=5, well in
+    // time to serve the redo.
+    let (committed, atomic) = run_with_join(Some(5));
+    assert!(committed, "the joined replica served the redo");
+    assert!(atomic);
+}
+
+#[test]
+fn replica_that_never_joins_cannot_help() {
+    let (committed, atomic) = run_with_join(None);
+    assert!(!committed, "no reachable alternative provider: backward recovery");
+    assert!(atomic, "and the abort is fully compensated");
+}
+
+#[test]
+fn join_after_recovery_window_is_too_late() {
+    // Joining long after the transaction aborted changes nothing; the
+    // system stays quiescent and consistent.
+    let (committed, atomic) = run_with_join(Some(50_000));
+    assert!(!committed);
+    assert!(atomic);
+}
+
+#[test]
+fn offline_alternative_is_skipped_then_fault_handled_by_substitute() {
+    // The directory lists a (still offline) replica, but the sc also has a
+    // substitution handler: the reissue to the offline replica fails
+    // synchronously and the handler absorbs the fault — layered forward
+    // recovery.
+    let (builder, replica) = ScenarioBuilder::fig1()
+        .fault_at(5)
+        .substitute_handler(3, 5, None)
+        .with_replica(5);
+    let mut scenario = builder.disconnect(0, replica).build();
+    let report = scenario.run();
+    assert!(report.outcome.unwrap().committed, "the substitute value saved the day");
+    assert!(report.atomic);
+    let ap3 = &report.stats[&PeerId(3)];
+    assert_eq!(ap3.substitutions, 1);
+}

@@ -1,0 +1,237 @@
+//! Paper-fidelity suite: every concrete artifact printed in the paper —
+//! documents, operations, compensations, handler snippets, notation —
+//! parsed and executed verbatim (modulo XML well-formedness fixes the
+//! paper itself elides, like quoting attribute values).
+
+use axml::core::compensate::{apply_compensation, compensation_for_effects};
+use axml::prelude::*;
+
+/// §3.1's ATPList.xml, structurally verbatim (lines 1–26 of the listing).
+const ATPLIST: &str = r#"<?xml version = "1.0" encoding = "UTF-8"?>
+<ATPList date = "18042005">
+     <player rank = "1">
+          <name>
+               <firstname>Roger</firstname>
+               <lastname>Federer</lastname>
+          </name>
+          <citizenship>Swiss</citizenship>
+          <axml:sc mode = "replace" serviceNameSpace = "getPoints" serviceURL = "peer://ap2" methodName = "getPoints">
+               <axml:params>
+                    <axml:param name = "name">
+                    <axml:value>Roger Federer</axml:value>
+                    </axml:param>
+               </axml:params>
+               <points>475</points>
+          </axml:sc>
+          <axml:sc mode = "merge" serviceNameSpace = "getGrandSlamsWonbyYear" serviceURL = "peer://ap3" methodName = "getGrandSlamsWonbyYear">
+               <axml:params>
+                    <axml:param name = "name">
+                    <axml:value>Roger Federer</axml:value>
+                    </axml:param>
+                    <axml:param name = "year">
+                    <axml:value>$year (external value)</axml:value>
+                    </axml:param>
+               </axml:params>
+               <grandslamswon year = "2003">A, W</grandslamswon>
+               <grandslamswon year = "2004">A, U</grandslamswon>
+          </axml:sc>
+     </player>
+</ATPList>"#;
+
+#[test]
+fn section_1_intro_snippet_parses() {
+    // The introduction's getGrandSlamsWon example.
+    let src = r#"<?xml version = "1.0" encoding = "UTF-8"?>
+<ATPList date = "18042005">
+     <player rank = "1">
+          <name>
+               <firstname>Roger</firstname>
+               <lastname>Federer</lastname>
+          </name>
+          <citizenship>Swiss</citizenship>
+          <points>475</points>
+          <axml:sc mode = "replace" serviceNameSpace = "getGrandSlamsWon" serviceURL = "peer://ap2" methodName = "getGrandSlamsWon">
+               <axml:params>
+                    <axml:param name = "name">
+                    <axml:value>Roger Federer</axml:value>
+                    </axml:param>
+               </axml:params>
+          </axml:sc>
+     </player>
+</ATPList>"#;
+    let doc = Document::parse(src).unwrap();
+    let calls = ServiceCall::scan(&doc);
+    assert_eq!(calls.len(), 1);
+    assert_eq!(calls[0].method, "getGrandSlamsWon");
+    assert_eq!(calls[0].mode, ScMode::Replace);
+}
+
+#[test]
+fn section_3_1_atplist_and_both_calls() {
+    let doc = Document::parse(ATPLIST).unwrap();
+    let calls = ServiceCall::scan(&doc);
+    assert_eq!(calls.len(), 2);
+    assert_eq!(calls[0].method, "getPoints");
+    assert_eq!(calls[0].mode, ScMode::Replace);
+    assert_eq!(calls[1].method, "getGrandSlamsWonbyYear");
+    assert_eq!(calls[1].mode, ScMode::Merge);
+    // The external-value convention is recognized.
+    assert!(matches!(
+        &calls[1].params[1].value,
+        axml::doc::ParamValue::External(name) if name == "year"
+    ));
+}
+
+#[test]
+fn section_3_1_delete_operation_and_printed_compensation() {
+    // The paper prints both the delete and its compensating insert; check
+    // that our *constructed* compensation has exactly the printed shape:
+    // data = the deleted <citizenship>Swiss</citizenship>, location = the
+    // parent of the deleted node.
+    let mut doc = Document::parse(ATPLIST).unwrap();
+    let delete = UpdateAction::parse_action_xml(
+        r#"<action type="delete"><location>Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;</location></action>"#,
+    )
+    .unwrap();
+    let report = delete.apply(&mut doc).unwrap();
+    let comp = compensation_for_effects(&report.effects);
+    assert_eq!(comp.len(), 1);
+    assert_eq!(comp[0].ty, axml::query::ActionType::Insert);
+    assert_eq!(comp[0].data[0].to_xml(), "<citizenship>Swiss</citizenship>");
+    // Its location resolves to the player element — the `/..` of the
+    // deleted node, exactly as printed.
+    let target = comp[0].location.locate(&doc).unwrap()[0];
+    assert_eq!(doc.name(target).unwrap().local, "player");
+}
+
+#[test]
+fn section_3_1_replace_decomposition_matches_paper() {
+    // "<action type=replace> … decomposes to: delete + insert" — and the
+    // compensation is the printed delete + insert(Swiss) pair.
+    let mut doc = Document::parse(
+        r#"<ATPList><player><name><lastname>Nadal</lastname></name><citizenship>Swiss</citizenship></player></ATPList>"#,
+    )
+    .unwrap();
+    let replace = UpdateAction::parse_action_xml(
+        r#"<action type="replace"><data><citizenship>USA</citizenship></data><location>Select p/citizenship from p in ATPList//player where p/name/lastname = Nadal;</location></action>"#,
+    )
+    .unwrap();
+    let report = replace.apply(&mut doc).unwrap();
+    // Decomposition: exactly delete-then-insert.
+    assert_eq!(report.effects.len(), 2);
+    assert!(matches!(report.effects[0], axml::query::Effect::Deleted { .. }));
+    assert!(matches!(report.effects[1], axml::query::Effect::Inserted { .. }));
+    // Compensation restores Swiss.
+    let comp = compensation_for_effects(&report.effects);
+    apply_compensation(&mut doc, &comp).unwrap();
+    assert!(doc.to_xml().contains("<citizenship>Swiss</citizenship>"));
+    assert!(!doc.to_xml().contains("USA"));
+}
+
+#[test]
+fn section_3_2_fault_handler_snippet() {
+    // The getGrandSlamsWon-with-handlers listing.
+    let src = r#"<r><axml:sc serviceNameSpace="g" serviceURL="peer://ap2" methodName="getGrandSlamsWon">
+        <axml:params>
+             <axml:param name= "name">
+             <axml:value>Rafel Nadal</axml:value>
+             </axml:param>
+        </axml:params>
+        <axml:catch faultName = "A" faultVariable = "fv"><axml:retry times= "2" wait="5"><axml:sc serviceNameSpace="g" serviceURL="peer://replica" methodName="getGrandSlamsWon"/></axml:retry></axml:catch>
+        <axml:catch faultName = "B" faultVariable = "fv"><fallback/></axml:catch>
+        <axml:catchAll></axml:catchAll>
+    </axml:sc></r>"#;
+    let doc = Document::parse(src).unwrap();
+    let call = &ServiceCall::scan(&doc)[0];
+    assert_eq!(call.handlers.len(), 3);
+    assert_eq!(call.handlers[0].fault_name.as_deref(), Some("A"));
+    let axml::doc::HandlerAction::Retry { times, wait, alternative } = &call.handlers[0].action else {
+        panic!("catch A is a retry");
+    };
+    assert_eq!((*times, *wait), (2, 5));
+    assert_eq!(
+        alternative.as_ref().unwrap().service_url,
+        "peer://replica",
+        "the optional <axml:sc> retries on a replicated peer"
+    );
+    assert!(call.handlers[2].fault_name.is_none(), "catchAll last");
+}
+
+#[test]
+fn section_3_3_active_list_notation() {
+    // Build the §3.3 list programmatically and match the printed notation.
+    let mut list = ActiveList::new(PeerId(1), true);
+    list.add_invocation(PeerId(1), PeerId(2), false);
+    list.add_invocation(PeerId(2), PeerId(3), false);
+    list.add_invocation(PeerId(2), PeerId(4), false);
+    list.add_invocation(PeerId(3), PeerId(6), false);
+    list.add_invocation(PeerId(4), PeerId(5), false);
+    assert_eq!(list.to_notation(), "[AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]");
+    // And the simple forms.
+    let mut simple = ActiveList::new(PeerId(7), false);
+    simple.add_invocation(PeerId(7), PeerId(8), false);
+    assert_eq!(simple.to_notation(), "[AP7 → AP8]");
+}
+
+#[test]
+fn section_3_3_sphere_of_atomicity_statement() {
+    // "atomicity may still be guaranteed for a transaction if all the
+    // involved peers (for that transaction) are super peers".
+    let mut all_super = ActiveList::new(PeerId(1), true);
+    all_super.add_invocation(PeerId(1), PeerId(2), true);
+    assert!(sphere_guarantees_atomicity(&all_super));
+    let mut mixed = all_super.clone();
+    mixed.add_invocation(PeerId(2), PeerId(3), false);
+    assert!(!sphere_guarantees_atomicity(&mixed));
+}
+
+#[test]
+fn paper_query_a_and_b_line_25_and_line_14_changes() {
+    // Query A adds line 25 (the 2005 grandslamswon); Query B changes line
+    // 14 (points 475 → 890). Reproduced through the materialization
+    // engine with the documented service behaviors.
+    use axml::doc::{LocalInvoker, ServiceRegistry};
+    let mut reg = ServiceRegistry::new();
+    reg.register(
+        ServiceDef::function("getPoints", |_| Ok(vec![Fragment::elem_text("points", "890")]))
+            .with_results(&["points"]),
+    );
+    reg.register(
+        ServiceDef::function("getGrandSlamsWonbyYear", |params| {
+            let year = params.iter().find(|(k, _)| k == "year").map(|(_, v)| v.clone()).unwrap_or_default();
+            Ok(vec![Fragment::elem("grandslamswon").with_attr("year", year).with_text("A, F")])
+        })
+        .with_results(&["grandslamswon"]),
+    );
+    let engine = MaterializationEngine::new(EvalMode::Lazy).with_external("year", "2005");
+
+    // Query A.
+    let mut doc = Document::parse(ATPLIST).unwrap();
+    let mut repo = Repository::new();
+    let mut inv = LocalInvoker { registry: &reg, repo: &mut repo };
+    let qa = SelectQuery::parse(
+        "Select p/citizenship, p/grandslamswon from p in ATPList//player where p/name/lastname = Federer;",
+    )
+    .unwrap();
+    let (_, report) = engine.query(&mut doc, &qa, &mut inv).unwrap();
+    assert_eq!(report.effects.len(), 1, "the ONLY change is the added line 25");
+    assert!(doc.to_xml().contains(r#"<grandslamswon year="2005">A, F</grandslamswon>"#));
+    assert!(doc.to_xml().contains("<points>475</points>"), "line 14 untouched by query A");
+
+    // Query B.
+    let mut doc = Document::parse(ATPLIST).unwrap();
+    let mut repo = Repository::new();
+    let mut inv = LocalInvoker { registry: &reg, repo: &mut repo };
+    let qb = SelectQuery::parse(
+        "Select p/citizenship, p/points from p in ATPList//player where p/name/lastname = Federer;",
+    )
+    .unwrap();
+    let (_, report) = engine.query(&mut doc, &qb, &mut inv).unwrap();
+    assert!(doc.to_xml().contains("<points>890</points>"), "line 14 changed 475 → 890");
+    assert!(!doc.to_xml().contains(r#"year="2005""#), "grandslams untouched by query B");
+    // Compensation for query B: "a replace operation to change the value
+    // … back to 475" — as a delete(890)+insert(475) pair.
+    let comp = compensation_for_effects(&report.effects);
+    apply_compensation(&mut doc, &comp).unwrap();
+    assert!(doc.to_xml().contains("<points>475</points>"));
+}
