@@ -1,0 +1,88 @@
+//! Static verifier CLI. Runs the C/W/L rule sets over the built-in
+//! scenarios (or the deliberately-broken fixture) and exits nonzero when
+//! anything is found.
+//!
+//! ```text
+//! axml-analyze [--all-scenarios] [--scenario NAME] [--demo-broken] [--json]
+//! ```
+
+use axml_analysis::{analyze_all, analyze_broken_fixture, Report};
+use axml_core::scenarios::ScenarioBuilder;
+use std::process::ExitCode;
+
+/// The scenarios `--all-scenarios` audits: the paper figures plus the
+/// recovery variants the test suite runs (all expected clean).
+fn builtin_scenarios() -> Vec<(&'static str, ScenarioBuilder)> {
+    let (with_replica, _r) = ScenarioBuilder::fig1().fault_at(5).with_replica(5);
+    vec![
+        ("fig1", ScenarioBuilder::fig1()),
+        ("fig2", ScenarioBuilder::fig2()),
+        ("fig1-substitute", ScenarioBuilder::fig1().fault_at(5).substitute_handler(3, 5, None)),
+        ("fig1-retry-replica", with_replica.retry_handler(3, 5, None, 2, 3)),
+        ("fig2-leaf-disconnect", ScenarioBuilder::fig2().disconnect(40, 6)),
+    ]
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: axml-analyze [--all-scenarios] [--scenario NAME] [--demo-broken] [--json]\n\
+         \n\
+         --all-scenarios   audit every built-in scenario (default)\n\
+         --scenario NAME   audit one built-in scenario (fig1, fig2, ...)\n\
+         --demo-broken     audit the deliberately-broken fixture\n\
+         --json            emit the report as JSON instead of text"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut demo_broken = false;
+    let mut selected: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--demo-broken" => demo_broken = true,
+            "--all-scenarios" => selected = None,
+            "--scenario" => match args.next() {
+                Some(name) => selected = Some(name),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let report = if demo_broken {
+        analyze_broken_fixture()
+    } else {
+        let scenarios = builtin_scenarios();
+        if let Some(name) = &selected {
+            if !scenarios.iter().any(|(n, _)| n == name) {
+                let names: Vec<&str> = scenarios.iter().map(|(n, _)| *n).collect();
+                eprintln!("unknown scenario `{name}`; available: {names:?}");
+                return ExitCode::from(2);
+            }
+        }
+        let mut report = Report::default();
+        for (name, builder) in scenarios {
+            if selected.as_deref().is_some_and(|s| s != name) {
+                continue;
+            }
+            let sub = analyze_all(&builder);
+            report.extend_with_context(name, sub.diagnostics);
+        }
+        report
+    };
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

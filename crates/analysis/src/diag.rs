@@ -1,0 +1,172 @@
+//! Structured diagnostics: what a rule found, where, and what to do.
+
+use serde::Serialize;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// Suspicious but survivable: the scenario runs, some construct is
+    /// dead weight or will never help.
+    Warning,
+    /// The guarded paper property is violated: compensation cannot
+    /// restore the document, the invocation graph is not a tree, or an
+    /// active-list invariant is broken.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of one rule.
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Stable rule id (`C…` compensation, `W…` well-formedness, `L…`
+    /// active-list).
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Where: a peer, effect index, action index, or chain location.
+    pub location: String,
+    /// What the rule found.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: String,
+}
+
+impl Diagnostic {
+    /// An error-level finding.
+    pub fn error(
+        rule: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+        suggestion: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            location: location.into(),
+            message: message.into(),
+            suggestion: suggestion.into(),
+        }
+    }
+
+    /// A warning-level finding.
+    pub fn warning(
+        rule: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+        suggestion: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Warning,
+            location: location.into(),
+            message: message.into(),
+            suggestion: suggestion.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}: {} (fix: {})", self.severity, self.rule, self.location, self.message, self.suggestion)
+    }
+}
+
+/// The findings of an analysis run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Report {
+    /// All findings, in rule-evaluation order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Absorbs findings from one rule set.
+    pub fn extend(&mut self, diags: Vec<Diagnostic>) {
+        self.diagnostics.extend(diags);
+    }
+
+    /// Absorbs findings, prefixing each location with a context label
+    /// (e.g. the scenario name).
+    pub fn extend_with_context(&mut self, context: &str, diags: Vec<Diagnostic>) {
+        for mut d in diags {
+            d.location = format!("{context}: {}", d.location);
+            self.diagnostics.push(d);
+        }
+    }
+
+    /// True if nothing was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The distinct rule ids that fired, sorted.
+    pub fn rule_ids(&self) -> Vec<&'static str> {
+        let mut ids: Vec<&'static str> = self.diagnostics.iter().map(|d| d.rule).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Human-readable rendering, one finding per line plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let errors = self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count();
+        let warnings = self.diagnostics.len() - errors;
+        out.push_str(&format!("{errors} error(s), {warnings} warning(s)\n"));
+        out
+    }
+
+    /// JSON rendering (an object with a `diagnostics` array).
+    pub fn render_json(&self) -> String {
+        serde_json::to_string(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_bookkeeping() {
+        let mut r = Report::default();
+        assert!(r.is_clean());
+        r.extend(vec![
+            Diagnostic::error("C002", "action #0", "does not telescope", "log the subtree"),
+            Diagnostic::warning("W004", "peer 99", "no-op disconnect", "drop it"),
+            Diagnostic::error("C002", "action #1", "extra action", "remove it"),
+        ]);
+        assert!(!r.is_clean());
+        assert_eq!(r.rule_ids(), vec!["C002", "W004"]);
+        let text = r.render_text();
+        assert!(text.contains("2 error(s), 1 warning(s)"), "{text}");
+        assert!(text.contains("error [C002] action #0"), "{text}");
+    }
+
+    #[test]
+    fn context_prefix() {
+        let mut r = Report::default();
+        r.extend_with_context("fig2", vec![Diagnostic::warning("W004", "peer 3", "m", "s")]);
+        assert_eq!(r.diagnostics[0].location, "fig2: peer 3");
+    }
+
+    #[test]
+    fn json_is_parseable() {
+        let mut r = Report::default();
+        r.extend(vec![Diagnostic::error("L001", "AP2", "duplicate \"peer\"", "dedup")]);
+        let json = r.render_json();
+        assert!(json.contains("\"rule\":\"L001\""), "{json}");
+        assert!(json.contains("\"severity\":\"Error\""), "{json}");
+    }
+}

@@ -1,0 +1,65 @@
+//! A deliberately-broken fixture exercising every rule family: a
+//! malformed scenario, a corrupt effect log with an unsound compensation
+//! bundle, and a corrupted active-peer list. `axml-analyze --demo-broken`
+//! runs the full rule set over it and must exit nonzero.
+
+use axml_core::chain::{ActiveList, ChainNode};
+use axml_core::scenarios::ScenarioBuilder;
+use axml_p2p::PeerId;
+use axml_query::{Effect, Locator, NodePath, UpdateAction};
+use axml_xml::{Document, Fragment};
+
+/// Everything the demo analyzes.
+pub struct BrokenFixture {
+    /// A scenario with an unreachable handler, a retry that cannot
+    /// succeed, dead edges, and dangling declarations.
+    pub builder: ScenarioBuilder,
+    /// A corrupt effect log (truncated delete, insert into a deleted
+    /// subtree).
+    pub effects: Vec<Effect>,
+    /// A compensation bundle that does not invert the log.
+    pub compensation: Vec<UpdateAction>,
+    /// An active list with a duplicated peer and an orphaned entry.
+    pub chain: ActiveList,
+}
+
+/// Builds the fixture. Every field is intentionally wrong; see the tests
+/// for the exact rule ids each part trips.
+pub fn broken() -> BrokenFixture {
+    // (7, 8) is disconnected from the origin (W001); the fault at 2 makes
+    // the catchAll retry on (1, 2) futile without a replica (W003); the
+    // named catch on (2, 3) can never fire (W002); peer 99 is not in the
+    // scenario (W004); super 42 is dangling (W005).
+    let mut builder = ScenarioBuilder::new(1, &[(1, 2), (2, 3), (7, 8)])
+        .fault_at(2)
+        .retry_handler(1, 2, None, 2, 3)
+        .retry_handler(2, 3, Some("NoSuchFaultEver"), 1, 1)
+        .disconnect(10, 99);
+    builder.supers.push(42);
+
+    // The delete logged no content (C001) and the later insert lands
+    // inside the subtree the first effect removed (C003).
+    let any_node = Document::parse("<d/>").expect("static").root();
+    let effects = vec![
+        Effect::Deleted { fragment: Fragment::Text(String::new()), parent_path: NodePath(vec![0]), position: 0 },
+        Effect::Inserted { node: any_node, path: NodePath(vec![0, 0, 1]), fragment: Fragment::elem_text("ghost", "y") },
+    ];
+    // One action for two effects (C002), located by query instead of a
+    // structural address (C004), carrying no data (C005).
+    let compensation = vec![UpdateAction::insert(Locator::parse("Select v/slot from v in d").expect("static"), vec![])];
+
+    // AP2 appears twice (L001/L002), hiding the super marker the second
+    // occurrence carries (L003); AP9 is never invoked by the scenario
+    // (L005).
+    let chain = ActiveList {
+        root: ChainNode {
+            peer: PeerId(1),
+            is_super: false,
+            children: vec![
+                ChainNode::leaf(PeerId(2), false),
+                ChainNode { peer: PeerId(2), is_super: true, children: vec![ChainNode::leaf(PeerId(9), false)] },
+            ],
+        },
+    };
+    BrokenFixture { builder, effects, compensation, chain }
+}

@@ -1,0 +1,62 @@
+//! End-to-end tests of the `axml-analyze` binary: exit codes, text and
+//! JSON output, scenario selection.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_axml-analyze")).args(args).output().expect("binary runs")
+}
+
+#[test]
+fn all_scenarios_are_clean_and_exit_zero() {
+    let out = run(&["--all-scenarios"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 error(s), 0 warning(s)"), "{text}");
+}
+
+#[test]
+fn single_scenario_selection() {
+    let out = run(&["--scenario", "fig2"]);
+    assert!(out.status.success());
+    let out = run(&["--scenario", "no-such-scenario"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown scenario"), "{err}");
+}
+
+#[test]
+fn demo_broken_reports_distinct_rules_and_exits_one() {
+    let out = run(&["--demo-broken"]);
+    assert_eq!(out.status.code(), Some(1), "findings must drive a nonzero exit");
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The acceptance bar: at least three distinct rule ids, one per
+    // pillar (compensation, well-formedness, chaining).
+    for rule in ["C001", "C002", "C003", "W001", "W002", "W003", "L001", "L005"] {
+        assert!(text.contains(&format!("[{rule}]")), "missing {rule} in:\n{text}");
+    }
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let out = run(&["--demo-broken", "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let v: serde::value::Value = serde_json::from_str(text.trim()).expect("valid JSON");
+    let map = v.as_map().expect("top-level object");
+    let diags = serde::value::field(map, "diagnostics").as_seq().expect("diagnostics array");
+    assert!(diags.len() >= 3, "{text}");
+    for d in diags {
+        let d = d.as_map().expect("diagnostic object");
+        for key in ["rule", "severity", "location", "message", "suggestion"] {
+            assert!(serde::value::field(d, key).as_str().is_some(), "diagnostic missing string field {key}: {text}");
+        }
+    }
+}
+
+#[test]
+fn bad_flags_exit_two_with_usage() {
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

@@ -124,9 +124,7 @@ fn bench_isolation(c: &mut Criterion) {
             for t in 0..100u64 {
                 let txn = TxnId::new(PeerId(1), t);
                 for k in 0..10usize {
-                    table
-                        .claim(txn, "d", &axml_query::NodePath(vec![t as usize, k]))
-                        .expect("disjoint");
+                    table.claim(txn, "d", &axml_query::NodePath(vec![t as usize, k])).expect("disjoint");
                 }
             }
             for t in 0..100u64 {

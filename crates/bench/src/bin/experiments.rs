@@ -8,8 +8,8 @@
 //! per experiment) for downstream plotting.
 
 use axml_bench::{
-    e10_isolation, e11_scale, e1_fig1, e2_fig2, e3_compensation, e4_materialization,
-    e5_recovery_cost, e6_churn, e7_peer_independent, e8_spheres, e9_extended_chaining,
+    e10_isolation, e11_scale, e1_fig1, e2_fig2, e3_compensation, e4_materialization, e5_recovery_cost, e6_churn,
+    e7_peer_independent, e8_spheres, e9_extended_chaining,
 };
 
 fn main() {

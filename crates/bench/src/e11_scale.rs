@@ -53,11 +53,7 @@ fn measure(depth: usize, chaining: bool, seed: u64) -> Row {
         invokes: m.kind("invoke"),
         protocol_msgs: m.sent - keepalive,
         keepalive_msgs: keepalive,
-        latency: report
-            .outcome
-            .as_ref()
-            .map(|o| o.resolved_at - o.started_at)
-            .unwrap_or(report.finished_at),
+        latency: report.outcome.as_ref().map(|o| o.resolved_at - o.started_at).unwrap_or(report.finished_at),
         committed: report.outcome.map(|o| o.committed).unwrap_or(false),
     }
 }
@@ -118,9 +114,7 @@ mod tests {
         assert!(lat(5) < 8 * lat(2), "latency must not: {} vs {}", lat(5), lat(2));
         // Without chaining, per-peer message cost is bounded; chaining's
         // gossip costs extra.
-        let msgs = |d: usize, c: bool| {
-            rows.iter().find(|r| r.depth == d && r.chaining == c).unwrap().protocol_msgs
-        };
+        let msgs = |d: usize, c: bool| rows.iter().find(|r| r.depth == d && r.chaining == c).unwrap().protocol_msgs;
         assert!(msgs(5, true) > msgs(5, false));
         let per_peer_plain = msgs(5, false) as f64 / peers(5) as f64;
         assert!(per_peer_plain < 12.0, "plain protocol stays linear: {per_peer_plain}");

@@ -70,10 +70,7 @@ pub fn run() -> Vec<Row> {
     };
     let mut rows = vec![
         measure("baseline (no fault)", ScenarioBuilder::fig1()),
-        measure(
-            "fault@AP5, no handlers (backward to origin)",
-            ScenarioBuilder::fig1().fault_at(5).config(no_alt()),
-        ),
+        measure("fault@AP5, no handlers (backward to origin)", ScenarioBuilder::fig1().fault_at(5).config(no_alt())),
     ];
     rows.push(measure(
         "fault@AP5, substitute handler at AP3 (forward)",
@@ -88,10 +85,7 @@ pub fn run() -> Vec<Row> {
     let mut pi = PeerConfig::default();
     pi.peer_independent = true;
     pi.use_alternative_providers = false;
-    rows.push(measure(
-        "fault@AP5, peer-independent compensation",
-        ScenarioBuilder::fig1().fault_at(5).config(pi),
-    ));
+    rows.push(measure("fault@AP5, peer-independent compensation", ScenarioBuilder::fig1().fault_at(5).config(pi)));
     rows
 }
 

@@ -154,7 +154,19 @@ pub fn run() -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E2 / Fig.2 — disconnection scenarios [AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]",
-        &["scenario", "chaining", "detector", "how", "t-detect", "t-resolve", "wasted", "reused", "orphan-stops", "committed", "atomic"],
+        &[
+            "scenario",
+            "chaining",
+            "detector",
+            "how",
+            "t-detect",
+            "t-resolve",
+            "wasted",
+            "reused",
+            "orphan-stops",
+            "committed",
+            "atomic",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -207,7 +219,12 @@ mod tests {
         assert_eq!(b_on.how, "send-failure");
         assert!(b_on.work_reused >= 1);
         assert_eq!(b_off.work_reused, 0);
-        assert!(b_on.detect_latency < b_off.detect_latency, "chaining detects faster: {} vs {}", b_on.detect_latency, b_off.detect_latency);
+        assert!(
+            b_on.detect_latency < b_off.detect_latency,
+            "chaining detects faster: {} vs {}",
+            b_on.detect_latency,
+            b_off.detect_latency
+        );
         assert!(b_on.resolve_latency < b_off.resolve_latency);
         // (c): chaining stops orphans.
         assert!(find("c:", true).orphan_stops >= 1);

@@ -127,17 +127,10 @@ fn trial(seed: u64, doc_nodes: usize, ops_count: usize, dynamic: bool) -> (bool,
         let log_bytes = effects_log_bytes(&all_effects);
         let comp = compensation_for_effects(&all_effects);
         let comp_nodes = apply_compensation(&mut doc, &comp).unwrap_or(0);
-        (
-            equivalent_ordered(&doc, &initial),
-            equivalent_unordered(&doc, &initial),
-            0,
-            comp_nodes,
-            log_bytes,
-        )
+        (equivalent_ordered(&doc, &initial), equivalent_unordered(&doc, &initial), 0, comp_nodes, log_bytes)
     } else {
         // Static: inverses pinned to the initial state, applied in reverse.
-        let inverses: Vec<Option<Vec<UpdateAction>>> =
-            ops.iter().map(|op| static_inverse(op, &initial)).collect();
+        let inverses: Vec<Option<Vec<UpdateAction>>> = ops.iter().map(|op| static_inverse(op, &initial)).collect();
         for op in &ops {
             let mut tolerant = op.clone();
             tolerant.allow_empty_location = true;
@@ -157,13 +150,7 @@ fn trial(seed: u64, doc_nodes: usize, ops_count: usize, dynamic: bool) -> (bool,
                 }
             }
         }
-        (
-            equivalent_ordered(&doc, &initial),
-            equivalent_unordered(&doc, &initial),
-            missing,
-            comp_nodes,
-            0,
-        )
+        (equivalent_ordered(&doc, &initial), equivalent_unordered(&doc, &initial), missing, comp_nodes, 0)
     }
 }
 
@@ -262,10 +249,8 @@ mod tests {
         assert!(rate(5) >= rate(50), "longer sequences hurt static more");
         // Dynamic beats static overall.
         let n = (rows.len() / 2) as f64;
-        let dyn_avg: f64 =
-            rows.iter().filter(|r| r.mode == "dynamic").map(|r| r.exact_rate).sum::<f64>() / n;
-        let stat_avg: f64 =
-            rows.iter().filter(|r| r.mode == "static").map(|r| r.exact_rate).sum::<f64>() / n;
+        let dyn_avg: f64 = rows.iter().filter(|r| r.mode == "dynamic").map(|r| r.exact_rate).sum::<f64>() / n;
+        let stat_avg: f64 = rows.iter().filter(|r| r.mode == "static").map(|r| r.exact_rate).sum::<f64>() / n;
         assert!(dyn_avg > stat_avg);
     }
 

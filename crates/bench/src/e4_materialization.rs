@@ -46,7 +46,10 @@ impl ServiceInvoker for Fabric {
             }
             m if m.starts_with("svc") => {
                 let k = m.trim_start_matches("svc");
-                Ok(ServiceResponse { items: vec![Fragment::elem_text(format!("r{k}"), format!("fresh{k}"))], effects: vec![] })
+                Ok(ServiceResponse {
+                    items: vec![Fragment::elem_text(format!("r{k}"), format!("fresh{k}"))],
+                    effects: vec![],
+                })
             }
             other => Err(Fault::no_such_service(other)),
         }
@@ -88,21 +91,15 @@ pub fn run() -> Vec<Row> {
         "Select p/citizenship, p/grandslamswon from p in ATPList//player where p/name/lastname = Federer;",
     )
     .expect("query A");
-    let query_b = SelectQuery::parse(
-        "Select p/citizenship, p/points from p in ATPList//player where p/name/lastname = Federer;",
-    )
-    .expect("query B");
+    let query_b =
+        SelectQuery::parse("Select p/citizenship, p/points from p in ATPList//player where p/name/lastname = Federer;")
+            .expect("query B");
     for mode in [EvalMode::Lazy, EvalMode::Eager] {
         rows.push(measure("ATP / query A (grandslamswon)", &atp, &query_a, mode));
         rows.push(measure("ATP / query B (points)", &atp, &query_b, mode));
     }
     // Synthetic: 20 embedded calls, queries selecting 1, 5, or all result names.
-    let params = DocParams {
-        nodes: 200,
-        service_calls: 20,
-        sc_urls: vec!["peer://ap9".into()],
-        ..Default::default()
-    };
+    let params = DocParams { nodes: 200, service_calls: 20, sc_urls: vec!["peer://ap9".into()], ..Default::default() };
     let doc = random_axml_doc(13, &params);
     for &k in &[1usize, 5, 20] {
         let projs: Vec<String> = (0..k).map(|i| format!("v//r{i}")).collect();
@@ -140,10 +137,9 @@ pub fn table(rows: &[Row]) -> Table {
 /// One lazy ATP query for the Criterion bench.
 pub fn bench_once(eager: bool) -> usize {
     let atp = atp_document();
-    let q = SelectQuery::parse(
-        "Select p/citizenship, p/points from p in ATPList//player where p/name/lastname = Federer;",
-    )
-    .expect("query");
+    let q =
+        SelectQuery::parse("Select p/citizenship, p/points from p in ATPList//player where p/name/lastname = Federer;")
+            .expect("query");
     let mode = if eager { EvalMode::Eager } else { EvalMode::Lazy };
     measure("bench", &atp, &q, mode).calls_materialized
 }
@@ -167,8 +163,10 @@ mod tests {
     #[test]
     fn selectivity_scales_lazy_only() {
         let rows = run();
-        let lazy = |k: &str| rows.iter().find(|r| r.workload.contains(k) && r.mode == "lazy").unwrap().calls_materialized;
-        let eager = |k: &str| rows.iter().find(|r| r.workload.contains(k) && r.mode == "eager").unwrap().calls_materialized;
+        let lazy =
+            |k: &str| rows.iter().find(|r| r.workload.contains(k) && r.mode == "lazy").unwrap().calls_materialized;
+        let eager =
+            |k: &str| rows.iter().find(|r| r.workload.contains(k) && r.mode == "eager").unwrap().calls_materialized;
         assert!(lazy("1 of 20") <= lazy("5 of 20"));
         assert!(lazy("5 of 20") <= lazy("20 of 20"));
         assert_eq!(eager("1 of 20"), 20);

@@ -41,10 +41,7 @@ fn measure(shape: TreeShape, fault_depth: usize, forward: bool, seed: u64) -> Ro
     let mut config = PeerConfig::default();
     config.recovery = if forward { RecoveryStyle::ForwardFirst } else { RecoveryStyle::BackwardOnly };
     config.use_alternative_providers = forward;
-    let mut builder = ScenarioBuilder::new(1, &edges)
-        .flavor(Flavor::Update)
-        .fault_at(fault_peer)
-        .config(config);
+    let mut builder = ScenarioBuilder::new(1, &edges).flavor(Flavor::Update).fault_at(fault_peer).config(config);
     builder.seed = seed;
     let builder = if forward {
         let (b, _replica) = builder.with_replica(fault_peer);
@@ -63,11 +60,7 @@ fn measure(shape: TreeShape, fault_depth: usize, forward: bool, seed: u64) -> Ro
         atomic: report.atomic,
         comp_nodes: report.stats.values().map(|s| s.comp_cost_nodes).sum(),
         messages: report.metrics.sent,
-        resolution_time: report
-            .outcome
-            .as_ref()
-            .map(|o| o.resolved_at - o.started_at)
-            .unwrap_or(report.finished_at),
+        resolution_time: report.outcome.as_ref().map(|o| o.resolved_at - o.started_at).unwrap_or(report.finished_at),
     }
 }
 
@@ -141,10 +134,7 @@ mod tests {
         // maximal; a leaf (depth = tree depth) fails early, before most
         // of the tree has done anything.
         let comp = |d: usize| {
-            rows.iter()
-                .find(|r| r.style == "backward" && r.depth == 4 && r.fault_depth == d)
-                .unwrap()
-                .comp_nodes
+            rows.iter().find(|r| r.style == "backward" && r.depth == 4 && r.fault_depth == d).unwrap().comp_nodes
         };
         assert!(comp(1) >= comp(4), "late (shallow) faults undo more: {} vs {}", comp(1), comp(4));
     }

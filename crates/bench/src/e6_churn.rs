@@ -175,9 +175,7 @@ mod tests {
     #[test]
     fn chaining_salvages_work_under_churn() {
         let rows = run(8);
-        let get = |p: f64, chaining: bool| {
-            rows.iter().find(|r| r.p_disconnect == p && r.chaining == chaining).unwrap()
-        };
+        let get = |p: f64, chaining: bool| rows.iter().find(|r| r.p_disconnect == p && r.chaining == chaining).unwrap();
         let hi_on = get(0.5, true);
         let hi_off = get(0.5, false);
         assert!(

@@ -67,10 +67,7 @@ fn one(seed: u64, disconnect: bool, replica: bool, peer_independent: bool) -> bo
     }
     let mut s = builder.build();
     let report = s.run();
-    assert!(
-        !report.outcome.map(|o| o.committed).unwrap_or(true),
-        "the injected S2 fault must abort the transaction"
-    );
+    assert!(!report.outcome.map(|o| o.committed).unwrap_or(true), "the injected S2 fault must abort the transaction");
     // Success = the compensation for S5's work *executed on a reachable
     // holder of d5*: either AP5 itself (still connected, doc back to its
     // initial state) or — peer-independent only — the replica executed

@@ -97,11 +97,7 @@ pub fn run(trials: usize) -> Vec<Row> {
             } else {
                 f64::NAN
             },
-            atomic_when_not: if atomic_not.1 > 0 {
-                atomic_not.0 as f64 / atomic_not.1 as f64
-            } else {
-                f64::NAN
-            },
+            atomic_when_not: if atomic_not.1 > 0 { atomic_not.0 as f64 / atomic_not.1 as f64 } else { f64::NAN },
         });
     }
     rows

@@ -63,12 +63,7 @@ fn measure(depth: usize, scope: Option<ChainScope>, seed: u64) -> Row {
         let txns = scenario.sim.actor(PeerId(1)).known_txns();
         let Some(&txn) = txns.first() else { continue };
         let knows_all = |p: PeerId| {
-            scenario
-                .sim
-                .actor(p)
-                .context(txn)
-                .map(|tc| tc.chain.all_peers().len() >= n_peers)
-                .unwrap_or(false)
+            scenario.sim.actor(p).context(txn).map(|tc| tc.chain.all_peers().len() >= n_peers).unwrap_or(false)
         };
         if origin_converged_at == 0 && knows_all(PeerId(1)) {
             origin_converged_at = t;

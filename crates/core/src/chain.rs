@@ -119,11 +119,7 @@ impl ActiveList {
     pub fn siblings_of(&self, peer: PeerId) -> Vec<PeerId> {
         match self.parent_of(peer) {
             None => Vec::new(),
-            Some(parent) => self
-                .children_of(parent)
-                .into_iter()
-                .filter(|p| *p != peer)
-                .collect(),
+            Some(parent) => self.children_of(parent).into_iter().filter(|p| *p != peer).collect(),
         }
     }
 
@@ -171,18 +167,13 @@ impl ActiveList {
 
     /// The cousins of `peer` — children of its uncles.
     pub fn cousins_of(&self, peer: PeerId) -> Vec<PeerId> {
-        self.uncles_of(peer)
-            .into_iter()
-            .flat_map(|u| self.children_of(u))
-            .collect()
+        self.uncles_of(peer).into_iter().flat_map(|u| self.children_of(u)).collect()
     }
 
     /// The closest super-peer ancestor of `peer` (scenario (b): "AP6 can
     /// try the next closest peer (AP1) or the closest super peer").
     pub fn closest_super_ancestor(&self, peer: PeerId) -> Option<PeerId> {
-        self.ancestors_of(peer)
-            .into_iter()
-            .find(|p| self.find(*p).map(|n| n.is_super).unwrap_or(false))
+        self.ancestors_of(peer).into_iter().find(|p| self.find(*p).map(|n| n.is_super).unwrap_or(false))
     }
 
     /// All peers in the list (pre-order, origin first).
@@ -221,6 +212,85 @@ impl ActiveList {
         go(&mut self.root, peer)
     }
 
+    /// Parses the paper's notation back into a list — the inverse of
+    /// [`ActiveList::to_notation`].
+    ///
+    /// ```
+    /// use axml_core::ActiveList;
+    ///
+    /// let s = "[AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]";
+    /// let list = ActiveList::parse_notation(s).unwrap();
+    /// assert_eq!(list.to_notation(), s);
+    /// ```
+    pub fn parse_notation(s: &str) -> Result<ActiveList, String> {
+        struct Parser<'a> {
+            rest: &'a str,
+        }
+        impl Parser<'_> {
+            fn ws(&mut self) {
+                self.rest = self.rest.trim_start();
+            }
+            fn eat(&mut self, tok: &str) -> Result<(), String> {
+                self.ws();
+                match self.rest.strip_prefix(tok) {
+                    Some(r) => {
+                        self.rest = r;
+                        Ok(())
+                    }
+                    None => Err(format!("expected `{tok}` at `{}`", self.rest)),
+                }
+            }
+            fn peek(&mut self, tok: &str) -> bool {
+                self.ws();
+                self.rest.starts_with(tok)
+            }
+            fn node(&mut self) -> Result<ChainNode, String> {
+                self.eat("AP")?;
+                let digits: &str =
+                    &self.rest[..self.rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(self.rest.len())];
+                if digits.is_empty() {
+                    return Err(format!("expected peer number at `{}`", self.rest));
+                }
+                let peer = PeerId(digits.parse().map_err(|_| format!("peer number `{digits}` out of range"))?);
+                self.rest = &self.rest[digits.len()..];
+                let is_super = if let Some(r) = self.rest.strip_prefix('*') {
+                    self.rest = r;
+                    true
+                } else {
+                    false
+                };
+                let mut node = ChainNode::leaf(peer, is_super);
+                if self.peek("→") {
+                    self.eat("→")?;
+                    if self.peek("[") {
+                        loop {
+                            self.eat("[")?;
+                            node.children.push(self.node()?);
+                            self.eat("]")?;
+                            if self.peek("||") {
+                                self.eat("||")?;
+                            } else {
+                                break;
+                            }
+                        }
+                    } else {
+                        node.children.push(self.node()?);
+                    }
+                }
+                Ok(node)
+            }
+        }
+        let mut p = Parser { rest: s };
+        p.eat("[")?;
+        let root = p.node()?;
+        p.eat("]")?;
+        p.ws();
+        if !p.rest.is_empty() {
+            return Err(format!("trailing input `{}`", p.rest));
+        }
+        Ok(ActiveList { root })
+    }
+
     /// Renders the paper's notation, e.g.
     /// `[AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]`.
     pub fn to_notation(&self) -> String {
@@ -230,8 +300,7 @@ impl ActiveList {
                 0 => me,
                 1 => format!("{me} → {}", node_str(&n.children[0])),
                 _ => {
-                    let parts: Vec<String> =
-                        n.children.iter().map(|c| format!("[{}]", node_str(c))).collect();
+                    let parts: Vec<String> = n.children.iter().map(|c| format!("[{}]", node_str(c))).collect();
                     format!("{me} → {}", parts.join(" || "))
                 }
             }
@@ -327,6 +396,28 @@ mod tests {
         assert!(!l.contains(PeerId(6)), "descendants go with the subtree");
         assert!(l.contains(PeerId(4)));
         assert!(!l.remove(PeerId(3)), "already gone");
+    }
+
+    #[test]
+    fn parse_notation_round_trips() {
+        let mut deep = ActiveList::new(PeerId(1), false);
+        deep.add_invocation(PeerId(1), PeerId(2), true);
+        deep.add_invocation(PeerId(2), PeerId(3), false);
+        deep.add_invocation(PeerId(2), PeerId(4), false);
+        deep.add_invocation(PeerId(4), PeerId(5), true);
+        deep.add_invocation(PeerId(4), PeerId(6), false);
+        for list in [fig2_list(), ActiveList::new(PeerId(7), true), deep] {
+            let notation = list.to_notation();
+            let back = ActiveList::parse_notation(&notation).expect("parses");
+            assert_eq!(back, list, "{notation}");
+        }
+    }
+
+    #[test]
+    fn parse_notation_rejects_malformed_input() {
+        for bad in ["", "AP1", "[AP1", "[AP1 →]", "[XP1]", "[AP1] tail", "[AP1 → [AP2] ||]"] {
+            assert!(ActiveList::parse_notation(bad).is_err(), "{bad:?} should not parse");
+        }
     }
 
     #[test]

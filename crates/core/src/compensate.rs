@@ -117,9 +117,8 @@ impl CompensatingService {
     pub fn execute(&self, docs: &mut BTreeMap<String, &mut Document>) -> Result<usize, QueryError> {
         let mut cost = 0usize;
         for (name, acts) in &self.actions {
-            let doc = docs
-                .get_mut(name)
-                .ok_or_else(|| QueryError::PathUnresolved(format!("document {name} not present")))?;
+            let doc =
+                docs.get_mut(name).ok_or_else(|| QueryError::PathUnresolved(format!("document {name} not present")))?;
             cost += apply_compensation(doc, acts)?;
         }
         Ok(cost)
@@ -169,11 +168,7 @@ impl StaticCompensator {
     /// order). Operations without a declared inverse are skipped — the
     /// classical model silently under-compensates them. Returns
     /// `(cost, missing)` where `missing` counts skipped operations.
-    pub fn compensate(
-        &self,
-        doc: &mut Document,
-        executed_ops: &[String],
-    ) -> (usize, usize) {
+    pub fn compensate(&self, doc: &mut Document, executed_ops: &[String]) -> (usize, usize) {
         let mut cost = 0usize;
         let mut missing = 0usize;
         for op in executed_ops.iter().rev() {
@@ -396,9 +391,6 @@ mod tests {
         .unwrap();
         sc.compensate(&mut doc, &["deleteCitizenship".into()]);
         assert!(doc.to_xml().contains("Swiss"), "static inverse restored the stale value");
-        assert!(
-            !axml_xml::equivalent_unordered(&doc, &Document::parse(&reference).unwrap()),
-            "which is wrong"
-        );
+        assert!(!axml_xml::equivalent_unordered(&doc, &Document::parse(&reference).unwrap()), "which is wrong");
     }
 }

@@ -95,7 +95,15 @@ pub struct TransactionContext {
 impl TransactionContext {
     /// Creates an active context.
     pub fn new(txn: TxnId, parent: Option<(PeerId, InvocationId)>, chain: ActiveList, now: u64) -> Self {
-        TransactionContext { txn, state: TxnState::Active, parent, log: Vec::new(), chain, created_at: now, resolved_at: None }
+        TransactionContext {
+            txn,
+            state: TxnState::Active,
+            parent,
+            log: Vec::new(),
+            chain,
+            created_at: now,
+            resolved_at: None,
+        }
     }
 
     /// Appends local effects.
@@ -192,10 +200,7 @@ impl TransactionContext {
 
     /// Count of outstanding (incomplete) remote invocations.
     pub fn pending_remote(&self) -> usize {
-        self.log
-            .iter()
-            .filter(|r| matches!(r, LogRecord::Remote { completed: false, .. }))
-            .count()
+        self.log.iter().filter(|r| matches!(r, LogRecord::Remote { completed: false, .. })).count()
     }
 }
 
@@ -243,12 +248,9 @@ mod tests {
         let mut doc = Document::parse("<r><a>1</a></r>").unwrap();
         let before = doc.to_xml();
         let mut c = ctx();
-        let rep = UpdateAction::replace(
-            Locator::parse("r/a").unwrap(),
-            vec![Fragment::elem_text("a", "2")],
-        )
-        .apply(&mut doc)
-        .unwrap();
+        let rep = UpdateAction::replace(Locator::parse("r/a").unwrap(), vec![Fragment::elem_text("a", "2")])
+            .apply(&mut doc)
+            .unwrap();
         c.record_local("d", "setA", rep.effects);
         let comp = c.own_compensation();
         assert!(!comp.is_empty());
@@ -274,9 +276,12 @@ mod tests {
         c.record_remote(PeerId(2), i1, "S2");
         c.record_remote(PeerId(3), i2, "S3");
         let mk = |peer: PeerId, doc: &str| {
-            vec![(peer, CompensatingService {
-                actions: vec![(doc.to_string(), vec![UpdateAction::delete(Locator::parse("node:/0").unwrap())])],
-            })]
+            vec![(
+                peer,
+                CompensatingService {
+                    actions: vec![(doc.to_string(), vec![UpdateAction::delete(Locator::parse("node:/0").unwrap())])],
+                },
+            )]
         };
         c.complete_remote(i1, mk(PeerId(2), "d2"));
         c.complete_remote(i2, mk(PeerId(3), "d3"));

@@ -116,12 +116,8 @@ impl std::error::Error for JournalError {}
 /// Extracts the full journal of an existing context (what a peer appends
 /// incrementally while running; offered whole for snapshotting).
 pub fn journal_of(tc: &TransactionContext) -> Vec<JournalEntry> {
-    let mut out = vec![JournalEntry::Begin {
-        txn: tc.txn,
-        parent: tc.parent,
-        chain: tc.chain.clone(),
-        at: tc.created_at,
-    }];
+    let mut out =
+        vec![JournalEntry::Begin { txn: tc.txn, parent: tc.parent, chain: tc.chain.clone(), at: tc.created_at }];
     for rec in &tc.log {
         match rec {
             LogRecord::Local { doc, op_label, effects } => out.push(JournalEntry::Local {
@@ -131,12 +127,7 @@ pub fn journal_of(tc: &TransactionContext) -> Vec<JournalEntry> {
                 effects: effects.clone(),
             }),
             LogRecord::Remote { child, inv, method, completed, comp } => {
-                out.push(JournalEntry::RemoteInvoked {
-                    txn: tc.txn,
-                    child: *child,
-                    inv: *inv,
-                    method: method.clone(),
-                });
+                out.push(JournalEntry::RemoteInvoked { txn: tc.txn, child: *child, inv: *inv, method: method.clone() });
                 if *completed {
                     out.push(JournalEntry::RemoteCompleted { txn: tc.txn, inv: *inv, comp: comp.clone() });
                 }
@@ -223,11 +214,7 @@ pub struct RecoveryOutcome {
 /// Crash recovery (presumed abort): every in-doubt context's own effects
 /// are compensated against the repository, and the context is marked
 /// aborted. Committed/aborted contexts are left untouched.
-pub fn recover_in_doubt(
-    contexts: &mut [TransactionContext],
-    repo: &mut Repository,
-    now: u64,
-) -> RecoveryOutcome {
+pub fn recover_in_doubt(contexts: &mut [TransactionContext], repo: &mut Repository, now: u64) -> RecoveryOutcome {
     let mut outcome = RecoveryOutcome::default();
     for tc in contexts.iter_mut() {
         if tc.is_terminal() {
@@ -262,10 +249,8 @@ mod tests {
         let mut repo = Repository::new();
         repo.put_xml("d3", "<d><slot>initial</slot></d>").unwrap();
         // One local effect: replace the slot.
-        let action = UpdateAction::replace(
-            Locator::parse("d/slot").unwrap(),
-            vec![Fragment::elem_text("slot", "written")],
-        );
+        let action =
+            UpdateAction::replace(Locator::parse("d/slot").unwrap(), vec![Fragment::elem_text("slot", "written")]);
         let report = action.apply(repo.get_mut("d3").unwrap()).unwrap();
         tc.record_local("d3", "S3", report.effects);
         // One remote invocation, completed with a bundle.

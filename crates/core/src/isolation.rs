@@ -83,11 +83,7 @@ impl ConflictTable {
         if let Some(claims) = self.claims.get(doc) {
             for (holder, held) in claims {
                 if *holder != txn && overlaps(held, path) {
-                    return Err(Conflict {
-                        holder: *holder,
-                        holder_path: held.clone(),
-                        requested: path.clone(),
-                    });
+                    return Err(Conflict { holder: *holder, holder_path: held.clone(), requested: path.clone() });
                 }
             }
         }
@@ -104,11 +100,7 @@ impl ConflictTable {
             if let Some(claims) = self.claims.get(doc) {
                 for (holder, held) in claims {
                     if *holder != txn && overlaps(held, &path) {
-                        return Err(Conflict {
-                            holder: *holder,
-                            holder_path: held.clone(),
-                            requested: path,
-                        });
+                        return Err(Conflict { holder: *holder, holder_path: held.clone(), requested: path });
                     }
                 }
             }
@@ -236,15 +228,10 @@ mod tests {
     #[test]
     fn claim_effects_is_all_or_nothing() {
         let mut doc = Document::parse("<r><a/><b/></r>").unwrap();
-        let report = UpdateAction::insert(
-            Locator::Path(PathExpr::parse("r/a").unwrap()),
-            vec![Fragment::elem("x")],
-        )
-        .apply(&mut doc)
-        .unwrap();
-        let report2 = UpdateAction::delete(Locator::Path(PathExpr::parse("r/b").unwrap()))
+        let report = UpdateAction::insert(Locator::Path(PathExpr::parse("r/a").unwrap()), vec![Fragment::elem("x")])
             .apply(&mut doc)
             .unwrap();
+        let report2 = UpdateAction::delete(Locator::Path(PathExpr::parse("r/b").unwrap())).apply(&mut doc).unwrap();
         let mut all = report.effects.clone();
         all.extend(report2.effects.clone());
 
@@ -263,16 +250,11 @@ mod tests {
     #[test]
     fn effect_paths() {
         let mut doc = Document::parse("<r><a/></r>").unwrap();
-        let ins = UpdateAction::insert(
-            Locator::Path(PathExpr::parse("r/a").unwrap()),
-            vec![Fragment::elem("x")],
-        )
-        .apply(&mut doc)
-        .unwrap();
-        assert_eq!(effect_path(&ins.effects[0]), p(&[0, 0]));
-        let del = UpdateAction::delete(Locator::Path(PathExpr::parse("r/a").unwrap()))
+        let ins = UpdateAction::insert(Locator::Path(PathExpr::parse("r/a").unwrap()), vec![Fragment::elem("x")])
             .apply(&mut doc)
             .unwrap();
+        assert_eq!(effect_path(&ins.effects[0]), p(&[0, 0]));
+        let del = UpdateAction::delete(Locator::Path(PathExpr::parse("r/a").unwrap())).apply(&mut doc).unwrap();
         assert_eq!(effect_path(&del.effects[0]), p(&[0]), "delete claims the vacated slot");
     }
 }

@@ -26,13 +26,13 @@
 
 use crate::chain::ActiveList;
 use crate::compensate::{compensation_for_effects, CompBundle, CompensatingService};
-use crate::isolation::ConflictTable;
 use crate::context::{TransactionContext, TxnOutcome, TxnState};
 use crate::ids::{InvocationId, TxnId};
+use crate::isolation::ConflictTable;
 use crate::messages::TxnMsg;
 use axml_doc::{
-    apply_call_results, EvalMode, Fault, MaterializationEngine, ParamValue, Repository,
-    ResolvedCall, ServiceCall, ServiceInvoker, ServiceKind, ServiceRegistry,
+    apply_call_results, EvalMode, Fault, MaterializationEngine, ParamValue, Repository, ResolvedCall, ServiceCall,
+    ServiceInvoker, ServiceKind, ServiceRegistry,
 };
 use axml_p2p::{Actor, Ctx, Directory, PeerId, PingMonitor};
 use axml_query::{Effect, NodePath, SelectQuery};
@@ -195,14 +195,9 @@ pub struct PeerStats {
 #[derive(Debug, Clone)]
 enum ChildTarget {
     /// Materialize into an `axml:sc` element of a hosted document.
-    ApplySc {
-        doc: String,
-        sc_path: NodePath,
-    },
+    ApplySc { doc: String, sc_path: NodePath },
     /// Fill a parameter value (local nesting across peers).
-    ParamFill {
-        node: NodeId,
-    },
+    ParamFill { node: NodeId },
 }
 
 /// One resolved wave entry: the call, its result target, the provider
@@ -253,10 +248,7 @@ enum TimerPayload {
         placeholder: InvocationId,
     },
     /// Submit a transaction (harness-scheduled).
-    Submit {
-        method: String,
-        params: Vec<(String, String)>,
-    },
+    Submit { method: String, params: Vec<(String, String)> },
 }
 
 /// WSDL knowledge shared across the fabric: method → declared result
@@ -623,11 +615,8 @@ impl AxmlPeer {
             serving.done_sc.insert(node);
             // Prefill reuse (scenario (b)): results forwarded from an
             // orphaned peer stand in for the invocation.
-            let prefilled_items = serving
-                .prefilled
-                .iter()
-                .find(|(m, _)| *m == call.method)
-                .map(|(_, items)| items.clone());
+            let prefilled_items =
+                serving.prefilled.iter().find(|(m, _)| *m == call.method).map(|(_, items)| items.clone());
             if let Some(items) = prefilled_items {
                 self.stats.work_reused += 1;
                 self.apply_child_items(ctx, txn, serving_inv, &target, &call.method, &items);
@@ -800,7 +789,11 @@ impl AxmlPeer {
         }
     }
 
-    fn resolve_params_for(&self, serving_inv: InvocationId, call: &ServiceCall) -> Result<Vec<(String, String)>, NeedParams> {
+    fn resolve_params_for(
+        &self,
+        serving_inv: InvocationId,
+        call: &ServiceCall,
+    ) -> Result<Vec<(String, String)>, NeedParams> {
         let Some(serving) = self.servings.get(&serving_inv) else {
             return Err(NeedParams(Vec::new()));
         };
@@ -1019,12 +1012,10 @@ impl AxmlPeer {
             self.propagate_abort(ctx, txn, None);
             return;
         }
-        let chain = self.contexts.get(&txn).map(|tc| tc.chain.clone()).unwrap_or_else(|| ActiveList::new(self.id, false));
-        let mut candidates: Vec<PeerId> = chain
-            .ancestors_of(self.id)
-            .into_iter()
-            .filter(|p| *p != dead_parent)
-            .collect();
+        let chain =
+            self.contexts.get(&txn).map(|tc| tc.chain.clone()).unwrap_or_else(|| ActiveList::new(self.id, false));
+        let mut candidates: Vec<PeerId> =
+            chain.ancestors_of(self.id).into_iter().filter(|p| *p != dead_parent).collect();
         if let Some(sp) = chain.closest_super_ancestor(self.id) {
             if !candidates.contains(&sp) {
                 candidates.push(sp);
@@ -1109,10 +1100,9 @@ impl AxmlPeer {
                         wc.retries_left -= 1;
                         self.stats.retries += 1;
                         let (to_peer, to_method) = match &alternative {
-                            Some(alt) => (
-                                PeerId::from_url(&alt.service_url).unwrap_or(wc.child_peer),
-                                alt.method.clone(),
-                            ),
+                            Some(alt) => {
+                                (PeerId::from_url(&alt.service_url).unwrap_or(wc.child_peer), alt.method.clone())
+                            }
                             None => (wc.child_peer, wc.method.clone()),
                         };
                         let tag = self.alloc_payload_tag(TimerPayload::RetryChild {
@@ -1235,10 +1225,7 @@ impl AxmlPeer {
         match serving.reply_to {
             Some(parent) => {
                 self.stats.aborts_sent += 1;
-                if ctx
-                    .send(parent, TxnMsg::Fault { txn, inv: serving.inv, fault })
-                    .is_err()
-                {
+                if ctx.send(parent, TxnMsg::Fault { txn, inv: serving.inv, fault }).is_err() {
                     self.record_detection(ctx, parent, DetectHow::SendFailure);
                     if self.config.chaining {
                         // Route the bad news past the dead parent.
@@ -1257,7 +1244,12 @@ impl AxmlPeer {
                 // Origin: the transaction is aborted.
                 if let Some(tc) = self.contexts.get(&txn) {
                     let started = tc.created_at;
-                    self.outcomes.push(TxnOutcome { txn, committed: false, started_at: started, resolved_at: ctx.now() });
+                    self.outcomes.push(TxnOutcome {
+                        txn,
+                        committed: false,
+                        started_at: started,
+                        resolved_at: ctx.now(),
+                    });
                 }
             }
         }
@@ -1434,9 +1426,10 @@ impl AxmlPeer {
         // Mark the context resolved *without* self-compensating: the
         // compensation just ran. Create a tombstone if we never saw the
         // transaction (replica-targeted compensation).
-        let tc = self.contexts.entry(txn).or_insert_with(|| {
-            TransactionContext::new(txn, None, ActiveList::new(txn.origin, false), ctx.now())
-        });
+        let tc = self
+            .contexts
+            .entry(txn)
+            .or_insert_with(|| TransactionContext::new(txn, None, ActiveList::new(txn.origin, false), ctx.now()));
         tc.resolve(TxnState::Aborted, ctx.now());
         self.conflicts.release(txn);
     }
@@ -1460,12 +1453,8 @@ impl AxmlPeer {
         self.monitor.unwatch(peer);
         self.watch_counts.remove(&peer);
         // Every outstanding invocation on that peer fails.
-        let affected: Vec<InvocationId> = self
-            .waiting
-            .iter()
-            .filter(|(_, w)| w.child_peer == peer)
-            .map(|(i, _)| *i)
-            .collect();
+        let affected: Vec<InvocationId> =
+            self.waiting.iter().filter(|(_, w)| w.child_peer == peer).map(|(i, _)| *i).collect();
         // Scenario (c) chaining: warn the disconnected peer's descendants
         // before recovering, so they stop wasting effort / offer reuse.
         if self.config.chaining {
@@ -1531,19 +1520,14 @@ impl AxmlPeer {
             return;
         }
         let my_parent = tc.parent.map(|(p, _)| p);
-        if self
-            .waiting
-            .values()
-            .any(|w| w.child_peer == disconnected && w.txn == txn)
-        {
+        if self.waiting.values().any(|w| w.child_peer == disconnected && w.txn == txn) {
             // It's one of our children: recover.
             self.on_child_disconnected(ctx, disconnected, DetectHow::Notice);
             return;
         }
         if my_parent == Some(disconnected) {
             // Our consumer is gone: our work for this txn is orphaned.
-            let mine: Vec<InvocationId> =
-                self.servings.iter().filter(|(_, s)| s.txn == txn).map(|(i, _)| *i).collect();
+            let mine: Vec<InvocationId> = self.servings.iter().filter(|(_, s)| s.txn == txn).map(|(i, _)| *i).collect();
             if !mine.is_empty() {
                 self.stats.orphan_stops += 1;
                 self.abort_local(ctx, txn);
@@ -1590,9 +1574,7 @@ impl AxmlPeer {
         let silent: Vec<(TxnId, PeerId)> = self
             .stream_last
             .iter()
-            .filter(|((txn, _), last)| {
-                active_txns.contains(txn) && now.saturating_sub(**last) > interval * 3
-            })
+            .filter(|((txn, _), last)| active_txns.contains(txn) && now.saturating_sub(**last) > interval * 3)
             .map(|((t, p), _)| (*t, *p))
             .collect();
         for (txn, peer) in silent {
@@ -1848,8 +1830,7 @@ mod tests {
         );
         // AP3: inner supplies the seed value.
         peers[3].registry.register(
-            ServiceDef::function("inner", |_| Ok(vec![Fragment::elem_text("seed", "42")]))
-                .with_results(&["seed"]),
+            ServiceDef::function("inner", |_| Ok(vec![Fragment::elem_text("seed", "42")])).with_results(&["seed"]),
         );
         let mut sim = Sim::new(SimConfig::default(), peers);
         sim.actor_mut(PeerId(1)).auto_submit = Some(("root".into(), vec![]));

@@ -165,16 +165,20 @@ impl ScenarioBuilder {
             Some(_) => "</axml:catch>",
             None => "</axml:catchAll>",
         };
-        self.handlers
-            .push((peer, child, format!(r#"{open}<out>substituted-{peer}-{child}</out>{close}"#)));
+        self.handlers.push((peer, child, format!(r#"{open}<out>substituted-{peer}-{child}</out>{close}"#)));
         self
     }
 
-    fn children_of(&self, peer: u32) -> Vec<u32> {
+    /// The children `peer` invokes, in edge order. Public so static
+    /// analysis can walk the planned invocation tree without building the
+    /// simulator.
+    pub fn children_of(&self, peer: u32) -> Vec<u32> {
         self.edges.iter().filter(|(p, _)| *p == peer).map(|(_, c)| *c).collect()
     }
 
-    fn peers(&self) -> Vec<u32> {
+    /// Every peer the scenario involves (tree peers plus replicas),
+    /// sorted and deduplicated.
+    pub fn peers(&self) -> Vec<u32> {
         let mut v: Vec<u32> = self
             .edges
             .iter()
@@ -187,21 +191,39 @@ impl ScenarioBuilder {
         v
     }
 
-    fn doc_xml(&self, peer: u32) -> String {
+    /// The AXML document hosted by `peer`: its own data plus one
+    /// `axml:sc` call (with any attached handlers) per invoked child.
+    pub fn doc_xml(&self, peer: u32) -> String {
         let mut xml = format!("<d><slot>initial-{peer}</slot><out>base-{peer}</out>");
         for child in self.children_of(peer) {
-            let handlers: String = self
-                .handlers
-                .iter()
-                .filter(|(p, c, _)| *p == peer && *c == child)
-                .map(|(_, _, h)| h.clone())
-                .collect();
+            let handlers: String =
+                self.handlers.iter().filter(|(p, c, _)| *p == peer && *c == child).map(|(_, _, h)| h.clone()).collect();
             xml.push_str(&format!(
                 r#"<axml:sc mode="replace" serviceNameSpace="S{child}" serviceURL="peer://ap{child}" methodName="S{child}">{handlers}</axml:sc>"#
             ));
         }
         xml.push_str("</d>");
         xml
+    }
+
+    /// The active-peer list this scenario unfolds into when every
+    /// invocation succeeds: the invocation tree reachable from the origin,
+    /// with super peers marked. Replicas are excluded — they join only
+    /// during recovery. Unreachable edges are simply not part of the
+    /// chain (the well-formedness lints flag them).
+    pub fn planned_chain(&self) -> crate::chain::ActiveList {
+        let mut chain = crate::chain::ActiveList::new(PeerId(self.origin), self.supers.contains(&self.origin));
+        let mut seen = std::collections::BTreeSet::from([self.origin]);
+        let mut queue = std::collections::VecDeque::from([self.origin]);
+        while let Some(p) = queue.pop_front() {
+            for c in self.children_of(p) {
+                if seen.insert(c) {
+                    chain.add_invocation(PeerId(p), PeerId(c), self.supers.contains(&c));
+                    queue.push_back(c);
+                }
+            }
+        }
+        chain
     }
 
     fn service_for(&self, peer: u32) -> axml_doc::ServiceDef {
@@ -216,7 +238,8 @@ impl ScenarioBuilder {
                 // materializes the embedded calls; the written element is
                 // named `done` so children's materialized results never
                 // collide with the parent's own `slot` target.
-                let loc = axml_query::Locator::parse("Select v/slot from v in d where exists v//out").expect("static locator");
+                let loc = axml_query::Locator::parse("Select v/slot from v in d where exists v//out")
+                    .expect("static locator");
                 let action = axml_query::UpdateAction::replace(
                     loc,
                     vec![axml_xml::Fragment::elem_text("done", format!("done-{peer}"))],
@@ -294,7 +317,13 @@ impl ScenarioBuilder {
                 baseline.insert((PeerId(p), name.to_string()), actor.repo.get(name).expect("listed").to_xml());
             }
         }
-        Scenario { sim, origin, participants: peers.iter().map(|p| PeerId(*p)).collect(), baseline, deadline: self.deadline }
+        Scenario {
+            sim,
+            origin,
+            participants: peers.iter().map(|p| PeerId(*p)).collect(),
+            baseline,
+            deadline: self.deadline,
+        }
     }
 }
 
@@ -333,9 +362,7 @@ impl Scenario {
     pub fn run(&mut self) -> ScenarioReport {
         let finished_at = self.sim.run_until(self.deadline);
         let outcome = self.sim.actor(self.origin).outcomes.first().cloned();
-        let txn = outcome.as_ref().map(|o| o.txn).or_else(|| {
-            self.sim.actor(self.origin).known_txns().first().copied()
-        });
+        let txn = outcome.as_ref().map(|o| o.txn).or_else(|| self.sim.actor(self.origin).known_txns().first().copied());
         let atomic = self.atomicity_holds();
         let mut stats = BTreeMap::new();
         for &p in &self.participants {
@@ -393,13 +420,11 @@ impl Scenario {
                     return true;
                 }
                 let actor = self.sim.actor(p);
-                actor.repo.names().iter().all(|name| {
-                    match self.baseline.get(&(p, name.to_string())) {
-                        None => true,
-                        Some(base) => {
-                            let now = actor.repo.get(name).expect("listed").to_xml();
-                            now == *base
-                        }
+                actor.repo.names().iter().all(|name| match self.baseline.get(&(p, name.to_string())) {
+                    None => true,
+                    Some(base) => {
+                        let now = actor.repo.get(name).expect("listed").to_xml();
+                        now == *base
                     }
                 })
             })
@@ -511,11 +536,7 @@ mod tests {
         // performing forward recovery") and the transaction commits.
         let mut cfg = PeerConfig::default();
         cfg.use_alternative_providers = false;
-        let mut s = ScenarioBuilder::fig1()
-            .fault_at(5)
-            .substitute_handler(3, 5, None)
-            .config(cfg)
-            .build();
+        let mut s = ScenarioBuilder::fig1().fault_at(5).substitute_handler(3, 5, None).config(cfg).build();
         let report = s.run();
         let outcome = report.outcome.expect("resolved");
         assert!(outcome.committed, "forward recovery absorbs the fault");
@@ -532,11 +553,7 @@ mod tests {
         // then propagates.
         let mut cfg = PeerConfig::default();
         cfg.use_alternative_providers = false;
-        let mut s = ScenarioBuilder::fig1()
-            .fault_at(5)
-            .retry_handler(3, 5, None, 2, 3)
-            .config(cfg)
-            .build();
+        let mut s = ScenarioBuilder::fig1().fault_at(5).retry_handler(3, 5, None, 2, 3).config(cfg).build();
         let report = s.run();
         assert!(!report.outcome.expect("resolved").committed);
         let ap3 = &report.stats[&PeerId(3)];
@@ -566,10 +583,7 @@ mod tests {
     fn fig1_backward_only_never_tries_forward_recovery() {
         let mut cfg = PeerConfig::default();
         cfg.recovery = RecoveryStyle::BackwardOnly;
-        let (b, _replica) = ScenarioBuilder::fig1()
-            .fault_at(5)
-            .substitute_handler(3, 5, None)
-            .with_replica(5);
+        let (b, _replica) = ScenarioBuilder::fig1().fault_at(5).substitute_handler(3, 5, None).with_replica(5);
         let mut s = b.config(cfg).build();
         let report = s.run();
         assert!(!report.outcome.expect("resolved").committed);
@@ -618,11 +632,7 @@ mod tests {
         assert!(!outcome.committed);
         assert!(report.atomic, "divergent: {:?}", s.divergent_docs());
         let ap3 = &report.stats[&PeerId(3)];
-        let det = ap3
-            .detections
-            .iter()
-            .find(|d| d.disconnected == PeerId(6))
-            .expect("AP3 detected AP6");
+        let det = ap3.detections.iter().find(|d| d.disconnected == PeerId(6)).expect("AP3 detected AP6");
         assert!(matches!(det.how, DetectHow::PingTimeout));
     }
 
@@ -715,17 +725,10 @@ mod tests {
         cfg.ping_interval = 400; // pings would otherwise detect first
         cfg.ping_timeout = 900;
         cfg.use_alternative_providers = false;
-        let mut s = fig2_with(&[(3, 3000), (4, 3000), (5, 50), (6, 50)])
-            .disconnect(60, 3)
-            .config(cfg)
-            .build();
+        let mut s = fig2_with(&[(3, 3000), (4, 3000), (5, 50), (6, 50)]).disconnect(60, 3).config(cfg).build();
         let report = s.run();
         let ap4 = &report.stats[&PeerId(4)];
-        let det = ap4
-            .detections
-            .iter()
-            .find(|d| d.disconnected == PeerId(3))
-            .expect("AP4 detected its sibling");
+        let det = ap4.detections.iter().find(|d| d.disconnected == PeerId(3)).expect("AP4 detected its sibling");
         assert!(
             matches!(det.how, DetectHow::StreamSilence | DetectHow::SendFailure),
             "stream-based detection, got {:?}",
@@ -768,8 +771,21 @@ mod tests {
         let chain = &s.sim.actor(PeerId(1)).context(txn).unwrap().chain;
         assert_eq!(chain.to_notation(), "[AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]");
     }
-}
 
+    #[test]
+    fn planned_chain_matches_actual_run() {
+        // The statically-predicted chain equals the chain a fault-free run
+        // actually records at the origin.
+        let builder = ScenarioBuilder::fig2();
+        let planned = builder.planned_chain();
+        assert_eq!(planned.to_notation(), "[AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]");
+        let mut s = builder.build();
+        let report = s.run();
+        let txn = report.txn.unwrap();
+        let actual = &s.sim.actor(PeerId(1)).context(txn).unwrap().chain;
+        assert_eq!(*actual, planned);
+    }
+}
 
 #[cfg(test)]
 mod config_matrix_tests {

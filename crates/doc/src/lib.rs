@@ -31,18 +31,18 @@ pub mod fault;
 pub mod materialize;
 pub mod repo;
 pub mod sc;
-pub mod shared;
 pub mod service;
+pub mod shared;
 pub mod view;
 
 pub use fault::Fault;
 pub use materialize::{
-    apply_call_results, EvalMode, InvocationRecord, LocalInvoker, MaterializationEngine,
-    MaterializationReport, ResolvedCall, ServiceInvoker, ServiceResponse,
+    apply_call_results, EvalMode, InvocationRecord, LocalInvoker, MaterializationEngine, MaterializationReport,
+    ResolvedCall, ServiceInvoker, ServiceResponse,
 };
-pub use view::apply_update_transparent;
 pub use repo::Repository;
-pub use shared::SharedRepository;
 pub use sc::{FaultHandler, HandlerAction, Param, ParamValue, ScMode, ServiceCall};
 pub use service::{ServiceDef, ServiceKind, ServiceRegistry};
+pub use shared::SharedRepository;
+pub use view::apply_update_transparent;
 pub use view::TransparentView;

@@ -234,15 +234,9 @@ impl MaterializationEngine {
         let Some(sc_node) = call.node else { return false };
         // Condition 1: position check against potential bindings on the view.
         let view = TransparentView::build(doc);
-        let potential: Vec<NodeId> = query
-            .from
-            .eval(&view.view)
-            .into_iter()
-            .filter_map(|v| view.to_original(v))
-            .collect();
-        let in_scope = potential
-            .iter()
-            .any(|b| sc_node == *b || doc.is_descendant_of(sc_node, *b));
+        let potential: Vec<NodeId> =
+            query.from.eval(&view.view).into_iter().filter_map(|v| view.to_original(v)).collect();
+        let in_scope = potential.iter().any(|b| sc_node == *b || doc.is_descendant_of(sc_node, *b));
         if !in_scope {
             return false;
         }
@@ -342,31 +336,30 @@ impl MaterializationEngine {
     ) -> Result<Vec<(String, String)>, Fault> {
         let mut out = Vec::with_capacity(call.params.len());
         for p in &call.params {
-            let value = match &p.value {
-                ParamValue::Literal(v) => v.clone(),
-                ParamValue::External(name) => self
-                    .externals
-                    .get(name)
-                    .cloned()
-                    .ok_or_else(|| Fault::new("MissingExternal", format!("no value for external parameter ${name}")))?,
-                ParamValue::Xml(frags) => frags.iter().map(Fragment::text_content).collect(),
-                ParamValue::Call(nested) => {
-                    // Local nesting: "evaluating a service call may require
-                    // evaluating the parameters' service calls first".
-                    if depth >= self.max_depth {
-                        return Err(Fault::execution("parameter call nesting too deep"));
+            let value =
+                match &p.value {
+                    ParamValue::Literal(v) => v.clone(),
+                    ParamValue::External(name) => self.externals.get(name).cloned().ok_or_else(|| {
+                        Fault::new("MissingExternal", format!("no value for external parameter ${name}"))
+                    })?,
+                    ParamValue::Xml(frags) => frags.iter().map(Fragment::text_content).collect(),
+                    ParamValue::Call(nested) => {
+                        // Local nesting: "evaluating a service call may require
+                        // evaluating the parameters' service calls first".
+                        if depth >= self.max_depth {
+                            return Err(Fault::execution("parameter call nesting too deep"));
+                        }
+                        let resolved = self.resolve_params(nested, invoker, report, depth + 1)?;
+                        let rc = ResolvedCall {
+                            service_url: nested.service_url.clone(),
+                            service_ns: nested.service_ns.clone(),
+                            method: nested.method.clone(),
+                            params: resolved,
+                        };
+                        let items = self.invoke_with_handlers(nested, &rc, invoker, report)?;
+                        items.iter().map(Fragment::text_content).collect::<String>()
                     }
-                    let resolved = self.resolve_params(nested, invoker, report, depth + 1)?;
-                    let rc = ResolvedCall {
-                        service_url: nested.service_url.clone(),
-                        service_ns: nested.service_ns.clone(),
-                        method: nested.method.clone(),
-                        params: resolved,
-                    };
-                    let items = self.invoke_with_handlers(nested, &rc, invoker, report)?;
-                    items.iter().map(Fragment::text_content).collect::<String>()
-                }
-            };
+                };
             out.push((p.name.clone(), value));
         }
         Ok(out)
@@ -702,10 +695,7 @@ mod tests {
         let mut repo = Repository::new();
         let reg = registry();
         let mut inv = LocalInvoker { registry: &reg, repo: &mut repo };
-        let q = SelectQuery::parse(
-            "Select p/points from p in ATPList/player[@rank=2]",
-        )
-        .unwrap();
+        let q = SelectQuery::parse("Select p/points from p in ATPList/player[@rank=2]").unwrap();
         let (_, report) = engine().query(&mut doc, &q, &mut inv).unwrap();
         assert_eq!(report.materialized, 0, "rank-1 calls are outside the binding subtree");
     }
@@ -874,7 +864,10 @@ mod tests {
                     "inner" => Ok(ServiceResponse { items: vec![Fragment::elem_text("v", "42")], effects: vec![] }),
                     "outer" => {
                         let p = call.params.iter().find(|(k, _)| k == "in").map(|(_, v)| v.clone()).unwrap_or_default();
-                        Ok(ServiceResponse { items: vec![Fragment::elem_text("out", format!("got-{p}"))], effects: vec![] })
+                        Ok(ServiceResponse {
+                            items: vec![Fragment::elem_text("out", format!("got-{p}"))],
+                            effects: vec![],
+                        })
                     }
                     other => Err(Fault::no_such_service(other)),
                 }
@@ -909,7 +902,9 @@ mod tests {
                         let sc = ServiceCall::build("peer://b", "direct", ScMode::Replace);
                         Ok(ServiceResponse { items: vec![sc.to_fragment()], effects: vec![] })
                     }
-                    "direct" => Ok(ServiceResponse { items: vec![Fragment::elem_text("final", "yes")], effects: vec![] }),
+                    "direct" => {
+                        Ok(ServiceResponse { items: vec![Fragment::elem_text("final", "yes")], effects: vec![] })
+                    }
                     other => Err(Fault::no_such_service(other)),
                 }
             }
@@ -1026,10 +1021,7 @@ mod periodic_tests {
     impl ServiceInvoker for Counter {
         fn invoke(&mut self, _call: &ResolvedCall) -> Result<ServiceResponse, Fault> {
             self.0 += 1;
-            Ok(ServiceResponse {
-                items: vec![Fragment::elem_text("tick", self.0.to_string())],
-                effects: vec![],
-            })
+            Ok(ServiceResponse { items: vec![Fragment::elem_text("tick", self.0.to_string())], effects: vec![] })
         }
     }
 
@@ -1092,9 +1084,7 @@ mod periodic_tests {
                     .unwrap();
                 }
                 axml_query::Effect::Inserted { path, .. } => {
-                    axml_query::UpdateAction::delete(axml_query::Locator::Node(path.clone()))
-                        .apply(&mut doc)
-                        .unwrap();
+                    axml_query::UpdateAction::delete(axml_query::Locator::Node(path.clone())).apply(&mut doc).unwrap();
                 }
             }
         }

@@ -180,7 +180,8 @@ impl ServiceCall {
                     call.handlers.push(FaultHandler { fault_name, action: Self::parse_handler_action(doc, child) });
                 }
                 consts::CATCH_ALL => {
-                    call.handlers.push(FaultHandler { fault_name: None, action: Self::parse_handler_action(doc, child) });
+                    call.handlers
+                        .push(FaultHandler { fault_name: None, action: Self::parse_handler_action(doc, child) });
                 }
                 _ => {}
             }
@@ -227,11 +228,11 @@ impl ServiceCall {
                         .children(c)
                         .ok()
                         .and_then(|cs| {
-                            cs.iter().find(|n| {
-                                doc.name(**n)
-                                    .map(|q| consts::is_sc(q.prefix.as_deref(), &q.local))
-                                    .unwrap_or(false)
-                            }).copied()
+                            cs.iter()
+                                .find(|n| {
+                                    doc.name(**n).map(|q| consts::is_sc(q.prefix.as_deref(), &q.local)).unwrap_or(false)
+                                })
+                                .copied()
                         })
                         .and_then(|sc| ServiceCall::parse(doc, sc))
                         .map(Box::new);
@@ -259,10 +260,7 @@ impl ServiceCall {
         let mut out = Vec::new();
         let mut stack = vec![doc.root()];
         while let Some(node) = stack.pop() {
-            let is_sc = doc
-                .name(node)
-                .map(|q| consts::is_sc(q.prefix.as_deref(), &q.local))
-                .unwrap_or(false);
+            let is_sc = doc.name(node).map(|q| consts::is_sc(q.prefix.as_deref(), &q.local)).unwrap_or(false);
             if is_sc {
                 if let Some(call) = ServiceCall::parse(doc, node) {
                     out.push(call);
@@ -300,20 +298,13 @@ impl ServiceCall {
         children
             .iter()
             .copied()
-            .filter(|c| {
-                !doc.name(*c)
-                    .map(|q| consts::is_control_child(q.prefix.as_deref(), &q.local))
-                    .unwrap_or(false)
-            })
+            .filter(|c| !doc.name(*c).map(|q| consts::is_control_child(q.prefix.as_deref(), &q.local)).unwrap_or(false))
             .collect()
     }
 
     /// Element names of the current result children (relevance hints).
     pub fn result_names(&self, doc: &Document) -> Vec<QName> {
-        self.result_children(doc)
-            .into_iter()
-            .filter_map(|c| doc.name(c).ok().cloned())
-            .collect()
+        self.result_children(doc).into_iter().filter_map(|c| doc.name(c).ok().cloned()).collect()
     }
 
     /// Builds the `axml:sc` fragment form of this call (used when a
@@ -538,9 +529,7 @@ mod tests {
         </r>"#;
         let doc = Document::parse(src).unwrap();
         let call = &ServiceCall::scan(&doc)[0];
-        let HandlerAction::Retry { times, wait, alternative } = &call.handlers[0].action else {
-            panic!()
-        };
+        let HandlerAction::Retry { times, wait, alternative } = &call.handlers[0].action else { panic!() };
         assert_eq!((*times, *wait), (2, 5));
         assert_eq!(alternative.as_ref().unwrap().service_url, "peer://replica");
     }

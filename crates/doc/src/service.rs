@@ -46,7 +46,9 @@ impl fmt::Debug for ServiceKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServiceKind::Query { doc, query } => write!(f, "Query {{ doc: {doc:?}, query: {} }}", query.to_text()),
-            ServiceKind::Update { doc, action } => write!(f, "Update {{ doc: {doc:?}, action: {} }}", action.to_action_xml()),
+            ServiceKind::Update { doc, action } => {
+                write!(f, "Update {{ doc: {doc:?}, action: {} }}", action.to_action_xml())
+            }
             ServiceKind::Function(_) => write!(f, "Function(..)"),
         }
     }
@@ -127,22 +129,19 @@ impl ServiceDef {
         match &self.kind {
             ServiceKind::Query { doc, query } => {
                 let query = substitute_query(query, params)?;
-                let document = repo
-                    .get(doc)
-                    .ok_or_else(|| Fault::execution(format!("service {} references missing document {doc}", self.name)))?;
+                let document = repo.get(doc).ok_or_else(|| {
+                    Fault::execution(format!("service {} references missing document {doc}", self.name))
+                })?;
                 let hits = TransparentView::eval(document, &query)
                     .map_err(|e| Fault::execution(format!("query failed: {e}")))?;
-                let items = hits
-                    .iter()
-                    .filter_map(|n| document.extract_fragment(*n).ok())
-                    .collect();
+                let items = hits.iter().filter_map(|n| document.extract_fragment(*n).ok()).collect();
                 Ok(ServiceResponse { items, effects: Vec::new() })
             }
             ServiceKind::Update { doc, action } => {
                 let action = substitute_action(action, params)?;
-                let document = repo
-                    .get_mut(doc)
-                    .ok_or_else(|| Fault::execution(format!("service {} references missing document {doc}", self.name)))?;
+                let document = repo.get_mut(doc).ok_or_else(|| {
+                    Fault::execution(format!("service {} references missing document {doc}", self.name))
+                })?;
                 let report = crate::view::apply_update_transparent(document, &action)
                     .map_err(|e| Fault::execution(format!("update failed: {e}")))?;
                 // Result items: for inserts, the inserted content (whose
@@ -296,9 +295,7 @@ mod tests {
             vec![Fragment::elem_text("citizenship", "$new")],
         );
         let svc = ServiceDef::update("setCitizenship", "atp", action);
-        let resp = svc
-            .execute(&[("who".into(), "Nadal".into()), ("new".into(), "USA".into())], &mut repo)
-            .unwrap();
+        let resp = svc.execute(&[("who".into(), "Nadal".into()), ("new".into(), "USA".into())], &mut repo).unwrap();
         assert_eq!(resp.effects.len(), 2, "delete + insert");
         assert_eq!(resp.items.len(), 1);
         assert_eq!(resp.items[0].text_content(), "USA");
@@ -361,14 +358,11 @@ mod tests {
             vec![Fragment::elem_text("citizenship", "$new")],
         );
         let svc = ServiceDef::update("setCitizenship", "atp", action);
-        let resp = svc
-            .execute(&[("new".into(), "<evil attr=\"x\">&payload;</evil>".into())], &mut repo)
-            .unwrap();
+        let resp = svc.execute(&[("new".into(), "<evil attr=\"x\">&payload;</evil>".into())], &mut repo).unwrap();
         assert_eq!(resp.items.len(), 1);
         let item = &resp.items[0];
         assert_eq!(item.name().unwrap().local, "citizenship");
-        assert!(item.children().iter().all(|c| matches!(c, Fragment::Text(_))),
-            "no injected elements: {item:?}");
+        assert!(item.children().iter().all(|c| matches!(c, Fragment::Text(_))), "no injected elements: {item:?}");
         assert!(item.text_content().contains("<evil"), "value preserved as text");
     }
 

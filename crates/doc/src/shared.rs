@@ -44,15 +44,10 @@ impl SharedRepository {
     /// escape the lock).
     pub fn query(&self, doc: &str, query: &SelectQuery) -> Result<Vec<Fragment>, Fault> {
         self.read(|repo| {
-            let document = repo
-                .get(doc)
-                .ok_or_else(|| Fault::execution(format!("no document {doc}")))?;
-            let hits = TransparentView::eval(document, query)
-                .map_err(|e| Fault::execution(format!("query failed: {e}")))?;
-            Ok(hits
-                .into_iter()
-                .filter_map(|n| document.extract_fragment(n).ok())
-                .collect())
+            let document = repo.get(doc).ok_or_else(|| Fault::execution(format!("no document {doc}")))?;
+            let hits =
+                TransparentView::eval(document, query).map_err(|e| Fault::execution(format!("query failed: {e}")))?;
+            Ok(hits.into_iter().filter_map(|n| document.extract_fragment(n).ok()).collect())
         })
     }
 

@@ -141,10 +141,7 @@ pub fn apply_update_transparent(
         Locator::Select(q) => TransparentView::eval(doc, q)?,
         Locator::Path(_) | Locator::Node(_) | Locator::Nodes(_) => action.location.locate(doc)?,
     };
-    let paths: Vec<NodePath> = targets
-        .iter()
-        .map(|t| NodePath::of(doc, *t))
-        .collect::<Result<_, _>>()?;
+    let paths: Vec<NodePath> = targets.iter().map(|t| NodePath::of(doc, *t)).collect::<Result<_, _>>()?;
     let located = axml_query::UpdateAction { location: Locator::Nodes(paths), ..action.clone() };
     located.apply(doc)
 }

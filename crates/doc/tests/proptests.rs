@@ -6,8 +6,7 @@
 //! the exact original document, in both lazy and eager modes.
 
 use axml_doc::{
-    EvalMode, Fault, MaterializationEngine, ResolvedCall, ServiceCall, ServiceInvoker,
-    ServiceResponse, TransparentView,
+    EvalMode, Fault, MaterializationEngine, ResolvedCall, ServiceCall, ServiceInvoker, ServiceResponse, TransparentView,
 };
 use axml_query::{Effect, InsertPos, Locator, SelectQuery, UpdateAction};
 use axml_xml::{Document, Fragment, QName};
@@ -146,5 +145,79 @@ proptest! {
         let engine = MaterializationEngine::new(EvalMode::Eager);
         let _ = engine.materialize_all(&mut doc, &mut Fabric).unwrap();
         prop_assert_eq!(ServiceCall::scan(&doc).len(), n_before);
+    }
+}
+
+/// Walks `steps` through the child lists from the root, stopping early at
+/// leaves; always yields an attached node.
+fn pick_node(doc: &Document, steps: &[usize]) -> axml_xml::NodeId {
+    let mut cur = doc.root();
+    for &s in steps {
+        let kids = doc.children(cur).expect("attached");
+        if kids.is_empty() {
+            break;
+        }
+        cur = kids[s % kids.len()];
+    }
+    cur
+}
+
+proptest! {
+    /// §3.1 with *explicit* updates rather than materialization: any
+    /// random sequence of structural insert/delete/replace actions is
+    /// undone exactly by the compensation built from its logged effects —
+    /// checked against the real `axml_core::compensate`, not a local
+    /// reimplementation.
+    #[test]
+    fn random_update_sequences_compensate_to_identity(
+        doc in axml_doc_strategy(),
+        ops in proptest::collection::vec(
+            (0u8..3u8, proptest::collection::vec(0usize..16, 0..4), 0usize..8),
+            0..12,
+        ),
+    ) {
+        use axml_core::compensate::{apply_compensation, compensation_for_effects};
+        use axml_query::NodePath;
+
+        let mut doc = doc;
+        let before = doc.to_xml();
+        let mut log: Vec<Effect> = Vec::new();
+        for (kind, steps, aux) in &ops {
+            let target = pick_node(&doc, steps);
+            let is_element = doc.name(target).is_ok();
+            let action = match kind {
+                0 => {
+                    if !is_element {
+                        continue; // cannot insert under text/comments
+                    }
+                    let slots = doc.children(target).unwrap().len() + 1;
+                    UpdateAction::insert_at(
+                        Locator::Node(NodePath::of(&doc, target).unwrap()),
+                        vec![Fragment::elem_text("ins", format!("v{aux}"))],
+                        InsertPos::At(aux % slots),
+                    )
+                }
+                1 => {
+                    if target == doc.root() {
+                        continue; // the root is immutable
+                    }
+                    UpdateAction::delete(Locator::Node(NodePath::of(&doc, target).unwrap()))
+                }
+                _ => {
+                    if target == doc.root() {
+                        continue;
+                    }
+                    UpdateAction::replace(
+                        Locator::Node(NodePath::of(&doc, target).unwrap()),
+                        vec![Fragment::elem_text("rep", format!("v{aux}"))],
+                    )
+                }
+            };
+            let report = action.apply(&mut doc).expect("structural action applies");
+            log.extend(report.effects);
+        }
+        let comp = compensation_for_effects(&log);
+        apply_compensation(&mut doc, &comp).expect("compensation applies");
+        prop_assert_eq!(doc.to_xml(), before);
     }
 }

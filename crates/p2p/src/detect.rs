@@ -44,11 +44,7 @@ impl PingMonitor {
 
     /// Peers silent past the timeout as of `now`.
     pub fn suspects(&self, now: u64) -> Vec<PeerId> {
-        self.watched
-            .iter()
-            .filter(|(_, &last)| now.saturating_sub(last) > self.timeout)
-            .map(|(&p, _)| p)
-            .collect()
+        self.watched.iter().filter(|(_, &last)| now.saturating_sub(last) > self.timeout).map(|(&p, _)| p).collect()
     }
 
     /// Peers currently watched.

@@ -52,10 +52,7 @@ impl Directory {
     /// An alternative provider of `service`, excluding the given peers —
     /// the "alternative participant" used for forward recovery.
     pub fn alternative_provider(&self, service: &str, exclude: &[PeerId]) -> Option<PeerId> {
-        self.service_providers(service)
-            .iter()
-            .copied()
-            .find(|p| !exclude.contains(p))
+        self.service_providers(service).iter().copied().find(|p| !exclude.contains(p))
     }
 
     /// An alternative replica of `doc`, excluding the given peers.

@@ -460,10 +460,7 @@ mod tests {
     #[test]
     fn different_seeds_change_latency_schedule() {
         let run = |seed| {
-            let mut s = Sim::new(
-                SimConfig { seed, ..Default::default() },
-                vec![Echo::default(), Echo::default()],
-            );
+            let mut s = Sim::new(SimConfig { seed, ..Default::default() }, vec![Echo::default(), Echo::default()]);
             s.schedule_timer(0, PeerId(0), 1);
             s.run();
             s.actor(PeerId(1)).deliveries_at.clone()

@@ -84,22 +84,12 @@ impl Operand {
         match self {
             Operand::Literal(s) => vec![s.clone()],
             Operand::Path { path, attr } => {
-                let nodes = if path.steps.is_empty() {
-                    vec![binding]
-                } else {
-                    path.eval_relative(doc, binding)
-                };
+                let nodes = if path.steps.is_empty() { vec![binding] } else { path.eval_relative(doc, binding) };
                 match attr {
-                    None => nodes
-                        .iter()
-                        .filter_map(|n| doc.text_content(*n).ok())
-                        .map(|t| t.trim().to_string())
-                        .collect(),
-                    Some(a) => nodes
-                        .iter()
-                        .filter_map(|n| doc.attr(*n, &a.as_string()))
-                        .map(str::to_string)
-                        .collect(),
+                    None => {
+                        nodes.iter().filter_map(|n| doc.text_content(*n).ok()).map(|t| t.trim().to_string()).collect()
+                    }
+                    Some(a) => nodes.iter().filter_map(|n| doc.attr(*n, &a.as_string())).map(str::to_string).collect(),
                 }
             }
         }
@@ -339,11 +329,7 @@ impl<'a> CondParser<'a> {
             }
             // Trailing attribute access?
             if let Some((head, attr)) = rest.rsplit_once("/@") {
-                let path = if head.is_empty() {
-                    PathExpr { steps: vec![] }
-                } else {
-                    PathExpr::parse(head)?
-                };
+                let path = if head.is_empty() { PathExpr { steps: vec![] } } else { PathExpr::parse(head)? };
                 return Ok(Operand::Path { path, attr: Some(QName::new(attr)) });
             }
             return Ok(Operand::Path { path: PathExpr::parse(rest)?, attr: None });
@@ -511,12 +497,9 @@ mod tests {
 
     #[test]
     fn to_text_reparses() {
-        for src in [
-            "p/name/lastname = Federer",
-            "p/points > 400 and p/@rank = 1",
-            "not (p/a = 1 or p/b = 2)",
-            "exists p/name",
-        ] {
+        for src in
+            ["p/name/lastname = Federer", "p/points > 400 and p/@rank = 1", "not (p/a = 1 or p/b = 2)", "exists p/name"]
+        {
             let c = Condition::parse(src, "p").unwrap();
             let c2 = Condition::parse(&c.to_text().replace("$v", "p"), "p").unwrap();
             assert_eq!(c, c2, "src={src} text={}", c.to_text());

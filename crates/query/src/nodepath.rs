@@ -51,9 +51,7 @@ impl NodePath {
         let mut cur = doc.root();
         for &idx in &self.0 {
             let children = doc.children(cur)?;
-            cur = *children
-                .get(idx)
-                .ok_or_else(|| QueryError::PathUnresolved(self.to_string()))?;
+            cur = *children.get(idx).ok_or_else(|| QueryError::PathUnresolved(self.to_string()))?;
         }
         Ok(cur)
     }

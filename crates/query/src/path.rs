@@ -291,12 +291,8 @@ impl fmt::Display for PathExpr {
 
 fn apply_preds(doc: &Document, step: &Step, matches: &mut Vec<NodeId>) {
     for pred in &step.preds {
-        let filtered: Vec<NodeId> = matches
-            .iter()
-            .enumerate()
-            .filter(|(i, n)| pred.matches(doc, **n, i + 1))
-            .map(|(_, n)| *n)
-            .collect();
+        let filtered: Vec<NodeId> =
+            matches.iter().enumerate().filter(|(i, n)| pred.matches(doc, **n, i + 1)).map(|(_, n)| *n).collect();
         *matches = filtered;
     }
 }
@@ -440,9 +436,7 @@ impl<'a> Parser<'a> {
         if let Some(q @ ('"' | '\'')) = self.peek_char() {
             self.pos += 1;
             let rest = &self.input[self.pos..];
-            let end = rest
-                .find(q)
-                .ok_or_else(|| QueryError::syntax("path", "unterminated quoted value"))?;
+            let end = rest.find(q).ok_or_else(|| QueryError::syntax("path", "unterminated quoted value"))?;
             let v = rest[..end].to_string();
             self.pos += end + 1;
             Ok(v)

@@ -41,8 +41,8 @@ impl SelectQuery {
         if !lower.starts_with("select") {
             return Err(QueryError::syntax("select query", "must start with `select`"));
         }
-        let from_pos = find_keyword(&lower, "from")
-            .ok_or_else(|| QueryError::syntax("select query", "missing `from` clause"))?;
+        let from_pos =
+            find_keyword(&lower, "from").ok_or_else(|| QueryError::syntax("select query", "missing `from` clause"))?;
         let where_pos = find_keyword(&lower, "where");
 
         let proj_src = input["select".len()..from_pos].trim();
@@ -107,11 +107,7 @@ impl SelectQuery {
 
     /// The binding nodes: `from` matches that satisfy the condition.
     pub fn bindings(&self, doc: &Document) -> Vec<NodeId> {
-        self.from
-            .eval(doc)
-            .into_iter()
-            .filter(|n| self.condition.eval(doc, *n))
-            .collect()
+        self.from.eval(doc).into_iter().filter(|n| self.condition.eval(doc, *n)).collect()
     }
 
     /// Evaluates the query: union of projections over all bindings,
@@ -228,10 +224,8 @@ mod tests {
     fn paper_delete_location_query() {
         // Verbatim from §3.1 (modulo the paper's stray `:`).
         let doc = atp();
-        let q = SelectQuery::parse(
-            "Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;",
-        )
-        .unwrap();
+        let q = SelectQuery::parse("Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;")
+            .unwrap();
         let hits = q.eval(&doc).unwrap();
         assert_eq!(texts(&doc, &hits), vec!["Swiss"]);
     }
@@ -240,10 +234,9 @@ mod tests {
     fn paper_compensating_insert_location_query() {
         // The compensation addresses the *parent* of the deleted node.
         let doc = atp();
-        let q = SelectQuery::parse(
-            "Select p/citizenship/.. from p in ATPList//player where p/name/lastname = Federer;",
-        )
-        .unwrap();
+        let q =
+            SelectQuery::parse("Select p/citizenship/.. from p in ATPList//player where p/name/lastname = Federer;")
+                .unwrap();
         let hits = q.eval(&doc).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(doc.name(hits[0]).unwrap().local, "player");
@@ -332,13 +325,13 @@ mod tests {
     fn syntax_errors() {
         for bad in [
             "",
-            "p/citizenship from p in r",              // missing select
-            "Select p/x where p/y = 1",               // missing from
-            "Select from p in r",                     // no projections
-            "Select q/x from p in r",                 // projection not var-rooted
-            "Select p/x from p r",                    // missing `in`
-            "Select p/x from p in",                   // missing path
-            "Select p/x from p in r where",           // empty where is ok...
+            "p/citizenship from p in r",    // missing select
+            "Select p/x where p/y = 1",     // missing from
+            "Select from p in r",           // no projections
+            "Select q/x from p in r",       // projection not var-rooted
+            "Select p/x from p r",          // missing `in`
+            "Select p/x from p in",         // missing path
+            "Select p/x from p in r where", // empty where is ok...
         ] {
             let res = SelectQuery::parse(bad);
             if bad.ends_with("where") {

@@ -178,9 +178,10 @@ impl InsertPos {
             "after" => Ok(InsertPos::After),
             other => {
                 if let Some(n) = other.strip_prefix("at:") {
-                    Ok(InsertPos::At(n.parse().map_err(|_| {
-                        QueryError::syntax("action", format!("bad insert position `{other}`"))
-                    })?))
+                    Ok(InsertPos::At(
+                        n.parse()
+                            .map_err(|_| QueryError::syntax("action", format!("bad insert position `{other}`")))?,
+                    ))
                 } else {
                     Err(QueryError::syntax("action", format!("unknown insert position `{other}`")))
                 }
@@ -257,12 +258,24 @@ pub struct UpdateAction {
 impl UpdateAction {
     /// Builds a delete action.
     pub fn delete(location: Locator) -> UpdateAction {
-        UpdateAction { ty: ActionType::Delete, data: vec![], location, insert_pos: InsertPos::default(), allow_empty_location: false }
+        UpdateAction {
+            ty: ActionType::Delete,
+            data: vec![],
+            location,
+            insert_pos: InsertPos::default(),
+            allow_empty_location: false,
+        }
     }
 
     /// Builds an insert action.
     pub fn insert(location: Locator, data: Vec<Fragment>) -> UpdateAction {
-        UpdateAction { ty: ActionType::Insert, data, location, insert_pos: InsertPos::default(), allow_empty_location: false }
+        UpdateAction {
+            ty: ActionType::Insert,
+            data,
+            location,
+            insert_pos: InsertPos::default(),
+            allow_empty_location: false,
+        }
     }
 
     /// Builds an insert action with explicit placement.
@@ -272,12 +285,24 @@ impl UpdateAction {
 
     /// Builds a replace action.
     pub fn replace(location: Locator, data: Vec<Fragment>) -> UpdateAction {
-        UpdateAction { ty: ActionType::Replace, data, location, insert_pos: InsertPos::default(), allow_empty_location: false }
+        UpdateAction {
+            ty: ActionType::Replace,
+            data,
+            location,
+            insert_pos: InsertPos::default(),
+            allow_empty_location: false,
+        }
     }
 
     /// Builds a query action.
     pub fn query(location: Locator) -> UpdateAction {
-        UpdateAction { ty: ActionType::Query, data: vec![], location, insert_pos: InsertPos::default(), allow_empty_location: true }
+        UpdateAction {
+            ty: ActionType::Query,
+            data: vec![],
+            location,
+            insert_pos: InsertPos::default(),
+            allow_empty_location: true,
+        }
     }
 
     /// Applies the action to `doc`, returning the logged effects.
@@ -385,12 +410,14 @@ impl UpdateAction {
 
     /// Parses the XML action form.
     pub fn parse_action_xml(xml: &str) -> Result<UpdateAction, QueryError> {
-        let frag = Fragment::parse_one(xml)
-            .map_err(|e| QueryError::syntax("action", format!("bad action XML: {e}")))?;
+        let frag =
+            Fragment::parse_one(xml).map_err(|e| QueryError::syntax("action", format!("bad action XML: {e}")))?;
         if frag.name().map(|n| n.local.as_str()) != Some("action") {
             return Err(QueryError::syntax("action", "root element must be <action>"));
         }
-        let ty = ActionType::parse(frag.attr("type").ok_or_else(|| QueryError::syntax("action", "missing type attribute"))?)?;
+        let ty = ActionType::parse(
+            frag.attr("type").ok_or_else(|| QueryError::syntax("action", "missing type attribute"))?,
+        )?;
         let insert_pos = match frag.attr("pos") {
             Some(p) => InsertPos::parse(p)?,
             None => InsertPos::LastChild,
@@ -405,13 +432,7 @@ impl UpdateAction {
             }
         }
         let location = location.ok_or_else(|| QueryError::syntax("action", "missing <location>"))?;
-        Ok(UpdateAction {
-            ty,
-            data,
-            location,
-            insert_pos,
-            allow_empty_location: ty == ActionType::Query,
-        })
+        Ok(UpdateAction { ty, data, location, insert_pos, allow_empty_location: ty == ActionType::Query })
     }
 }
 
@@ -472,14 +493,8 @@ mod tests {
             "Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;",
         ));
         let report = del.apply(&mut doc).unwrap();
-        let Effect::Deleted { fragment, parent_path, position } = report.effects[0].clone() else {
-            panic!()
-        };
-        let comp = UpdateAction::insert_at(
-            Locator::Node(parent_path),
-            vec![fragment],
-            InsertPos::At(position),
-        );
+        let Effect::Deleted { fragment, parent_path, position } = report.effects[0].clone() else { panic!() };
+        let comp = UpdateAction::insert_at(Locator::Node(parent_path), vec![fragment], InsertPos::At(position));
         comp.apply(&mut doc).unwrap();
         assert_eq!(doc.to_xml(), before, "order-preserving compensation");
     }
@@ -510,10 +525,7 @@ mod tests {
     #[test]
     fn insert_returns_unique_ids() {
         let mut doc = atp();
-        let action = UpdateAction::insert(
-            loc("ATPList/player[@rank=1]"),
-            vec![Fragment::elem_text("points", "475")],
-        );
+        let action = UpdateAction::insert(loc("ATPList/player[@rank=1]"), vec![Fragment::elem_text("points", "475")]);
         let report = action.apply(&mut doc).unwrap();
         let Effect::Inserted { node, path, .. } = &report.effects[0] else { panic!() };
         assert!(doc.contains(*node));
@@ -597,11 +609,8 @@ mod tests {
     #[test]
     fn multiple_data_fragments_keep_order() {
         let mut doc = Document::parse("<r><a/></r>").unwrap();
-        let action = UpdateAction::insert_at(
-            loc("r/a"),
-            vec![Fragment::elem("x"), Fragment::elem("y")],
-            InsertPos::After,
-        );
+        let action =
+            UpdateAction::insert_at(loc("r/a"), vec![Fragment::elem("x"), Fragment::elem("y")], InsertPos::After);
         let report = action.apply(&mut doc).unwrap();
         assert_eq!(doc.to_xml(), "<r><a/><x/><y/></r>");
         assert_eq!(report.effects.len(), 2);
@@ -621,7 +630,9 @@ mod tests {
     #[test]
     fn action_xml_roundtrip() {
         let actions = [
-            UpdateAction::delete(loc("Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;")),
+            UpdateAction::delete(loc(
+                "Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;",
+            )),
             UpdateAction::insert(loc("ATPList/player[@rank=1]"), vec![Fragment::elem_text("points", "475")]),
             UpdateAction::insert_at(loc("r/a"), vec![Fragment::elem("x")], InsertPos::Before),
             UpdateAction::replace(loc("node:/0/1"), vec![Fragment::elem_text("citizenship", "USA")]),
@@ -651,21 +662,15 @@ mod tests {
         assert!(UpdateAction::parse_action_xml("<action/>").is_err());
         assert!(UpdateAction::parse_action_xml(r#"<action type="bogus"><location>r</location></action>"#).is_err());
         assert!(UpdateAction::parse_action_xml(r#"<action type="delete"/>"#).is_err());
-        assert!(UpdateAction::parse_action_xml(r#"<action type="insert" pos="weird"><location>r</location></action>"#).is_err());
+        assert!(UpdateAction::parse_action_xml(r#"<action type="insert" pos="weird"><location>r</location></action>"#)
+            .is_err());
         assert!(UpdateAction::parse_action_xml("not xml at all").is_err());
         assert!(Locator::parse("node:/x/y").is_err());
     }
 
     #[test]
     fn locator_text_roundtrip() {
-        for src in [
-            "ATPList//player",
-            "node:/0/1/2",
-            "node:/",
-            "nodes:/0/1,/2",
-            "nodes:",
-            "Select p from p in r;",
-        ] {
+        for src in ["ATPList//player", "node:/0/1/2", "node:/", "nodes:/0/1,/2", "nodes:", "Select p from p in r;"] {
             let l = Locator::parse(src).unwrap();
             let l2 = Locator::parse(&l.to_text()).unwrap();
             assert_eq!(l, l2, "{src}");

@@ -8,8 +8,8 @@
 //!   layer automates it).
 //! - NodePath of/resolve round-trips on random documents.
 
-use axml_query::{InsertPos, Locator, NodePath, PathExpr, SelectQuery, UpdateAction};
 use axml_query::update::Effect;
+use axml_query::{InsertPos, Locator, NodePath, PathExpr, SelectQuery, UpdateAction};
 use axml_xml::{Document, Fragment, NodeId, QName};
 use proptest::prelude::*;
 
@@ -223,11 +223,10 @@ fn select_strategy() -> impl Strategy<Value = String> {
         (0usize..NAMES.len()).prop_map(|i| format!("//{}", NAMES[i])),
         (0usize..NAMES.len(), 0usize..NAMES.len()).prop_map(|(i, j)| format!("/{}/{}", NAMES[i], NAMES[j])),
     ];
-    (path_strategy(), rel.clone(), prop::option::of(rel))
-        .prop_map(|(from, proj, cond)| match cond {
-            None => format!("Select v{proj} from v in {from}"),
-            Some(c) => format!("Select v{proj} from v in {from} where exists v{c}"),
-        })
+    (path_strategy(), rel.clone(), prop::option::of(rel)).prop_map(|(from, proj, cond)| match cond {
+        None => format!("Select v{proj} from v in {from}"),
+        Some(c) => format!("Select v{proj} from v in {from} where exists v{c}"),
+    })
 }
 
 /// Naive reference: enumerate from-bindings via ref_eval on the absolute
@@ -235,11 +234,8 @@ fn select_strategy() -> impl Strategy<Value = String> {
 fn ref_select(doc: &Document, from: &str, proj: &str, cond: Option<&str>) -> Vec<NodeId> {
     let rel_eval = |binding: NodeId, rel: &str| -> Vec<NodeId> {
         // rel is "/x", "//x", or "/x/y".
-        let (desc_first, rest) = if let Some(r) = rel.strip_prefix("//") {
-            (true, r)
-        } else {
-            (false, rel.trim_start_matches('/'))
-        };
+        let (desc_first, rest) =
+            if let Some(r) = rel.strip_prefix("//") { (true, r) } else { (false, rel.trim_start_matches('/')) };
         let parts: Vec<&str> = rest.split('/').collect();
         let mut ctx = vec![binding];
         for (k, name) in parts.iter().enumerate() {

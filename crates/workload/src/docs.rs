@@ -72,16 +72,12 @@ pub fn random_plain_doc(seed: u64, params: &DocParams) -> Document {
 pub fn random_axml_doc(seed: u64, params: &DocParams) -> Document {
     let mut doc = random_plain_doc(seed, params);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
-    let elements: Vec<_> = doc
-        .all_nodes()
-        .filter(|n| doc.name(*n).is_ok())
-        .collect();
+    let elements: Vec<_> = doc.all_nodes().filter(|n| doc.name(*n).is_ok()).collect();
     for k in 0..params.service_calls {
         let host = elements[rng.gen_range(0..elements.len())];
         let url = &params.sc_urls[k % params.sc_urls.len()];
         let mode = if rng.gen_bool(0.5) { ScMode::Replace } else { ScMode::Merge };
-        let call = ServiceCall::build(url.clone(), format!("svc{k}"), mode)
-            .with_param("k", k.to_string());
+        let call = ServiceCall::build(url.clone(), format!("svc{k}"), mode).with_param("k", k.to_string());
         let frag = call.to_fragment();
         // Seed a previous result so relevance analysis has a hint.
         let frag = frag.with_child(Fragment::elem_text(format!("r{k}"), format!("prev{k}")));
@@ -158,7 +154,12 @@ mod tests {
 
     #[test]
     fn axml_doc_embeds_requested_calls() {
-        let params = DocParams { nodes: 60, service_calls: 5, sc_urls: vec!["peer://ap2".into(), "peer://ap3".into()], ..Default::default() };
+        let params = DocParams {
+            nodes: 60,
+            service_calls: 5,
+            sc_urls: vec!["peer://ap2".into(), "peer://ap3".into()],
+            ..Default::default()
+        };
         let doc = random_axml_doc(11, &params);
         let calls = ServiceCall::scan(&doc);
         assert_eq!(calls.len(), 5);

@@ -42,11 +42,8 @@ pub fn random_ops(seed: u64, doc: &Document, mix: OpMix, count: usize) -> Vec<Up
     while out.len() < count && attempts < count * 20 {
         attempts += 1;
         // Pick an existing element name other than the root's.
-        let names: Vec<String> = shadow
-            .all_nodes()
-            .skip(1)
-            .filter_map(|n| shadow.name(n).ok().map(|q| q.local.clone()))
-            .collect();
+        let names: Vec<String> =
+            shadow.all_nodes().skip(1).filter_map(|n| shadow.name(n).ok().map(|q| q.local.clone())).collect();
         if names.is_empty() {
             break;
         }
@@ -56,7 +53,8 @@ pub fn random_ops(seed: u64, doc: &Document, mix: OpMix, count: usize) -> Vec<Up
         let total = mix.total().max(1);
         let roll = rng.gen_range(0..total);
         let action = if roll < mix.insert {
-            let fresh = Fragment::elem_text(format!("n{}", rng.gen_range(0..100)), format!("t{}", rng.gen_range(0..100)));
+            let fresh =
+                Fragment::elem_text(format!("n{}", rng.gen_range(0..100)), format!("t{}", rng.gen_range(0..100)));
             UpdateAction::insert(Locator::Path(PathExpr::parse(&path).expect("generated path")), vec![fresh])
         } else if roll < mix.insert + mix.delete {
             UpdateAction::delete(Locator::Path(PathExpr::parse(&path).expect("generated path")))

@@ -2,9 +2,7 @@
 //! deterministic, structurally valid, and within its declared envelope.
 
 use axml_doc::ServiceCall;
-use axml_workload::{
-    random_axml_doc, random_ops, random_plain_doc, tree_edges, DocParams, OpMix, TreeShape,
-};
+use axml_workload::{random_axml_doc, random_ops, random_plain_doc, tree_edges, DocParams, OpMix, TreeShape};
 use proptest::prelude::*;
 
 proptest! {

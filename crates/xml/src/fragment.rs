@@ -54,11 +54,7 @@ impl Fragment {
     /// assert_eq!(f.to_xml(), "<citizenship>Swiss</citizenship>");
     /// ```
     pub fn elem_text(name: impl Into<QName>, text: impl Into<String>) -> Fragment {
-        Fragment::Element {
-            name: name.into(),
-            attrs: Vec::new(),
-            children: vec![Fragment::Text(text.into())],
-        }
+        Fragment::Element { name: name.into(), attrs: Vec::new(), children: vec![Fragment::Text(text.into())] }
     }
 
     /// Builder: adds an attribute (elements only; no-op otherwise).

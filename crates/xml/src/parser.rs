@@ -207,9 +207,9 @@ impl<'a> Cursor<'a> {
         while let Some(amp) = rest.find('&') {
             out.push_str(&rest[..amp]);
             let after = &rest[amp + 1..];
-            let semi = after.find(';').ok_or_else(|| {
-                ParseError::new(base + consumed + amp, 0, 0, "unterminated entity reference")
-            })?;
+            let semi = after
+                .find(';')
+                .ok_or_else(|| ParseError::new(base + consumed + amp, 0, 0, "unterminated entity reference"))?;
             let ent = &after[..semi];
             match ent {
                 "amp" => out.push('&'),
@@ -218,8 +218,9 @@ impl<'a> Cursor<'a> {
                 "quot" => out.push('"'),
                 "apos" => out.push('\''),
                 _ if ent.starts_with("#x") || ent.starts_with("#X") => {
-                    let code = u32::from_str_radix(&ent[2..], 16)
-                        .map_err(|_| ParseError::new(base + consumed + amp, 0, 0, format!("bad hex char ref `&{ent};`")))?;
+                    let code = u32::from_str_radix(&ent[2..], 16).map_err(|_| {
+                        ParseError::new(base + consumed + amp, 0, 0, format!("bad hex char ref `&{ent};`"))
+                    })?;
                     out.push(char::from_u32(code).ok_or_else(|| {
                         ParseError::new(base + consumed + amp, 0, 0, format!("invalid char ref `&{ent};`"))
                     })?);
@@ -232,14 +233,7 @@ impl<'a> Cursor<'a> {
                         ParseError::new(base + consumed + amp, 0, 0, format!("invalid char ref `&{ent};`"))
                     })?);
                 }
-                _ => {
-                    return Err(ParseError::new(
-                        base + consumed + amp,
-                        0,
-                        0,
-                        format!("unknown entity `&{ent};`"),
-                    ))
-                }
+                _ => return Err(ParseError::new(base + consumed + amp, 0, 0, format!("unknown entity `&{ent};`"))),
             }
             consumed += amp + 1 + semi + 1;
             rest = &after[semi + 1..];
@@ -343,11 +337,7 @@ impl<'a> Cursor<'a> {
                 }
                 let raw = &self.input[start..self.pos];
                 let decoded = self.decode_entities(raw, start)?;
-                let keep = if self.opts.trim_whitespace {
-                    !decoded.trim().is_empty()
-                } else {
-                    !decoded.is_empty()
-                };
+                let keep = if self.opts.trim_whitespace { !decoded.trim().is_empty() } else { !decoded.is_empty() };
                 if keep {
                     let text = if self.opts.trim_whitespace { decoded.trim().to_string() } else { decoded };
                     let t = doc.create_text(text);

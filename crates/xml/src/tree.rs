@@ -117,7 +117,8 @@ pub struct Document {
 impl Document {
     /// Creates a document whose root is an empty element named `root_name`.
     pub fn new(root_name: impl Into<QName>) -> Self {
-        let mut doc = Document { slots: Vec::new(), free: Vec::new(), root: NodeId { index: 0, generation: 0 }, live: 0 };
+        let mut doc =
+            Document { slots: Vec::new(), free: Vec::new(), root: NodeId { index: 0, generation: 0 }, live: 0 };
         let root = doc.alloc(NodeKind::Element { name: root_name.into(), attrs: Vec::new() });
         doc.root = root;
         doc
@@ -413,7 +414,12 @@ impl Document {
     }
 
     /// Sets (or inserts) an attribute, returning the previous value if any.
-    pub fn set_attr(&mut self, node: NodeId, name: impl Into<QName>, value: impl Into<String>) -> Result<Option<String>, TreeError> {
+    pub fn set_attr(
+        &mut self,
+        node: NodeId,
+        name: impl Into<QName>,
+        value: impl Into<String>,
+    ) -> Result<Option<String>, TreeError> {
         let name = name.into();
         let value = value.into();
         match &mut self.expect_mut(node)?.kind {
@@ -473,19 +479,17 @@ impl Document {
     /// First child element with the given name.
     pub fn first_child_element(&self, node: NodeId, name: &str) -> Option<NodeId> {
         let qname = QName::new(name);
-        self.get(node)?.children.iter().copied().find(|c| {
-            matches!(self.get(*c).map(|n| &n.kind), Some(NodeKind::Element { name: n, .. }) if *n == qname)
-        })
+        self.get(node)?
+            .children
+            .iter()
+            .copied()
+            .find(|c| matches!(self.get(*c).map(|n| &n.kind), Some(NodeKind::Element { name: n, .. }) if *n == qname))
     }
 
     /// Position of `node` among its parent's children.
     pub fn position_in_parent(&self, node: NodeId) -> Result<usize, TreeError> {
         let parent = self.expect(node)?.parent.ok_or(TreeError::NotAttached)?;
-        self.expect(parent)?
-            .children
-            .iter()
-            .position(|c| *c == node)
-            .ok_or(TreeError::StaleNode)
+        self.expect(parent)?.children.iter().position(|c| *c == node).ok_or(TreeError::StaleNode)
     }
 
     /// True if `node` is a (strict) descendant of `ancestor`.
@@ -751,10 +755,7 @@ mod tests {
         let (mut doc, ..) = sample();
         let root = doc.root();
         let c = doc.create_element("c");
-        assert_eq!(
-            doc.insert_child(root, 7, c),
-            Err(TreeError::PositionOutOfBounds { len: 2, index: 7 })
-        );
+        assert_eq!(doc.insert_child(root, 7, c), Err(TreeError::PositionOutOfBounds { len: 2, index: 7 }));
     }
 
     #[test]

@@ -7,9 +7,7 @@
 //!   node ids stable;
 //! - canonical equivalence is reflexive and invariant under comment noise.
 
-use axml_xml::{
-    canonical, equivalent_ordered, equivalent_unordered, Document, Fragment, NodeId, QName,
-};
+use axml_xml::{canonical, equivalent_ordered, equivalent_unordered, Document, Fragment, NodeId, QName};
 use proptest::prelude::*;
 
 /// Strategy for XML names (restricted alphabet keeps shrinking readable).
@@ -39,12 +37,8 @@ fn fragment_strategy() -> impl Strategy<Value = Fragment> {
         }),
     ];
     leaf.prop_recursive(4, 64, 5, |inner| {
-        (
-            name_strategy(),
-            prop::collection::vec(attr_strategy(), 0..3),
-            prop::collection::vec(inner, 0..5),
-        )
-            .prop_map(|(n, mut attrs, children)| {
+        (name_strategy(), prop::collection::vec(attr_strategy(), 0..3), prop::collection::vec(inner, 0..5)).prop_map(
+            |(n, mut attrs, children)| {
                 attrs.sort();
                 attrs.dedup_by(|a, b| a.0 == b.0);
                 // Adjacent text nodes are merged by the parser; normalize the
@@ -57,7 +51,8 @@ fn fragment_strategy() -> impl Strategy<Value = Fragment> {
                     }
                 }
                 Fragment::Element { name: QName::local(n), attrs, children: merged }
-            })
+            },
+        )
     })
 }
 

@@ -19,10 +19,8 @@ fn main() {
 
     let mut repo = Repository::new();
     repo.put_xml("d3", "<d><slot>initial</slot></d>").unwrap();
-    let action = UpdateAction::replace(
-        Locator::parse("d/slot").unwrap(),
-        vec![Fragment::elem_text("slot", "half-done-work")],
-    );
+    let action =
+        UpdateAction::replace(Locator::parse("d/slot").unwrap(), vec![Fragment::elem_text("slot", "half-done-work")]);
     let report = action.apply(repo.get_mut("d3").unwrap()).unwrap();
     tc.record_local("d3", "S3", report.effects);
     tc.record_remote(PeerId(6), InvocationId::new(PeerId(3), 0), "S6");
@@ -49,7 +47,10 @@ fn main() {
     let mut contexts = replay(&loaded).expect("journal replays");
     println!("\nreplayed {} context(s); state: {:?}", contexts.len(), contexts[0].state);
     let outcome = recover_in_doubt(&mut contexts, &mut repo, 99);
-    println!("recovery: presumed aborted {:?}, compensated {} node(s)", outcome.presumed_aborted, outcome.comp_cost_nodes);
+    println!(
+        "recovery: presumed aborted {:?}, compensated {} node(s)",
+        outcome.presumed_aborted, outcome.comp_cost_nodes
+    );
     println!("document after recovery: {}", repo.get("d3").unwrap().to_xml());
     assert!(repo.get("d3").unwrap().to_xml().contains("initial"));
     std::fs::remove_file(&path).ok();

@@ -10,8 +10,8 @@
 //! cargo run --example tennis_rankings
 //! ```
 
-use axml::doc::{LocalInvoker, MaterializationEngine, ServiceRegistry};
 use axml::core::compensate::{apply_compensation, compensation_for_effects};
+use axml::doc::{LocalInvoker, MaterializationEngine, ServiceRegistry};
 use axml::prelude::*;
 use axml::workload::atp_document;
 
@@ -23,11 +23,7 @@ fn services() -> ServiceRegistry {
     );
     reg.register(
         ServiceDef::function("getGrandSlamsWonbyYear", |params| {
-            let year = params
-                .iter()
-                .find(|(k, _)| k == "year")
-                .map(|(_, v)| v.clone())
-                .unwrap_or_default();
+            let year = params.iter().find(|(k, _)| k == "year").map(|(_, v)| v.clone()).unwrap_or_default();
             Ok(vec![Fragment::elem("grandslamswon").with_attr("year", year).with_text("A, F")])
         })
         .with_results(&["grandslamswon"]),
@@ -46,8 +42,11 @@ fn run_query(label: &str, query_src: &str) {
 
     let (hits, report) = engine.query(&mut doc, &query, &mut invoker).expect("query evaluates");
     println!("— {label} —");
-    println!("  materialized {} call(s): {:?}", report.materialized,
-        report.invocations.iter().map(|i| i.method.as_str()).collect::<Vec<_>>());
+    println!(
+        "  materialized {} call(s): {:?}",
+        report.materialized,
+        report.invocations.iter().map(|i| i.method.as_str()).collect::<Vec<_>>()
+    );
     println!("  results:");
     for h in &hits {
         println!("    {}", doc.subtree_to_xml(*h));

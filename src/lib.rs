@@ -45,12 +45,12 @@ pub use axml_xml as xml;
 pub mod prelude {
     pub use axml_core::scenarios::{Flavor, Scenario, ScenarioBuilder, ScenarioReport};
     pub use axml_core::{
-        sphere_guarantees_atomicity, ActiveList, AxmlPeer, CompensatingService, InvocationId,
-        PeerConfig, RecoveryStyle, TransactionContext, TxnId, TxnMsg, TxnOutcome, TxnState,
+        sphere_guarantees_atomicity, ActiveList, AxmlPeer, CompensatingService, InvocationId, PeerConfig,
+        RecoveryStyle, TransactionContext, TxnId, TxnMsg, TxnOutcome, TxnState,
     };
     pub use axml_doc::{
-        EvalMode, Fault, MaterializationEngine, Repository, ScMode, ServiceCall, ServiceDef,
-        ServiceRegistry, TransparentView,
+        EvalMode, Fault, MaterializationEngine, Repository, ScMode, ServiceCall, ServiceDef, ServiceRegistry,
+        TransparentView,
     };
     pub use axml_p2p::{ChurnSchedule, Directory, PeerId, Sim, SimConfig};
     pub use axml_query::{Locator, PathExpr, SelectQuery, UpdateAction};

@@ -181,8 +181,7 @@ fn double_fault_still_atomic() {
         let mut scenario = builder.build();
         // Second fault, planted directly.
         let second = scenario.sim.actor_mut(PeerId(12));
-        second.registry.get_mut("S12").expect("service").injected_fault =
-            Some(Fault::injected("second failure"));
+        second.registry.get_mut("S12").expect("service").injected_fault = Some(Fault::injected("second failure"));
         let report = scenario.run();
         assert!(report.outcome.is_some(), "seed {seed}: must resolve");
         assert!(!report.outcome.unwrap().committed);

@@ -44,22 +44,16 @@ fn fabric(option_a: bool) -> Sim<TxnMsg, AxmlPeer> {
         .unwrap();
     // Option (b): copy the fragment wholesale.
     peers[2].registry.register(
-        ServiceDef::query(
-            "getFragment",
-            "fragment",
-            SelectQuery::parse("Select p from p in players//player").unwrap(),
-        )
-        .with_results(&["player"]),
+        ServiceDef::query("getFragment", "fragment", SelectQuery::parse("Select p from p in players//player").unwrap())
+            .with_results(&["player"]),
     );
     // Option (a): evaluate the sub-query remotely, ship only results.
     peers[2].registry.register(
         ServiceDef::query(
             "subQuery",
             "fragment",
-            SelectQuery::parse(
-                "Select p/citizenship from p in players//player where p/name/lastname = Federer",
-            )
-            .unwrap(),
+            SelectQuery::parse("Select p/citizenship from p in players//player where p/name/lastname = Federer")
+                .unwrap(),
         )
         .with_results(&["citizenship"]),
     );
@@ -152,9 +146,5 @@ fn aborting_undoes_the_fragment_copy() {
     let origin = sim.actor(PeerId(1));
     let outcome = origin.outcomes.first().expect("resolved");
     assert!(!outcome.committed);
-    assert_eq!(
-        origin.repo.get("head").unwrap().to_xml(),
-        baseline,
-        "the copied fragment was compensated away"
-    );
+    assert_eq!(origin.repo.get("head").unwrap().to_xml(), baseline, "the copied fragment was compensated away");
 }

@@ -33,8 +33,7 @@ fn paper_section_3_1_queries_a_and_b() {
     // Lazy evaluation materializes exactly the call each query needs.
     let mut reg = ServiceRegistry::new();
     reg.register(
-        ServiceDef::function("getPoints", |_| Ok(vec![Fragment::elem_text("points", "890")]))
-            .with_results(&["points"]),
+        ServiceDef::function("getPoints", |_| Ok(vec![Fragment::elem_text("points", "890")])).with_results(&["points"]),
     );
     reg.register(
         ServiceDef::function("getGrandSlamsWonbyYear", |params| {
@@ -168,12 +167,8 @@ fn two_transactions_share_a_provider() {
         );
         peers[origin as usize].repo.put_xml("mine", &doc).unwrap();
         peers[origin as usize].registry.register(
-            ServiceDef::query(
-                "go",
-                "mine",
-                SelectQuery::parse("Select v//out, v//r2, v//r3 from v in d").unwrap(),
-            )
-            .with_results(&["out"]),
+            ServiceDef::query("go", "mine", SelectQuery::parse("Select v//out, v//r2, v//r3 from v in d").unwrap())
+                .with_results(&["out"]),
         );
     }
     for (id, name) in [(2u32, "echo2"), (3u32, "echo3")] {

@@ -7,6 +7,7 @@
 //! serial execution of the winner alone.
 
 use axml::core::peer::WsdlCatalog;
+use axml::p2p::LatencyModel;
 use axml::prelude::*;
 
 /// Two origins (AP1, AP4) concurrently invoke `write` on the shared
@@ -56,7 +57,13 @@ fn build(isolation: bool, stagger: u64) -> Sim<TxnMsg, AxmlPeer> {
                 .with_results(&["slot"]),
         );
     }
-    let mut sim = Sim::new(SimConfig::default(), peers);
+    // Deterministic latency so the overlap/no-overlap structure of each
+    // test is guaranteed by arithmetic (stagger vs. duration), not by
+    // the luck of the jitter draw: with latency fixed at 2, AP1's claim
+    // window [32, 36] always covers AP4's claim at 35.
+    let mut sim_config = SimConfig::default();
+    sim_config.latency = LatencyModel { min: 2, max: 2 };
+    let mut sim = Sim::new(sim_config, peers);
     sim.actor_mut(PeerId(1)).auto_submit = Some(("go".into(), vec![]));
     sim.actor_mut(PeerId(4)).auto_submit = Some(("go".into(), vec![]));
     sim.schedule_timer(0, PeerId(1), 0);
@@ -76,10 +83,7 @@ fn overlapping_writers_first_wins_second_aborts() {
     assert_eq!(provider.stats.isolation_conflicts, 1);
     let doc = provider.repo.get("shared").unwrap().to_xml();
     let winner = if o1.committed { "AP1" } else { "AP4" };
-    assert!(
-        doc.contains(&format!("written-by-{winner}")),
-        "serial-equivalent final state, winner={winner}: {doc}"
-    );
+    assert!(doc.contains(&format!("written-by-{winner}")), "serial-equivalent final state, winner={winner}: {doc}");
     // No lingering claims.
     assert!(provider.conflicts.is_empty());
 }

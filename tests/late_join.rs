@@ -53,10 +53,7 @@ fn offline_alternative_is_skipped_then_fault_handled_by_substitute() {
     // substitution handler: the reissue to the offline replica fails
     // synchronously and the handler absorbs the fault — layered forward
     // recovery.
-    let (builder, replica) = ScenarioBuilder::fig1()
-        .fault_at(5)
-        .substitute_handler(3, 5, None)
-        .with_replica(5);
+    let (builder, replica) = ScenarioBuilder::fig1().fault_at(5).substitute_handler(3, 5, None).with_replica(5);
     let mut scenario = builder.disconnect(0, replica).build();
     let report = scenario.run();
     assert!(report.outcome.unwrap().committed, "the substitute value saved the day");

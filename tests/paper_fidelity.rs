@@ -193,8 +193,7 @@ fn paper_query_a_and_b_line_25_and_line_14_changes() {
     use axml::doc::{LocalInvoker, ServiceRegistry};
     let mut reg = ServiceRegistry::new();
     reg.register(
-        ServiceDef::function("getPoints", |_| Ok(vec![Fragment::elem_text("points", "890")]))
-            .with_results(&["points"]),
+        ServiceDef::function("getPoints", |_| Ok(vec![Fragment::elem_text("points", "890")])).with_results(&["points"]),
     );
     reg.register(
         ServiceDef::function("getGrandSlamsWonbyYear", |params| {
@@ -222,10 +221,9 @@ fn paper_query_a_and_b_line_25_and_line_14_changes() {
     let mut doc = Document::parse(ATPLIST).unwrap();
     let mut repo = Repository::new();
     let mut inv = LocalInvoker { registry: &reg, repo: &mut repo };
-    let qb = SelectQuery::parse(
-        "Select p/citizenship, p/points from p in ATPList//player where p/name/lastname = Federer;",
-    )
-    .unwrap();
+    let qb =
+        SelectQuery::parse("Select p/citizenship, p/points from p in ATPList//player where p/name/lastname = Federer;")
+            .unwrap();
     let (_, report) = engine.query(&mut doc, &qb, &mut inv).unwrap();
     assert!(doc.to_xml().contains("<points>890</points>"), "line 14 changed 475 → 890");
     assert!(!doc.to_xml().contains(r#"year="2005""#), "grandslams untouched by query B");

@@ -1,0 +1,152 @@
+//! Generator for the regex subset accepted as `&'static str`
+//! strategies: literals, `.`, `[...]` classes with ranges, and the
+//! repeats `{m}`, `{m,n}`, `*`, `+`, `?`.
+
+use crate::TestRng;
+
+enum Atom {
+    Lit(char),
+    Dot,
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Characters `.` occasionally injects beyond plain printable ASCII,
+/// chosen to stress markup parsing.
+const DOT_SPICE: &[char] = &['<', '>', '&', '"', '\'', '\n', '\t', 'λ', 'é'];
+
+pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pat);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            piece.min + rng.below(piece.max - piece.min + 1)
+        };
+        for _ in 0..count {
+            out.push(sample(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Lit(c) => *c,
+        Atom::Dot => {
+            if rng.chance(1.0 / 16.0) {
+                DOT_SPICE[rng.below(DOT_SPICE.len())]
+            } else {
+                char::from(b' ' + rng.below(95) as u8)
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: usize = ranges.iter().map(|(lo, hi)| (*hi as usize - *lo as usize) + 1).sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = (*hi as usize - *lo as usize) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).unwrap();
+                }
+                pick -= span;
+            }
+            unreachable!()
+        }
+    }
+}
+
+fn parse(pat: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let end = chars[i..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .map(|off| i + off)
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {pat:?}"));
+                let atom = Atom::Class(parse_class(&chars[i + 1..end], pat));
+                i = end + 1;
+                atom
+            }
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '\\' => {
+                i += 2;
+                Atom::Lit(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let end = chars[i..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .map(|off| i + off)
+                    .unwrap_or_else(|| panic!("unterminated repeat in pattern {pat:?}"));
+                let spec: String = chars[i + 1..end].iter().collect();
+                i = end + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repeat lower bound"),
+                        hi.trim().parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let exact = spec.trim().parse().expect("repeat count");
+                        (exact, exact)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(body: &[char], pat: &str) -> Vec<(char, char)> {
+    assert!(!body.is_empty(), "empty class in pattern {pat:?}");
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            assert!(body[i] <= body[i + 2], "inverted range in pattern {pat:?}");
+            ranges.push((body[i], body[i + 2]));
+            i += 3;
+        } else if i + 2 == body.len() && body[i + 1] == '-' {
+            // Trailing `-` is a literal.
+            ranges.push((body[i], body[i]));
+            ranges.push(('-', '-'));
+            i += 2;
+        } else {
+            ranges.push((body[i], body[i]));
+            i += 1;
+        }
+    }
+    ranges
+}

@@ -1,0 +1,115 @@
+//! The owned data model every `Serialize`/`Deserialize` impl targets.
+
+use std::fmt;
+
+/// An owned, self-describing value (the shim's equivalent of serde's
+/// data model). Maps preserve insertion order so serialized output is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+/// A shared `null`, usable where a `&Value` is needed for absent keys.
+pub static NULL: Value = Value::Null;
+
+impl Value {
+    /// Map access, or `None` for non-maps.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Sequence access, or `None` for non-sequences.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String access, or `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+// Identity impls: a `Value` serializes to itself, so callers can decode
+// arbitrary JSON into the data model and inspect it dynamically.
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Looks up `key` in a struct map, yielding [`NULL`] when absent so
+/// `Option` fields decode to `None` (and anything else reports a
+/// type mismatch).
+pub fn field<'a>(entries: &'a [(String, Value)], key: &str) -> &'a Value {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap_or(&NULL)
+}
+
+/// Why a value could not be decoded into the requested type.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// A free-form decode error.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// A "wanted X, got Y" decode error.
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        DeError { msg: format!("expected {what}, got {}", got.kind()) }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,410 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls for the
+//! shapes this workspace actually derives: named/tuple/unit structs and
+//! enums with unit, tuple, and struct variants — no generics, no
+//! `#[serde(...)]` attributes. The parser walks raw `TokenTree`s (the
+//! environment has no `syn`/`quote`) and the generator emits source
+//! text that is parsed back into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Def {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, def) = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let body = match (&def, mode) {
+        (Def::Struct(fields), Mode::Serialize) => ser_struct(&name, fields),
+        (Def::Struct(fields), Mode::Deserialize) => de_struct(&name, fields),
+        (Def::Enum(variants), Mode::Serialize) => ser_enum(&name, variants),
+        (Def::Enum(variants), Mode::Deserialize) => de_enum(&name, variants),
+    };
+    body.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse(input: TokenStream) -> Result<(String, Def), String> {
+    let mut iter = input.into_iter().peekable();
+    let mut keyword = String::new();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the [...] attribute group
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "pub" {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next(); // pub(crate) etc.
+                        }
+                    }
+                } else if word == "struct" || word == "enum" {
+                    keyword = word;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("serde shim: generic type `{name}` is not supported"));
+        }
+    }
+    let def = if keyword == "struct" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Def::Struct(Fields::Named(parse_named(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Def::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Def::Struct(Fields::Unit),
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Def::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        }
+    };
+    Ok((name, def))
+}
+
+/// Skips a type expression up to a top-level `,` (angle-bracket aware).
+fn skip_type(iter: &mut Tokens) {
+    let mut depth = 0i32;
+    for tt in iter.by_ref() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+    }
+}
+
+fn parse_named(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                iter.next(); // the `:`
+                skip_type(&mut iter);
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut pending = false;
+    let mut depth = 0i32;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    count + usize::from(pending)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                let fields = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let fields = Fields::Tuple(count_tuple_fields(g.stream()));
+                        iter.next();
+                        fields
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = Fields::Named(parse_named(g.stream()));
+                        iter.next();
+                        fields
+                    }
+                    _ => Fields::Unit,
+                };
+                // Consume up to the variant separator (discriminants are
+                // not supported on serde-derived enums here).
+                for tt in iter.by_ref() {
+                    if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+                variants.push((name, fields));
+            }
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn ser_fields_named(receiver: &str, fields: &[String]) -> String {
+    let mut out = String::from("::serde::Value::Map(::std::vec![");
+    for f in fields {
+        let _ = write!(
+            out,
+            "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({receiver}{f})),"
+        );
+    }
+    out.push_str("])");
+    out
+}
+
+fn ser_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let mut out = String::from("::serde::Value::Seq(::std::vec![");
+            for i in 0..*n {
+                let _ = write!(out, "::serde::Serialize::to_value(&self.{i}),");
+            }
+            out.push_str("])");
+            out
+        }
+        Fields::Named(fields) => ser_fields_named("&self.", fields),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("{{ let _ = v; ::std::result::Result::Ok({name}) }}"),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => format!(
+            "{{\n\
+                 let seq = v.as_seq().filter(|s| s.len() == {n})\
+                     .ok_or_else(|| ::serde::DeError::expected(\"sequence of {n} for {name}\", v))?;\n\
+                 ::std::result::Result::Ok({name}({args}))\n\
+             }}",
+            args = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?,"))
+                .collect::<String>()
+        ),
+        Fields::Named(fields) => format!(
+            "{{\n\
+                 let map = v.as_map()\
+                     .ok_or_else(|| ::serde::DeError::expected(\"map for {name}\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{ {args} }})\n\
+             }}",
+            args = fields
+                .iter()
+                .map(|f| format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::value::field(map, {f:?}))?,"
+                ))
+                .collect::<String>()
+        ),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn ser_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (v, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                let _ = write!(
+                    arms,
+                    "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),\n"
+                );
+            }
+            Fields::Tuple(n) => {
+                let binds =
+                    (0..*n).map(|i| format!("__f{i},")).collect::<String>();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let mut seq = String::from("::serde::Value::Seq(::std::vec![");
+                    for i in 0..*n {
+                        let _ = write!(seq, "::serde::Serialize::to_value(__f{i}),");
+                    }
+                    seq.push_str("])");
+                    seq
+                };
+                let _ = write!(
+                    arms,
+                    "{name}::{v}({binds}) => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from({v:?}), {inner})]),\n"
+                );
+            }
+            Fields::Named(fields) => {
+                let binds = fields.iter().map(|f| format!("{f},")).collect::<String>();
+                let inner = ser_fields_named("", fields);
+                let _ = write!(
+                    arms,
+                    "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from({v:?}), {inner})]),\n"
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+         }}"
+    )
+}
+
+fn de_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for (v, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                let _ = write!(
+                    unit_arms,
+                    "{v:?} => ::std::result::Result::Ok({name}::{v}),\n"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = write!(
+                    data_arms,
+                    "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                );
+            }
+            Fields::Tuple(n) => {
+                let args = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?,"))
+                    .collect::<String>();
+                let _ = write!(
+                    data_arms,
+                    "{v:?} => {{\n\
+                         let seq = inner.as_seq().filter(|s| s.len() == {n})\
+                             .ok_or_else(|| ::serde::DeError::expected(\
+                                 \"sequence of {n} for {name}::{v}\", inner))?;\n\
+                         ::std::result::Result::Ok({name}::{v}({args}))\n\
+                     }}\n"
+                );
+            }
+            Fields::Named(fields) => {
+                let args = fields
+                    .iter()
+                    .map(|f| format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::value::field(fm, {f:?}))?,"
+                    ))
+                    .collect::<String>();
+                let _ = write!(
+                    data_arms,
+                    "{v:?} => {{\n\
+                         let fm = inner.as_map()\
+                             .ok_or_else(|| ::serde::DeError::expected(\
+                                 \"map for {name}::{v}\", inner))?;\n\
+                         ::std::result::Result::Ok({name}::{v} {{ {args} }})\n\
+                     }}\n"
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\
+                             format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                         let (tag, inner) = &m[0];\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                         \"{name} variant\", v)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
