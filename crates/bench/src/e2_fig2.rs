@@ -63,6 +63,7 @@ fn how_str(h: DetectHow) -> &'static str {
         DetectHow::PingTimeout => "ping",
         DetectHow::StreamSilence => "stream-silence",
         DetectHow::Notice => "notice",
+        DetectHow::AckTimeout => "ack-timeout",
     }
 }
 

@@ -1,0 +1,503 @@
+#![warn(missing_docs)]
+
+//! Chaos harness for the transactional AXML protocol.
+//!
+//! Sweeps seeded fault schedules ([`axml_p2p::FaultPlane`]) over the
+//! paper's scenarios and checks every run against an **atomicity
+//! oracle** stricter than the scenario-level all-or-nothing check:
+//!
+//! - the transaction must resolve by the deadline;
+//! - aborted → every connected participant's documents equal the
+//!   pre-transaction baseline (compensation really undid everything);
+//! - committed → no connected participant may hold an aborted context
+//!   at all, *unless* the run involved crash-restarts, disconnections,
+//!   or failure detections — the paper's acknowledged atomicity limit
+//!   under churn. Pure message-level faults (drop / duplicate /
+//!   reorder / delay) are **not** an excuse: the at-least-once delivery
+//!   layer must absorb them completely.
+//!
+//! Runs are fully deterministic: the same scenario + seeds + fault
+//! profile produce the same metrics and the same [`run digest`](run_case).
+//! Every probabilistic run records its injected faults as a trace of
+//! [`ScriptedFault`]s; a failing run is replayed from that trace and
+//! [shrunk](shrink_failure) to a minimal scripted schedule that still
+//! violates the oracle — a printable, RNG-free reproducer.
+
+use axml_core::context::TxnState;
+use axml_core::peer::PeerConfig;
+use axml_core::scenarios::{Scenario, ScenarioBuilder, ScenarioReport};
+use axml_p2p::{CrashEvent, FaultPlane, NetMetrics, Partition, PeerId, ScriptedFault};
+
+/// Scenario names the harness knows how to build.
+pub const SCENARIOS: &[&str] = &["fig1", "fig2", "fig1-abort", "deep"];
+
+/// Builds the named scenario's tree (fault plane and config not yet
+/// applied). Returns `None` for unknown names.
+pub fn builder_for(name: &str) -> Option<ScenarioBuilder> {
+    match name {
+        // Fig. 1 happy path: the full six-peer invocation tree commits.
+        "fig1" => Some(ScenarioBuilder::fig1()),
+        // Fig. 2: same protocol under a super-peer topology.
+        "fig2" => Some(ScenarioBuilder::fig2()),
+        // Fig. 1 with S5 failing while processing: the nested recovery
+        // (backward) path — compensation everywhere — under fire.
+        "fig1-abort" => Some(ScenarioBuilder::fig1().fault_at(5)),
+        // A four-deep chain: maximal nesting depth per message.
+        "deep" => Some(ScenarioBuilder::new(1, &[(1, 2), (2, 3), (3, 4)])),
+        _ => None,
+    }
+}
+
+/// A named probabilistic fault mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Message drops only.
+    Drops,
+    /// Message duplication only — the at-least-once hazard in isolation.
+    Dups,
+    /// Drops + duplication + reordering + delay spikes.
+    Mixed,
+    /// Everything: the mixed message faults plus a windowed partition
+    /// and a crash-restart, both placed deterministically from the seed.
+    Storm,
+}
+
+impl Profile {
+    /// All profiles, in sweep order.
+    pub fn all() -> &'static [Profile] {
+        &[Profile::Drops, Profile::Dups, Profile::Mixed, Profile::Storm]
+    }
+
+    /// Parses a profile name (`drops` / `dups` / `mixed` / `storm`).
+    pub fn parse(name: &str) -> Option<Profile> {
+        match name {
+            "drops" => Some(Profile::Drops),
+            "dups" => Some(Profile::Dups),
+            "mixed" => Some(Profile::Mixed),
+            "storm" => Some(Profile::Storm),
+            _ => None,
+        }
+    }
+
+    /// The profile's sweep label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Profile::Drops => "drops",
+            Profile::Dups => "dups",
+            Profile::Mixed => "mixed",
+            Profile::Storm => "storm",
+        }
+    }
+}
+
+/// The fault plane for one `(profile, seed)` cell, over the given
+/// scenario peers. Partition membership and the crash victim are derived
+/// deterministically from the seed so the whole schedule is replayable.
+pub fn plane_for(profile: Profile, seed: u64, peers: &[u32]) -> FaultPlane {
+    match profile {
+        Profile::Drops => FaultPlane::probabilistic(seed, 0.06, 0.0, 0.0, 0.0),
+        Profile::Dups => FaultPlane::probabilistic(seed, 0.0, 0.15, 0.0, 0.0),
+        Profile::Mixed => FaultPlane::probabilistic(seed, 0.04, 0.06, 0.06, 0.02),
+        Profile::Storm => {
+            let mut p = FaultPlane::probabilistic(seed, 0.03, 0.05, 0.05, 0.02);
+            let k = peers.len() as u64;
+            let cut = peers[(seed % k) as usize];
+            let rest: Vec<PeerId> = peers.iter().filter(|q| **q != cut).map(|q| PeerId(*q)).collect();
+            let start = 20 + (seed * 7) % 60;
+            p.partitions.push(Partition { start, end: start + 120, a: vec![PeerId(cut)], b: rest });
+            let victim = peers[((seed / 3) % k) as usize];
+            p.crashes.push(CrashEvent { at: 15 + (seed * 11) % 80, peer: PeerId(victim) });
+            p
+        }
+    }
+}
+
+/// One cell of the sweep matrix.
+#[derive(Debug, Clone)]
+pub struct CaseConfig {
+    /// Scenario name (see [`SCENARIOS`]).
+    pub scenario: String,
+    /// Fault mix.
+    pub profile: Profile,
+    /// Seed for both the fault RNG and (offset) the latency RNG.
+    pub seed: u64,
+    /// Duplicate suppression in the delivery layer. `false` is the
+    /// deliberately broken variant the oracle must catch under `Dups`.
+    pub dedup: bool,
+}
+
+impl CaseConfig {
+    /// A case with the delivery layer fully enabled.
+    pub fn new(scenario: &str, profile: Profile, seed: u64) -> CaseConfig {
+        CaseConfig { scenario: scenario.to_string(), profile, seed, dedup: true }
+    }
+
+    /// Compact label for reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/seed={}{}",
+            self.scenario,
+            self.profile.name(),
+            self.seed,
+            if self.dedup { "" } else { "/no-dedup" }
+        )
+    }
+}
+
+/// The oracle's verdict on one run.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// True if atomicity held.
+    pub ok: bool,
+    /// Why not, when it did not.
+    pub reason: String,
+}
+
+impl Verdict {
+    fn ok() -> Verdict {
+        Verdict { ok: true, reason: String::new() }
+    }
+
+    fn violation(reason: impl Into<String>) -> Verdict {
+        Verdict { ok: false, reason: reason.into() }
+    }
+}
+
+/// What one chaos run produced.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The origin-side decision (`None` = unresolved by the deadline).
+    pub committed: Option<bool>,
+    /// The oracle's verdict.
+    pub verdict: Verdict,
+    /// Deterministic digest of the run: outcome, metrics, final document
+    /// state, and the injected-fault trace. Equal digests ⇔ equal runs.
+    pub digest: u64,
+    /// Every per-message fault the plane injected, as a replayable script.
+    pub trace: Vec<ScriptedFault>,
+    /// The plane the run used.
+    pub plane: FaultPlane,
+    /// Network counters.
+    pub metrics: NetMetrics,
+}
+
+/// The atomicity oracle (see the crate docs for the exact rule).
+pub fn check_atomicity(s: &Scenario, report: &ScenarioReport) -> Verdict {
+    let Some(outcome) = &report.outcome else {
+        return Verdict::violation("transaction unresolved at the deadline");
+    };
+    if !s.atomicity_holds() {
+        return Verdict::violation(format!(
+            "{} but divergent documents remain: {:?}",
+            if outcome.committed { "committed" } else { "aborted" },
+            s.divergent_docs()
+        ));
+    }
+    if outcome.committed {
+        // Message-level faults alone must be fully absorbed by the
+        // delivery layer: an aborted participant inside a committed
+        // transaction is only excusable when the run saw crash-restarts,
+        // disconnections, or failure detections.
+        let excused = s.participants.iter().any(|&p| {
+            if !s.sim.is_connected(p) {
+                return true;
+            }
+            let st = &s.sim.actor(p).stats;
+            st.crash_recoveries > 0 || !st.detections.is_empty()
+        });
+        if !excused {
+            for &p in &s.participants {
+                if let Some(tc) = s.sim.actor(p).context(outcome.txn) {
+                    if tc.state == TxnState::Aborted {
+                        return Verdict::violation(format!(
+                            "committed, but AP{} holds an aborted context with no crash or churn to excuse it",
+                            p.0
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Verdict::ok()
+}
+
+fn fnv64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic digest of a finished run.
+pub fn run_digest(s: &Scenario, report: &ScenarioReport) -> u64 {
+    let mut text = String::new();
+    text.push_str(&format!(
+        "outcome={:?} finished={} sent={} kinds={:?}\n",
+        report.outcome.as_ref().map(|o| o.committed),
+        report.finished_at,
+        report.metrics.sent,
+        report.metrics.by_kind,
+    ));
+    for &p in &s.participants {
+        let actor = s.sim.actor(p);
+        for name in actor.repo.names() {
+            text.push_str(&format!("doc {p} {name} {}\n", actor.repo.get(name).expect("listed").to_xml()));
+        }
+    }
+    text.push_str(&format!("trace={:?}\n", s.sim.fault_trace()));
+    fnv64(&text)
+}
+
+/// Runs one case with an explicit plane (the sweep computes the plane
+/// from the profile; the shrinker passes scripted candidates).
+pub fn run_with_plane(case: &CaseConfig, plane: FaultPlane) -> CaseResult {
+    let mut b = builder_for(&case.scenario).expect("known scenario");
+    let mut cfg = PeerConfig::default();
+    cfg.dedup = case.dedup;
+    if case.scenario == "fig1-abort" {
+        // Keep the abort path an abort path: with no replica around,
+        // provider re-lookup would just re-invoke the faulty peer.
+        cfg.use_alternative_providers = false;
+    }
+    // Decouple latency jitter from the fault seed but vary both per case.
+    b.seed = 1000 + case.seed;
+    let mut s = b.config(cfg).fault_plane(plane.clone()).build();
+    let report = s.run();
+    let verdict = check_atomicity(&s, &report);
+    let digest = run_digest(&s, &report);
+    CaseResult {
+        committed: report.outcome.as_ref().map(|o| o.committed),
+        verdict,
+        digest,
+        trace: s.sim.fault_trace().to_vec(),
+        plane,
+        metrics: report.metrics.clone(),
+    }
+}
+
+/// Runs one sweep cell (plane derived from the profile).
+pub fn run_case(case: &CaseConfig) -> CaseResult {
+    let b = builder_for(&case.scenario).expect("known scenario");
+    let plane = plane_for(case.profile, case.seed, &b.peers());
+    run_with_plane(case, plane)
+}
+
+// ----------------------------------------------------------------------
+// Shrinking.
+// ----------------------------------------------------------------------
+
+/// One unit of a failing fault schedule, as the shrinker sees it.
+#[derive(Debug, Clone)]
+pub enum ChaosEvent {
+    /// A scripted per-message fault.
+    Msg(ScriptedFault),
+    /// A partition window.
+    Cut(Partition),
+    /// A crash-restart.
+    Crash(CrashEvent),
+}
+
+/// Flattens a run's schedule (its injected trace plus the plane's
+/// partitions and crashes) into shrinkable events.
+pub fn events_of(plane: &FaultPlane, trace: &[ScriptedFault]) -> Vec<ChaosEvent> {
+    let mut out: Vec<ChaosEvent> = trace.iter().cloned().map(ChaosEvent::Msg).collect();
+    out.extend(plane.partitions.iter().cloned().map(ChaosEvent::Cut));
+    out.extend(plane.crashes.iter().cloned().map(ChaosEvent::Crash));
+    out
+}
+
+/// Rebuilds a purely scripted (RNG-free) plane from a set of events.
+pub fn plane_of(events: &[ChaosEvent]) -> FaultPlane {
+    let mut plane = FaultPlane::scripted(
+        events
+            .iter()
+            .filter_map(|e| match e {
+                ChaosEvent::Msg(f) => Some(f.clone()),
+                _ => None,
+            })
+            .collect(),
+    );
+    for e in events {
+        match e {
+            ChaosEvent::Cut(p) => plane.partitions.push(p.clone()),
+            ChaosEvent::Crash(c) => plane.crashes.push(*c),
+            ChaosEvent::Msg(_) => {}
+        }
+    }
+    plane
+}
+
+/// Greedy delta-debugging: removes chunks (halving the chunk size down
+/// to single events) while the scripted schedule still violates the
+/// oracle. Returns the minimal event set found.
+pub fn shrink(case: &CaseConfig, events: Vec<ChaosEvent>) -> Vec<ChaosEvent> {
+    let fails = |evs: &[ChaosEvent]| !run_with_plane(case, plane_of(evs)).verdict.ok;
+    let mut cur = events;
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let hi = (i + chunk).min(cur.len());
+            let mut cand: Vec<ChaosEvent> = cur[..i].to_vec();
+            cand.extend_from_slice(&cur[hi..]);
+            if fails(&cand) {
+                cur = cand;
+                shrunk = true;
+                // Same index now points at the next chunk.
+            } else {
+                i = hi;
+            }
+        }
+        if chunk == 1 {
+            if !shrunk {
+                break;
+            }
+        } else if !shrunk {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    cur
+}
+
+/// Shrinks a failing run to a minimal scripted reproducer: replays the
+/// run's trace (plus partitions and crashes) as a script, verifies the
+/// violation reproduces RNG-free, then delta-debugs the schedule down.
+/// Returns `None` if the scripted replay unexpectedly passes.
+pub fn shrink_failure(case: &CaseConfig, result: &CaseResult) -> Option<FaultPlane> {
+    let full = events_of(&result.plane, &result.trace);
+    if run_with_plane(case, plane_of(&full)).verdict.ok {
+        return None;
+    }
+    Some(plane_of(&shrink(case, full)))
+}
+
+// ----------------------------------------------------------------------
+// Sweeping.
+// ----------------------------------------------------------------------
+
+/// A sweep's aggregate outcome.
+#[derive(Debug, Default)]
+pub struct SweepOutcome {
+    /// Total runs executed.
+    pub runs: usize,
+    /// Runs that committed.
+    pub committed: usize,
+    /// Runs that aborted (atomically).
+    pub aborted: usize,
+    /// Oracle violations, with their shrunk reproducers (JSON) when the
+    /// trace replay reproduced.
+    pub violations: Vec<(CaseConfig, String, Option<String>)>,
+}
+
+/// Runs the scenario × profile × seed matrix through the oracle,
+/// shrinking every violation.
+pub fn sweep(scenarios: &[String], profiles: &[Profile], seeds: std::ops::Range<u64>, dedup: bool) -> SweepOutcome {
+    let mut out = SweepOutcome::default();
+    for scenario in scenarios {
+        for &profile in profiles {
+            for seed in seeds.clone() {
+                let mut case = CaseConfig::new(scenario, profile, seed);
+                case.dedup = dedup;
+                let result = run_case(&case);
+                out.runs += 1;
+                match result.committed {
+                    Some(true) => out.committed += 1,
+                    Some(false) => out.aborted += 1,
+                    None => {}
+                }
+                if !result.verdict.ok {
+                    let repro = shrink_failure(&case, &result)
+                        .map(|plane| serde_json::to_string(&plane).unwrap_or_else(|_| "<unserializable>".into()));
+                    out.violations.push((case, result.verdict.reason.clone(), repro));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seed_and_config_produce_identical_runs() {
+        for profile in [Profile::Mixed, Profile::Storm] {
+            let case = CaseConfig::new("fig1", profile, 3);
+            let a = run_case(&case);
+            let b = run_case(&case);
+            assert_eq!(a.digest, b.digest, "{}", case.label());
+            assert_eq!(a.metrics.summary(), b.metrics.summary());
+            assert_eq!(a.trace, b.trace);
+        }
+    }
+
+    #[test]
+    fn scripted_trace_replay_reproduces_the_run() {
+        // Replaying a probabilistic run's recorded trace as a script —
+        // probabilities zeroed, no RNG — must land on the same digest.
+        let case = CaseConfig::new("fig2", Profile::Storm, 5);
+        let live = run_case(&case);
+        assert!(!live.trace.is_empty(), "storm seed injected nothing");
+        let scripted = plane_of(&events_of(&live.plane, &live.trace));
+        let replay = run_with_plane(&case, scripted);
+        assert_eq!(replay.digest, live.digest);
+        assert_eq!(replay.verdict.ok, live.verdict.ok);
+    }
+
+    #[test]
+    fn small_sweep_with_delivery_layer_has_zero_violations() {
+        let scenarios: Vec<String> = SCENARIOS.iter().map(|s| s.to_string()).collect();
+        let out = sweep(&scenarios, Profile::all(), 0..3, true);
+        assert_eq!(out.runs, 48);
+        assert!(
+            out.violations.is_empty(),
+            "violations: {:?}",
+            out.violations.iter().map(|(c, r, _)| format!("{}: {r}", c.label())).collect::<Vec<_>>()
+        );
+        assert!(out.committed > 0, "some runs should commit");
+    }
+
+    #[test]
+    fn broken_dedup_under_duplication_is_caught_and_shrunk() {
+        // With duplicate suppression disabled, a duplicated Result makes
+        // the consumer abort an already-answered invocation — a committed
+        // transaction with a silently aborted participant. The oracle
+        // must catch at least one such seed, and the shrinker must
+        // produce a minimal scripted schedule that still fails.
+        let mut caught = None;
+        for seed in 0..40 {
+            let mut case = CaseConfig::new("fig1", Profile::Dups, seed);
+            case.dedup = false;
+            let result = run_case(&case);
+            if !result.verdict.ok {
+                caught = Some((case, result));
+                break;
+            }
+        }
+        let (case, result) = caught.expect("oracle never caught the broken variant in 40 seeds");
+        let full = events_of(&result.plane, &result.trace);
+        let repro = shrink_failure(&case, &result).expect("trace replay reproduces the violation");
+        assert!(!run_with_plane(&case, repro.clone()).verdict.ok, "shrunk schedule still fails");
+        let kept = repro.script.len() + repro.partitions.len() + repro.crashes.len();
+        assert!(kept <= full.len(), "shrinking never grows the schedule");
+        assert!(kept >= 1, "a violation needs at least one fault");
+        // The reproducer is printable, RNG-free JSON.
+        let text = serde_json::to_string(&repro).expect("serializable");
+        let back: FaultPlane = serde_json::from_str(&text).expect("round-trips");
+        assert_eq!(back, repro);
+        assert_eq!(back.drop_prob, 0.0);
+        assert_eq!(back.dup_prob, 0.0);
+    }
+
+    #[test]
+    fn unknown_scenario_is_rejected() {
+        assert!(builder_for("nope").is_none());
+        for s in SCENARIOS {
+            assert!(builder_for(s).is_some(), "{s}");
+        }
+    }
+}

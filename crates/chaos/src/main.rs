@@ -1,0 +1,93 @@
+//! `axml-chaos` — seeded fault sweeps with an atomicity oracle.
+//!
+//! ```text
+//! axml-chaos sweep [--seeds N] [--scenarios a,b] [--profiles p,q] [--no-dedup]
+//! axml-chaos smoke [--seeds N]
+//! axml-chaos shrink-demo
+//! ```
+//!
+//! `sweep` runs the full scenario × profile × seed matrix (default
+//! 4 × 4 × 16 = 256 runs) and exits non-zero on any oracle violation,
+//! printing each violation's shrunk scripted reproducer as JSON.
+//! `smoke` is the small CI variant (2 scenarios × storm × 16 seeds).
+//! `shrink-demo` deliberately disables duplicate suppression under the
+//! duplication profile and shows the oracle catching it — it exits
+//! non-zero if the broken variant is NOT caught.
+
+use axml_chaos::{events_of, run_case, shrink_failure, sweep, CaseConfig, Profile, SweepOutcome, SCENARIOS};
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn report(out: &SweepOutcome) -> bool {
+    println!(
+        "runs={} committed={} aborted={} unresolved={} violations={}",
+        out.runs,
+        out.committed,
+        out.aborted,
+        out.runs - out.committed - out.aborted,
+        out.violations.len()
+    );
+    for (case, reason, repro) in &out.violations {
+        println!("VIOLATION {}: {reason}", case.label());
+        match repro {
+            Some(json) => println!("  reproducer: {json}"),
+            None => println!("  (trace replay did not reproduce)"),
+        }
+    }
+    out.violations.is_empty()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("sweep");
+    let seeds: u64 = parse_flag(&args, "--seeds").and_then(|s| s.parse().ok()).unwrap_or(16);
+    let ok = match cmd {
+        "sweep" => {
+            let scenarios: Vec<String> = parse_flag(&args, "--scenarios")
+                .map(|s| s.split(',').map(str::to_string).collect())
+                .unwrap_or_else(|| SCENARIOS.iter().map(|s| s.to_string()).collect());
+            let profiles: Vec<Profile> = parse_flag(&args, "--profiles")
+                .map(|s| s.split(',').filter_map(Profile::parse).collect())
+                .unwrap_or_else(|| Profile::all().to_vec());
+            let dedup = !args.iter().any(|a| a == "--no-dedup");
+            report(&sweep(&scenarios, &profiles, 0..seeds, dedup))
+        }
+        "smoke" => {
+            let scenarios = vec!["fig1".to_string(), "fig2".to_string()];
+            report(&sweep(&scenarios, &[Profile::Storm], 0..seeds, true))
+        }
+        "shrink-demo" => {
+            let mut caught = false;
+            for seed in 0..64 {
+                let mut case = CaseConfig::new("fig1", Profile::Dups, seed);
+                case.dedup = false;
+                let result = run_case(&case);
+                if !result.verdict.ok {
+                    println!("caught {}: {}", case.label(), result.verdict.reason);
+                    let full = events_of(&result.plane, &result.trace).len();
+                    match shrink_failure(&case, &result) {
+                        Some(plane) => {
+                            let kept = plane.script.len() + plane.partitions.len() + plane.crashes.len();
+                            println!("shrunk {full} scheduled faults down to {kept}");
+                            println!("reproducer: {}", serde_json::to_string(&plane).expect("serializable"));
+                        }
+                        None => println!("trace replay did not reproduce"),
+                    }
+                    caught = true;
+                    break;
+                }
+            }
+            if !caught {
+                eprintln!("oracle FAILED to catch the no-dedup variant under duplication");
+            }
+            caught
+        }
+        other => {
+            eprintln!("unknown command `{other}` (expected sweep | smoke | shrink-demo)");
+            false
+        }
+    };
+    std::process::exit(if ok { 0 } else { 1 });
+}

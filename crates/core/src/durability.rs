@@ -148,8 +148,12 @@ pub fn journal_of(tc: &TransactionContext) -> Vec<JournalEntry> {
 /// transactions interleaved).
 pub fn replay(entries: &[JournalEntry]) -> Result<Vec<TransactionContext>, JournalError> {
     let mut contexts: Vec<TransactionContext> = Vec::new();
+    // Last match, not first: a transaction whose context resolved and was
+    // later legitimately re-begun (forward recovery re-invokes an aborted
+    // participant) journals a second `Begin`, and entries after it belong
+    // to the newer incarnation.
     let find = |contexts: &mut Vec<TransactionContext>, txn: TxnId| -> Option<usize> {
-        contexts.iter().position(|c| c.txn == txn)
+        contexts.iter().rposition(|c| c.txn == txn)
     };
     for e in entries {
         match e {

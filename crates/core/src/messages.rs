@@ -123,6 +123,25 @@ pub enum TxnMsg {
         /// The sender's current active-peer list.
         chain: ActiveList,
     },
+    /// At-least-once delivery envelope: the sender retransmits `inner`
+    /// with bounded exponential backoff until the receiver acknowledges
+    /// `id` (see [`crate::peer::PeerConfig::reliable`]). The receiver
+    /// always acks — even re-deliveries — and suppresses duplicates by
+    /// `(sender, id)` so the protocol survives drop *and* duplication.
+    Reliable {
+        /// Per-sender delivery id, epoch-namespaced across crash-restarts
+        /// so a restarted sender never reuses a live id.
+        id: u64,
+        /// 0 on the first send; `> 0` marks a retransmission.
+        attempt: u32,
+        /// The payload.
+        inner: Box<TxnMsg>,
+    },
+    /// Acknowledges receipt of a [`TxnMsg::Reliable`] delivery.
+    Ack {
+        /// The delivery id being acknowledged.
+        id: u64,
+    },
 }
 
 impl Message for TxnMsg {
@@ -140,7 +159,16 @@ impl Message for TxnMsg {
             TxnMsg::DisconnectNotice { .. } => "disconnect-notice",
             TxnMsg::StreamData { .. } => "stream",
             TxnMsg::ChainUpdate { .. } => "chain-update",
+            // Transparent for metrics: a wrapped invoke still counts as
+            // an invoke (the envelope is a delivery artifact, not a
+            // protocol step).
+            TxnMsg::Reliable { inner, .. } => inner.kind(),
+            TxnMsg::Ack { .. } => "ack",
         }
+    }
+
+    fn is_retransmit(&self) -> bool {
+        matches!(self, TxnMsg::Reliable { attempt, .. } if *attempt > 0)
     }
 }
 
@@ -167,8 +195,20 @@ mod tests {
             TxnMsg::DisconnectNotice { txn, disconnected: PeerId(3) },
             TxnMsg::StreamData { txn, seq: 0 },
             TxnMsg::ChainUpdate { txn, chain: ActiveList::new(PeerId(1), false) },
+            TxnMsg::Ack { id: 7 },
         ];
         let kinds: HashSet<&'static str> = msgs.iter().map(|m| m.kind()).collect();
         assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn reliable_envelope_is_transparent_for_kind_and_flags_retransmits() {
+        let txn = TxnId::new(PeerId(1), 0);
+        let first = TxnMsg::Reliable { id: 1, attempt: 0, inner: Box::new(TxnMsg::Abort { txn }) };
+        let again = TxnMsg::Reliable { id: 1, attempt: 2, inner: Box::new(TxnMsg::Abort { txn }) };
+        assert_eq!(first.kind(), "abort");
+        assert!(!first.is_retransmit());
+        assert!(again.is_retransmit());
+        assert!(!TxnMsg::Ack { id: 1 }.is_retransmit());
     }
 }

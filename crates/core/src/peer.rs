@@ -27,6 +27,7 @@
 use crate::chain::ActiveList;
 use crate::compensate::{compensation_for_effects, CompBundle, CompensatingService};
 use crate::context::{TransactionContext, TxnOutcome, TxnState};
+use crate::durability::{self, JournalEntry};
 use crate::ids::{InvocationId, TxnId};
 use crate::isolation::ConflictTable;
 use crate::messages::TxnMsg;
@@ -34,7 +35,7 @@ use axml_doc::{
     apply_call_results, EvalMode, Fault, MaterializationEngine, ParamValue, Repository, ResolvedCall, ServiceCall,
     ServiceInvoker, ServiceKind, ServiceRegistry,
 };
-use axml_p2p::{Actor, Ctx, Directory, PeerId, PingMonitor};
+use axml_p2p::{Actor, Ctx, Directory, PeerId, PingMonitor, SendError};
 use axml_query::{Effect, NodePath, SelectQuery};
 use axml_xml::{Fragment, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -105,6 +106,22 @@ pub struct PeerConfig {
     pub isolation: bool,
     /// Whether this peer is a super peer (it advertises this in chains).
     pub is_super: bool,
+    /// At-least-once delivery for protocol messages: wrap them in
+    /// [`TxnMsg::Reliable`] envelopes, ack on receipt, and retransmit
+    /// unacked sends with bounded exponential backoff. Keep-alives,
+    /// streams, and chain gossip stay best-effort.
+    pub reliable: bool,
+    /// Suppress re-execution of an already-seen reliable delivery
+    /// (`(sender, id)` dedup). Turning this off under message duplication
+    /// is the canonical atomicity bug the chaos oracle catches.
+    pub dedup: bool,
+    /// Delay before the first retransmission; doubles per attempt (capped
+    /// at `base << 6`). Must exceed one round trip, or fault-free runs
+    /// retransmit spuriously.
+    pub retransmit_base: u64,
+    /// Retransmissions before the sender gives up and treats the silence
+    /// as a failure ([`DetectHow::AckTimeout`]).
+    pub max_retransmits: u32,
 }
 
 impl Default for PeerConfig {
@@ -122,6 +139,10 @@ impl Default for PeerConfig {
             eval: EvalMode::Lazy,
             isolation: false,
             is_super: false,
+            reliable: true,
+            dedup: true,
+            retransmit_base: 16,
+            max_retransmits: 8,
         }
     }
 }
@@ -137,6 +158,9 @@ pub enum DetectHow {
     StreamSilence,
     /// Told by another peer via the chain.
     Notice,
+    /// A reliable delivery exhausted its retransmission budget without an
+    /// ack — the peer is silently unreachable (drops or a partition).
+    AckTimeout,
 }
 
 /// One detection event.
@@ -187,6 +211,16 @@ pub struct PeerStats {
     pub redirects_received: u64,
     /// Messages that arrived for unknown/finished invocations.
     pub late_messages: u64,
+    /// Reliable deliveries retransmitted (sender side).
+    pub retransmits: u64,
+    /// Reliable deliveries that exhausted their retransmission budget.
+    pub retransmit_giveups: u64,
+    /// Re-deliveries suppressed by `(sender, id)` dedup (receiver side).
+    pub dup_suppressed: u64,
+    /// Crash-restarts this peer recovered from.
+    pub crash_recoveries: u64,
+    /// In-doubt contexts presumed aborted during crash recovery.
+    pub presumed_aborts: u64,
     /// Disconnections this peer detected.
     pub detections: Vec<Detection>,
 }
@@ -249,6 +283,16 @@ enum TimerPayload {
     },
     /// Submit a transaction (harness-scheduled).
     Submit { method: String, params: Vec<(String, String)> },
+    /// Retransmit an unacked reliable delivery (by delivery id).
+    Retransmit(u64),
+}
+
+/// One unacked reliable delivery awaiting its ack or next retransmission.
+#[derive(Debug, Clone)]
+struct PendingDelivery {
+    to: PeerId,
+    msg: TxnMsg,
+    attempts: u32,
 }
 
 /// WSDL knowledge shared across the fabric: method → declared result
@@ -336,6 +380,19 @@ pub struct AxmlPeer {
     /// result was dropped in flight), a chain notice lets us re-offer the
     /// work to an ancestor — scenario (c)'s reuse.
     completed_results: BTreeMap<TxnId, (String, Vec<Fragment>, CompBundle)>,
+    /// The durability journal: every context state change, appended as it
+    /// happens. Survives crash-restarts (it models stable storage) and
+    /// seeds [`Self::on_crash_restart`]'s replay.
+    journal: Vec<JournalEntry>,
+    /// Crash-restart epoch (the simulator incarnation at last restart).
+    /// Namespaces invocation/transaction/delivery counters so a restarted
+    /// peer never reuses an id that may still be live in the network.
+    epoch: u64,
+    next_delivery: u64,
+    /// Unacked reliable deliveries by delivery id.
+    outbox: BTreeMap<u64, PendingDelivery>,
+    /// Reliable deliveries already executed, by `(sender, id)`.
+    seen_deliveries: BTreeSet<(PeerId, u64)>,
 }
 
 impl AxmlPeer {
@@ -371,6 +428,11 @@ impl AxmlPeer {
             stream_last: BTreeMap::new(),
             prefill_store: BTreeMap::new(),
             completed_results: BTreeMap::new(),
+            journal: Vec::new(),
+            epoch: 0,
+            next_delivery: 0,
+            outbox: BTreeMap::new(),
+            seen_deliveries: BTreeSet::new(),
         }
     }
 
@@ -386,7 +448,12 @@ impl AxmlPeer {
 
     /// True if the peer has no in-flight work.
     pub fn is_quiescent(&self) -> bool {
-        self.servings.is_empty() && self.waiting.is_empty()
+        self.servings.is_empty() && self.waiting.is_empty() && self.outbox.is_empty()
+    }
+
+    /// The durability journal accumulated so far (stable storage).
+    pub fn journal(&self) -> &[JournalEntry] {
+        &self.journal
     }
 
     /// Peers currently being kept alive by this peer's failure detector
@@ -396,7 +463,7 @@ impl AxmlPeer {
     }
 
     fn alloc_inv(&mut self) -> InvocationId {
-        let inv = InvocationId::new(self.id, self.next_inv);
+        let inv = InvocationId::new(self.id, (self.epoch << 48) | self.next_inv);
         self.next_inv += 1;
         inv
     }
@@ -409,16 +476,118 @@ impl AxmlPeer {
     }
 
     // ------------------------------------------------------------------
+    // At-least-once delivery (ack + retransmit + dedup).
+    // ------------------------------------------------------------------
+
+    /// Sends a protocol message with at-least-once delivery when
+    /// [`PeerConfig::reliable`] is on: the payload travels inside a
+    /// [`TxnMsg::Reliable`] envelope, is registered in the outbox, and is
+    /// retransmitted with bounded exponential backoff until acked.
+    /// Loopback sends skip the envelope (a local call cannot be lost). A
+    /// synchronous [`SendError`] — the target is disconnected *right now*
+    /// — is returned unchanged: that is the paper's synchronous detection
+    /// path, not a delivery fault.
+    fn send_reliable(&mut self, ctx: &mut Ctx<'_, TxnMsg>, to: PeerId, msg: TxnMsg) -> Result<(), SendError> {
+        if !self.config.reliable || to == self.id {
+            return ctx.send(to, msg);
+        }
+        let id = (self.epoch << 48) | self.next_delivery;
+        self.next_delivery += 1;
+        ctx.send(to, TxnMsg::Reliable { id, attempt: 0, inner: Box::new(msg.clone()) })?;
+        self.outbox.insert(id, PendingDelivery { to, msg, attempts: 0 });
+        let tag = self.alloc_payload_tag(TimerPayload::Retransmit(id));
+        ctx.set_timer(self.config.retransmit_base, tag);
+        Ok(())
+    }
+
+    /// A retransmit timer fired: resend if still unacked, escalating the
+    /// backoff; past the budget (or on a synchronous failure) treat the
+    /// silence as a detected failure and run the give-up action.
+    fn retransmit(&mut self, ctx: &mut Ctx<'_, TxnMsg>, id: u64) {
+        let Some(pending) = self.outbox.get_mut(&id) else {
+            return; // acked (or given up) meanwhile
+        };
+        pending.attempts += 1;
+        let attempts = pending.attempts;
+        let to = pending.to;
+        if attempts > self.config.max_retransmits {
+            let pending = self.outbox.remove(&id).expect("checked above");
+            self.stats.retransmit_giveups += 1;
+            self.record_detection(ctx, to, DetectHow::AckTimeout);
+            self.delivery_failed(ctx, pending);
+            return;
+        }
+        let envelope = TxnMsg::Reliable { id, attempt: attempts, inner: Box::new(pending.msg.clone()) };
+        self.stats.retransmits += 1;
+        match ctx.send(to, envelope) {
+            Ok(()) => {
+                let delay = self.config.retransmit_base << attempts.min(6);
+                let tag = self.alloc_payload_tag(TimerPayload::Retransmit(id));
+                ctx.set_timer(delay, tag);
+            }
+            Err(_) => {
+                let pending = self.outbox.remove(&id).expect("checked above");
+                self.record_detection(ctx, to, DetectHow::SendFailure);
+                self.delivery_failed(ctx, pending);
+            }
+        }
+    }
+
+    /// A reliable delivery definitively failed: react per payload kind.
+    fn delivery_failed(&mut self, ctx: &mut Ctx<'_, TxnMsg>, pending: PendingDelivery) {
+        match pending.msg {
+            TxnMsg::Invoke { inv, .. } => {
+                // The child never acknowledged the invocation: same
+                // recovery decision point as a detected disconnection.
+                self.child_failed(ctx, inv, Fault::peer_unreachable(format!("{} never acked", pending.to)));
+            }
+            TxnMsg::Result { txn, .. } => {
+                // The parent never consumed our result: re-offer the work
+                // up the chain (scenario (b)), unless the transaction has
+                // resolved here meanwhile.
+                if let Some((method, items, comp)) = self.completed_results.get(&txn).cloned() {
+                    self.reroute_past_dead_parent(ctx, txn, pending.to, &method, items, comp);
+                }
+            }
+            TxnMsg::Fault { txn, .. } => {
+                // The upward abort never got through: route the bad news
+                // past the silent parent via the chain.
+                self.notice_ancestors(ctx, txn, pending.to);
+            }
+            // Decision/notice messages are best-effort past the
+            // retransmission budget: receivers that missed them converge
+            // through their own detection (pings, notices, redirects).
+            _ => {}
+        }
+    }
+
+    /// Tells the nearest reachable non-`dead` ancestor (from the chain)
+    /// that `dead` is gone — the fallback when bad news cannot be
+    /// delivered to the parent directly.
+    fn notice_ancestors(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId, dead: PeerId) {
+        if !self.config.chaining {
+            return;
+        }
+        let Some(chain) = self.contexts.get(&txn).map(|tc| tc.chain.clone()) else { return };
+        for target in chain.ancestors_of(self.id).into_iter().filter(|p| *p != dead) {
+            if self.send_reliable(ctx, target, TxnMsg::DisconnectNotice { txn, disconnected: dead }).is_ok() {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Submission (origin side).
     // ------------------------------------------------------------------
 
     /// Submits a transaction at this peer: invoke local service `method`.
     /// Returns the new transaction id.
     pub fn submit(&mut self, ctx: &mut Ctx<'_, TxnMsg>, method: &str, params: Vec<(String, String)>) -> TxnId {
-        let txn = TxnId::new(self.id, self.next_txn);
+        let txn = TxnId::new(self.id, (self.epoch << 48) | self.next_txn);
         self.next_txn += 1;
         let chain = ActiveList::new(self.id, self.config.is_super);
-        let tc = TransactionContext::new(txn, None, chain, ctx.now());
+        let tc = TransactionContext::new(txn, None, chain.clone(), ctx.now());
+        self.journal.push(JournalEntry::Begin { txn, parent: None, chain, at: ctx.now() });
         self.contexts.insert(txn, tc);
         let inv = self.alloc_inv();
         let serving = Serving {
@@ -482,7 +651,7 @@ impl AxmlPeer {
         match self.contexts.get(&txn) {
             Some(tc) if tc.state == TxnState::Committed => {
                 let fault = Fault::new("TxnResolved", format!("{txn} already committed at {}", self.id));
-                let _ = ctx.send(from, TxnMsg::Fault { txn, inv, fault });
+                let _ = self.send_reliable(ctx, from, TxnMsg::Fault { txn, inv, fault });
                 return;
             }
             Some(tc) if tc.is_terminal() => {
@@ -490,10 +659,17 @@ impl AxmlPeer {
             }
             _ => {}
         }
-        let tc = self
-            .contexts
-            .entry(txn)
-            .or_insert_with(|| TransactionContext::new(txn, Some((from, inv)), chain.clone(), ctx.now()));
+        if !self.contexts.contains_key(&txn) {
+            let tc = TransactionContext::new(txn, Some((from, inv)), chain.clone(), ctx.now());
+            self.journal.push(JournalEntry::Begin {
+                txn,
+                parent: Some((from, inv)),
+                chain: chain.clone(),
+                at: ctx.now(),
+            });
+            self.contexts.insert(txn, tc);
+        }
+        let tc = self.contexts.get_mut(&txn).expect("inserted above");
         // Adopt the (possibly richer) incoming chain, marking ourselves.
         tc.chain = merge_chains(&tc.chain, &chain);
         if self.config.is_super {
@@ -501,7 +677,7 @@ impl AxmlPeer {
         }
         if self.registry.get(&method).is_none() {
             let fault = Fault::no_such_service(format!("{method} at {}", self.id));
-            let _ = ctx.send(from, TxnMsg::Fault { txn, inv, fault });
+            let _ = self.send_reliable(ctx, from, TxnMsg::Fault { txn, inv, fault });
             return;
         }
         let serving = Serving {
@@ -756,6 +932,7 @@ impl AxmlPeer {
         };
         if let Some(tc) = self.contexts.get_mut(&txn) {
             tc.record_remote(peer, inv, call.method.clone());
+            self.journal.push(JournalEntry::RemoteInvoked { txn, child: peer, inv, method: call.method.clone() });
         }
         let chain = self.current_chain(txn);
         let prefilled = self.prefill_store.get(&txn).cloned().unwrap_or_default();
@@ -764,7 +941,7 @@ impl AxmlPeer {
             s.pending.insert(inv);
         }
         let msg = TxnMsg::Invoke { txn, inv, method: call.method.clone(), params, chain, prefilled };
-        match ctx.send(peer, msg) {
+        match self.send_reliable(ctx, peer, msg) {
             Ok(()) => {
                 self.watch(ctx, peer);
             }
@@ -868,6 +1045,14 @@ impl AxmlPeer {
                     return;
                 }
                 if let Some(tc) = self.contexts.get_mut(&txn) {
+                    if !effects.is_empty() {
+                        self.journal.push(JournalEntry::Local {
+                            txn,
+                            doc: doc.clone(),
+                            op_label: format!("materialize {method}"),
+                            effects: effects.clone(),
+                        });
+                    }
                     tc.record_local(doc, format!("materialize {method}"), effects);
                 }
             }
@@ -893,7 +1078,7 @@ impl AxmlPeer {
                 self.stats.work_wasted += 1;
                 if let Some(parent) = serving.reply_to {
                     let fault = Fault::new("TxnResolved", format!("{txn} resolved at {}", self.id));
-                    let _ = ctx.send(parent, TxnMsg::Fault { txn, inv: serving.inv, fault });
+                    let _ = self.send_reliable(ctx, parent, TxnMsg::Fault { txn, inv: serving.inv, fault });
                 }
             }
             return;
@@ -918,6 +1103,14 @@ impl AxmlPeer {
                     }
                 }
                 if let (Some(tc), Some(doc)) = (self.contexts.get_mut(&txn), doc) {
+                    if !resp.effects.is_empty() {
+                        self.journal.push(JournalEntry::Local {
+                            txn,
+                            doc: doc.clone(),
+                            op_label: method.clone(),
+                            effects: resp.effects.clone(),
+                        });
+                    }
                     tc.record_local(doc, method.clone(), resp.effects.clone());
                 }
                 self.finish_serving(ctx, serving_inv, resp.items);
@@ -962,6 +1155,7 @@ impl AxmlPeer {
                 }
                 if let Some(tc) = self.contexts.get_mut(&txn) {
                     tc.resolve(TxnState::Committed, ctx.now());
+                    self.journal.push(JournalEntry::Resolved { txn, committed: true, at: ctx.now() });
                     self.outcomes.push(TxnOutcome {
                         txn,
                         committed: true,
@@ -972,7 +1166,7 @@ impl AxmlPeer {
                 self.results.insert(txn, items);
                 for peer in targets {
                     if peer != self.id {
-                        let _ = ctx.send(peer, TxnMsg::Commit { txn });
+                        let _ = self.send_reliable(ctx, peer, TxnMsg::Commit { txn });
                     }
                 }
             }
@@ -980,7 +1174,7 @@ impl AxmlPeer {
                 self.completed_results.insert(txn, (serving.method.clone(), items.clone(), comp.clone()));
                 let chain = self.current_chain(txn);
                 let msg = TxnMsg::Result { txn, inv: serving.inv, items: items.clone(), comp: comp.clone(), chain };
-                if ctx.send(parent, msg).is_err() {
+                if self.send_reliable(ctx, parent, msg).is_err() {
                     // Scenario (b): parent disconnected, detected while
                     // returning results.
                     self.record_detection(ctx, parent, DetectHow::SendFailure);
@@ -1029,7 +1223,7 @@ impl AxmlPeer {
                 items: items.clone(),
                 comp: comp.clone(),
             };
-            if ctx.send(target, msg).is_ok() {
+            if self.send_reliable(ctx, target, msg).is_ok() {
                 self.stats.redirects_sent += 1;
                 return;
             }
@@ -1060,11 +1254,12 @@ impl AxmlPeer {
             // Unwanted work (the invocation was aborted/superseded): tell
             // the sender to abort so its effects do not linger.
             self.stats.late_messages += 1;
-            let _ = ctx.send(from, TxnMsg::Abort { txn });
+            let _ = self.send_reliable(ctx, from, TxnMsg::Abort { txn });
             return;
         };
         self.unwatch(from);
         if let Some(tc) = self.contexts.get_mut(&txn) {
+            self.journal.push(JournalEntry::RemoteCompleted { txn, inv, comp: comp.clone() });
             tc.complete_remote(inv, comp);
             let merged = merge_chains(&tc.chain, &chain);
             let grew = merged != tc.chain;
@@ -1179,6 +1374,7 @@ impl AxmlPeer {
         }
         if let Some(tc) = self.contexts.get_mut(&txn) {
             tc.record_remote(to_peer, inv, to_method.clone());
+            self.journal.push(JournalEntry::RemoteInvoked { txn, child: to_peer, inv, method: to_method.clone() });
             if self.config.chaining {
                 tc.chain.add_invocation(self.id, to_peer, false);
             }
@@ -1191,7 +1387,7 @@ impl AxmlPeer {
         if let Some(s) = self.servings.get_mut(&serving_inv) {
             s.pending.insert(inv);
         }
-        match ctx.send(to_peer, msg) {
+        match self.send_reliable(ctx, to_peer, msg) {
             Ok(()) => self.watch(ctx, to_peer),
             Err(_) => {
                 self.record_detection(ctx, to_peer, DetectHow::SendFailure);
@@ -1225,19 +1421,10 @@ impl AxmlPeer {
         match serving.reply_to {
             Some(parent) => {
                 self.stats.aborts_sent += 1;
-                if ctx.send(parent, TxnMsg::Fault { txn, inv: serving.inv, fault }).is_err() {
+                if self.send_reliable(ctx, parent, TxnMsg::Fault { txn, inv: serving.inv, fault }).is_err() {
                     self.record_detection(ctx, parent, DetectHow::SendFailure);
-                    if self.config.chaining {
-                        // Route the bad news past the dead parent.
-                        let chain = self.contexts.get(&txn).map(|tc| tc.chain.clone());
-                        if let Some(chain) = chain {
-                            for target in chain.ancestors_of(self.id).into_iter().filter(|p| *p != parent) {
-                                if ctx.send(target, TxnMsg::DisconnectNotice { txn, disconnected: parent }).is_ok() {
-                                    break;
-                                }
-                            }
-                        }
-                    }
+                    // Route the bad news past the dead parent.
+                    self.notice_ancestors(ctx, txn, parent);
                 }
             }
             None => {
@@ -1264,6 +1451,7 @@ impl AxmlPeer {
         }
         let comp = tc.own_compensation();
         tc.resolve(TxnState::Aborted, ctx.now());
+        self.journal.push(JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
         self.completed_results.remove(&txn);
         self.conflicts.release(txn);
         if !comp.is_empty() {
@@ -1280,7 +1468,7 @@ impl AxmlPeer {
                 self.stats.work_wasted += 1;
                 if let Some(parent) = serving.reply_to {
                     let fault = Fault::new("TxnResolved", format!("{txn} aborted at {}", self.id));
-                    let _ = ctx.send(parent, TxnMsg::Fault { txn, inv: serving.inv, fault });
+                    let _ = self.send_reliable(ctx, parent, TxnMsg::Fault { txn, inv: serving.inv, fault });
                 }
             }
         }
@@ -1329,7 +1517,7 @@ impl AxmlPeer {
                     continue;
                 }
                 self.stats.aborts_sent += 1;
-                if ctx.send(peer, TxnMsg::Compensate { txn, service: cs.clone() }).is_err() {
+                if self.send_reliable(ctx, peer, TxnMsg::Compensate { txn, service: cs.clone() }).is_err() {
                     // Original peer gone: run it on a replica if one holds
                     // the documents (structural addressing makes this
                     // possible — the peer-independent payoff of E7).
@@ -1337,7 +1525,7 @@ impl AxmlPeer {
                     let mut sent = false;
                     for (doc, _) in &cs.actions {
                         if let Some(rep) = self.directory.alternative_replica(doc, &[peer, self.id]) {
-                            if ctx.send(rep, TxnMsg::Compensate { txn, service: cs.clone() }).is_ok() {
+                            if self.send_reliable(ctx, rep, TxnMsg::Compensate { txn, service: cs.clone() }).is_ok() {
                                 sent = true;
                                 break;
                             }
@@ -1354,7 +1542,7 @@ impl AxmlPeer {
                     continue;
                 }
                 self.stats.aborts_sent += 1;
-                let _ = ctx.send(peer, TxnMsg::Abort { txn });
+                let _ = self.send_reliable(ctx, peer, TxnMsg::Abort { txn });
             }
         } else {
             for peer in tc.invoked_peers() {
@@ -1362,23 +1550,26 @@ impl AxmlPeer {
                     continue;
                 }
                 self.stats.aborts_sent += 1;
-                let _ = ctx.send(peer, TxnMsg::Abort { txn });
+                let _ = self.send_reliable(ctx, peer, TxnMsg::Abort { txn });
             }
         }
     }
 
     fn handle_abort(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId, _from: PeerId) {
         self.stats.aborts_received += 1;
-        let tc = self.contexts.entry(txn).or_insert_with(|| {
+        if !self.contexts.contains_key(&txn) {
             // Tombstone: the Abort can overtake the Invoke (message
             // latencies are independent). Recording a terminal context
             // makes the late Invoke get refused instead of resurrecting
             // the transaction.
             let mut t = TransactionContext::new(txn, None, ActiveList::new(txn.origin, false), ctx.now());
             t.resolve(TxnState::Aborted, ctx.now());
-            t
-        });
-        if tc.is_terminal() {
+            self.journal.push(JournalEntry::Begin { txn, parent: None, chain: t.chain.clone(), at: ctx.now() });
+            self.journal.push(JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
+            self.contexts.insert(txn, t);
+            return;
+        }
+        if self.contexts.get(&txn).map(|t| t.is_terminal()).unwrap_or(true) {
             return;
         }
         self.abort_local(ctx, txn);
@@ -1391,10 +1582,11 @@ impl AxmlPeer {
             return;
         }
         tc.resolve(TxnState::Committed, ctx.now());
+        self.journal.push(JournalEntry::Resolved { txn, committed: true, at: ctx.now() });
         let invoked = self.contexts.get(&txn).map(|tc| tc.invoked_peers()).unwrap_or_default();
         for peer in invoked {
             if peer != self.id {
-                let _ = ctx.send(peer, TxnMsg::Commit { txn });
+                let _ = self.send_reliable(ctx, peer, TxnMsg::Commit { txn });
             }
         }
         self.stream_last.retain(|(t, _), _| *t != txn);
@@ -1426,11 +1618,16 @@ impl AxmlPeer {
         // Mark the context resolved *without* self-compensating: the
         // compensation just ran. Create a tombstone if we never saw the
         // transaction (replica-targeted compensation).
-        let tc = self
-            .contexts
-            .entry(txn)
-            .or_insert_with(|| TransactionContext::new(txn, None, ActiveList::new(txn.origin, false), ctx.now()));
-        tc.resolve(TxnState::Aborted, ctx.now());
+        if !self.contexts.contains_key(&txn) {
+            let t = TransactionContext::new(txn, None, ActiveList::new(txn.origin, false), ctx.now());
+            self.journal.push(JournalEntry::Begin { txn, parent: None, chain: t.chain.clone(), at: ctx.now() });
+            self.contexts.insert(txn, t);
+        }
+        let tc = self.contexts.get_mut(&txn).expect("inserted above");
+        if !tc.is_terminal() {
+            tc.resolve(TxnState::Aborted, ctx.now());
+            self.journal.push(JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
+        }
         self.conflicts.release(txn);
     }
 
@@ -1460,10 +1657,10 @@ impl AxmlPeer {
         if self.config.chaining {
             let txns: BTreeSet<TxnId> = affected.iter().filter_map(|i| self.waiting.get(i)).map(|w| w.txn).collect();
             for txn in txns {
-                if let Some(tc) = self.contexts.get(&txn) {
-                    for desc in tc.chain.descendants_of(peer) {
-                        let _ = ctx.send(desc, TxnMsg::DisconnectNotice { txn, disconnected: peer });
-                    }
+                let descs: Vec<PeerId> =
+                    self.contexts.get(&txn).map(|tc| tc.chain.descendants_of(peer)).unwrap_or_default();
+                for desc in descs {
+                    let _ = self.send_reliable(ctx, desc, TxnMsg::DisconnectNotice { txn, disconnected: peer });
                 }
             }
         }
@@ -1493,10 +1690,10 @@ impl AxmlPeer {
         if self.contexts.get(&txn).map(|t| t.is_terminal()).unwrap_or(false) {
             if self.config.peer_independent && !comp.is_empty() {
                 for (peer, cs) in comp {
-                    let _ = ctx.send(peer, TxnMsg::Compensate { txn, service: cs });
+                    let _ = self.send_reliable(ctx, peer, TxnMsg::Compensate { txn, service: cs });
                 }
             } else {
-                let _ = ctx.send(from, TxnMsg::Abort { txn });
+                let _ = self.send_reliable(ctx, from, TxnMsg::Abort { txn });
             }
             return;
         }
@@ -1504,6 +1701,15 @@ impl AxmlPeer {
         // peer's service, and its compensation bundle for abort-time.
         self.prefill_store.entry(txn).or_default().push((method.clone(), items));
         let orphan_inv = self.alloc_inv();
+        if self.contexts.contains_key(&txn) {
+            self.journal.push(JournalEntry::RemoteInvoked {
+                txn,
+                child: from,
+                inv: orphan_inv,
+                method: method.clone(),
+            });
+            self.journal.push(JournalEntry::RemoteCompleted { txn, inv: orphan_inv, comp: comp.clone() });
+        }
         if let Some(tc) = self.contexts.get_mut(&txn) {
             tc.record_orphan_comp(from, orphan_inv, method, comp);
         }
@@ -1604,10 +1810,80 @@ impl AxmlPeer {
         let Some(tc) = self.contexts.get(&txn) else { return };
         let chain = tc.chain.clone();
         if let Some(parent) = chain.parent_of(dead) {
-            let _ = ctx.send(parent, TxnMsg::DisconnectNotice { txn, disconnected: dead });
+            let _ = self.send_reliable(ctx, parent, TxnMsg::DisconnectNotice { txn, disconnected: dead });
         }
         for child in chain.children_of(dead) {
-            let _ = ctx.send(child, TxnMsg::DisconnectNotice { txn, disconnected: dead });
+            let _ = self.send_reliable(ctx, child, TxnMsg::DisconnectNotice { txn, disconnected: dead });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery (presumed abort from the durability journal).
+    // ------------------------------------------------------------------
+
+    /// Rebuilds the peer after a crash-restart. All volatile state is
+    /// wiped (the simulator already discarded our timers and in-flight
+    /// messages to us); contexts are replayed from the durability
+    /// journal — the model of stable storage — and every in-doubt
+    /// context is *presumed aborted*: its own effects are compensated
+    /// against the repository, the resolution is journaled (so a second
+    /// crash does not re-compensate), and the abort is pushed to the
+    /// parent (upward `Fault`) and the invoked subtree.
+    fn crash_recover(&mut self, ctx: &mut Ctx<'_, TxnMsg>) {
+        self.stats.crash_recoveries += 1;
+        self.servings.clear();
+        self.waiting.clear();
+        self.timers.clear();
+        self.watch_counts.clear();
+        self.monitor = PingMonitor::new(self.config.ping_interval.max(1), self.config.ping_timeout.max(1));
+        self.ping_running = false;
+        self.stream_running = false;
+        self.stream_seq = 0;
+        self.stream_last.clear();
+        self.prefill_store.clear();
+        self.completed_results.clear();
+        self.conflicts = ConflictTable::new();
+        self.outbox.clear();
+        self.seen_deliveries.clear();
+        // Namespace freshly minted ids by the new incarnation so nothing
+        // we allocate collides with a pre-crash id still circulating.
+        self.epoch = ctx.incarnation();
+        self.next_inv = 0;
+        self.next_txn = 0;
+        self.next_delivery = 0;
+        self.next_tag = TAG_PAYLOAD_BASE;
+        // Stable storage: rebuild contexts from the journal. A re-begun
+        // transaction yields two contexts for one txn; the map insert
+        // order keeps the latest incarnation.
+        let mut contexts = durability::replay(&self.journal).unwrap_or_default();
+        let outcome = durability::recover_in_doubt(&mut contexts, &mut self.repo, ctx.now());
+        self.stats.presumed_aborts += outcome.presumed_aborted.len() as u64;
+        self.contexts = contexts.into_iter().map(|t| (t.txn, t)).collect();
+        for txn in &outcome.presumed_aborted {
+            self.journal.push(JournalEntry::Resolved { txn: *txn, committed: false, at: ctx.now() });
+        }
+        for txn in outcome.presumed_aborted {
+            let parent = self.contexts.get(&txn).and_then(|t| t.parent);
+            let started = self.contexts.get(&txn).map(|t| t.created_at).unwrap_or(0);
+            match parent {
+                Some((pp, inv)) => {
+                    // The invoker must learn its child's work is undone.
+                    let fault = Fault::peer_unreachable(format!("{} crashed; presumed abort", self.id));
+                    let _ = self.send_reliable(ctx, pp, TxnMsg::Fault { txn, inv, fault });
+                }
+                None if txn.origin == self.id => {
+                    self.outcomes.push(TxnOutcome {
+                        txn,
+                        committed: false,
+                        started_at: started,
+                        resolved_at: ctx.now(),
+                    });
+                }
+                None => {}
+            }
+            // Invoked peers (and collected compensations) are in the
+            // replayed log: push the abort down the tree.
+            self.propagate_abort(ctx, txn, None);
         }
     }
 
@@ -1691,6 +1967,24 @@ impl Actor<TxnMsg> for AxmlPeer {
     fn on_message(&mut self, ctx: &mut Ctx<'_, TxnMsg>, from: PeerId, msg: TxnMsg) {
         // Any traffic from a peer proves liveness.
         self.monitor.heard_from(from, ctx.now());
+        // Strip the at-least-once envelope before protocol dispatch.
+        let msg = match msg {
+            TxnMsg::Reliable { id, attempt: _, inner } => {
+                // Always ack — even re-deliveries, since the original ack
+                // may itself have been dropped.
+                let _ = ctx.send(from, TxnMsg::Ack { id });
+                if self.config.dedup && !self.seen_deliveries.insert((from, id)) {
+                    self.stats.dup_suppressed += 1;
+                    return;
+                }
+                *inner
+            }
+            TxnMsg::Ack { id } => {
+                self.outbox.remove(&id);
+                return;
+            }
+            other => other,
+        };
         match msg {
             TxnMsg::Invoke { txn, inv, method, params, chain, prefilled } => {
                 self.handle_invoke(ctx, from, txn, inv, method, params, chain, prefilled);
@@ -1717,6 +2011,8 @@ impl Actor<TxnMsg> for AxmlPeer {
                 self.maybe_start_stream(ctx);
             }
             TxnMsg::ChainUpdate { txn, chain } => self.handle_chain_update(ctx, from, txn, chain),
+            // Unwrapped above; a nested envelope is never constructed.
+            TxnMsg::Reliable { .. } | TxnMsg::Ack { .. } => {}
         }
     }
 
@@ -1737,9 +2033,33 @@ impl Actor<TxnMsg> for AxmlPeer {
                 Some(TimerPayload::Submit { method, params }) => {
                     self.submit(ctx, &method, params);
                 }
+                Some(TimerPayload::Retransmit(id)) => self.retransmit(ctx, id),
                 None => {}
             },
         }
+    }
+
+    fn on_reconnect(&mut self, ctx: &mut Ctx<'_, TxnMsg>) {
+        // Timers set while offline were discarded by the simulator:
+        // re-arm the delivery layer or pending outbox entries would
+        // never retransmit (and quiescence would never be reached).
+        let ids: Vec<u64> = self.outbox.keys().copied().collect();
+        for id in ids {
+            let tag = self.alloc_payload_tag(TimerPayload::Retransmit(id));
+            ctx.set_timer(self.config.retransmit_base, tag);
+        }
+        // Same for the keep-alive and stream loops.
+        if self.config.ping_interval > 0 && !self.monitor.watched().is_empty() && !self.ping_running {
+            self.ping_running = true;
+            ctx.set_timer(self.config.ping_interval, TAG_PING);
+        }
+        if self.config.stream_interval.is_some() && !self.stream_running && !self.servings.is_empty() {
+            self.maybe_start_stream(ctx);
+        }
+    }
+
+    fn on_crash_restart(&mut self, ctx: &mut Ctx<'_, TxnMsg>) {
+        self.crash_recover(ctx);
     }
 }
 
@@ -1815,8 +2135,12 @@ mod tests {
             )
             .unwrap();
         peers[1].registry.register(
-            ServiceDef::query("root", "main", SelectQuery::parse("Select v//out from v in d").unwrap())
-                .with_results(&["out"]),
+            ServiceDef::query(
+                "root",
+                "main",
+                SelectQuery::parse("Select v//out from v in d").expect("static query: Select v//out from v in d"),
+            )
+            .with_results(&["out"]),
         );
         peers[1].wsdl.publish("outer", &["out"]);
         peers[1].wsdl.publish("inner", &["seed"]);
@@ -1868,8 +2192,12 @@ mod tests {
             )
             .unwrap();
         peers[1].registry.register(
-            ServiceDef::query("root", "main", SelectQuery::parse("Select v//out from v in d").unwrap())
-                .with_results(&["out"]),
+            ServiceDef::query(
+                "root",
+                "main",
+                SelectQuery::parse("Select v//out from v in d").expect("static query: Select v//out from v in d"),
+            )
+            .with_results(&["out"]),
         );
         peers[2].registry.register(ServiceDef::function("outer", |_| Ok(vec![])).with_results(&["out"]));
         let mut inner = ServiceDef::function("inner", |_| Ok(vec![]));
@@ -1895,8 +2223,12 @@ mod tests {
             )
             .unwrap();
         peers[1].registry.register(
-            ServiceDef::query("root", "main", SelectQuery::parse("Select v//out from v in d").unwrap())
-                .with_results(&["out"]),
+            ServiceDef::query(
+                "root",
+                "main",
+                SelectQuery::parse("Select v//out from v in d").expect("static query: Select v//out from v in d"),
+            )
+            .with_results(&["out"]),
         );
         let mut sim = Sim::new(SimConfig::default(), peers);
         sim.actor_mut(PeerId(1)).auto_submit = Some(("root".into(), vec![]));
@@ -1925,8 +2257,12 @@ mod tests {
         let mut peers = fabric(2);
         peers[1].repo.put_xml("main", "<d><out>v</out></d>").unwrap();
         peers[1].registry.register(
-            ServiceDef::query("root", "main", SelectQuery::parse("Select v//out from v in d").unwrap())
-                .with_results(&["out"]),
+            ServiceDef::query(
+                "root",
+                "main",
+                SelectQuery::parse("Select v//out from v in d").expect("static query: Select v//out from v in d"),
+            )
+            .with_results(&["out"]),
         );
         let tag = peers[1].schedule_submit("root", vec![]);
         let mut sim = Sim::new(SimConfig::default(), peers);

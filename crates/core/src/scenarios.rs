@@ -17,7 +17,7 @@ use crate::ids::TxnId;
 use crate::messages::TxnMsg;
 use crate::peer::{AxmlPeer, PeerConfig, PeerStats, WsdlCatalog};
 use axml_doc::Fault;
-use axml_p2p::{Directory, NetMetrics, PeerId, Sim, SimConfig};
+use axml_p2p::{Directory, FaultPlane, NetMetrics, PeerId, Sim, SimConfig};
 use std::collections::BTreeMap;
 
 /// What kind of service each peer exposes.
@@ -64,6 +64,9 @@ pub struct ScenarioBuilder {
     pub submit_at: u64,
     /// Hard stop for the simulation.
     pub deadline: u64,
+    /// Fault schedule for the simulated network (inert by default, so
+    /// scenarios not opting in are byte-for-byte unaffected).
+    pub fault: FaultPlane,
 }
 
 impl ScenarioBuilder {
@@ -83,6 +86,7 @@ impl ScenarioBuilder {
             disconnects: Vec::new(),
             submit_at: 0,
             deadline: 100_000,
+            fault: FaultPlane::default(),
         }
     }
 
@@ -121,6 +125,13 @@ impl ScenarioBuilder {
     /// Builder: disconnect a peer at a time.
     pub fn disconnect(mut self, at: u64, peer: u32) -> Self {
         self.disconnects.push((at, peer));
+        self
+    }
+
+    /// Builder: fault schedule for the simulated network (drops,
+    /// duplication, reordering, spikes, partitions, crash-restarts).
+    pub fn fault_plane(mut self, fault: FaultPlane) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -298,7 +309,7 @@ impl ScenarioBuilder {
             }
             actors.push(peer);
         }
-        let mut sim = Sim::new(SimConfig { seed: self.seed, ..Default::default() }, actors);
+        let mut sim = Sim::new(SimConfig { seed: self.seed, fault: self.fault.clone(), ..Default::default() }, actors);
         for &s in &self.supers {
             sim.mark_super(PeerId(s));
         }
@@ -742,6 +753,64 @@ mod tests {
         );
         let ap2 = &report.stats[&PeerId(2)];
         assert!(ap2.detections.iter().any(|d| d.disconnected == PeerId(3)));
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-restart round trips (durability journal + presumed abort).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn mid_transaction_crash_presumes_abort_and_stays_atomic() {
+        // AP3 crashes while serving S3 (long duration keeps it in doubt):
+        // its volatile state is wiped, the journal replay finds the
+        // in-doubt context, compensates its effects, and pushes the abort
+        // both ways — the whole transaction unwinds to the baseline.
+        use axml_p2p::CrashEvent;
+        let mut cfg = PeerConfig::default();
+        cfg.use_alternative_providers = false;
+        let mut b = ScenarioBuilder::fig1().config(cfg);
+        b.durations.insert(3, 50);
+        let mut fault = FaultPlane::default();
+        fault.crashes.push(CrashEvent { at: 30, peer: PeerId(3) });
+        let mut s = b.fault_plane(fault).build();
+        let report = s.run();
+        assert!(!report.outcome.expect("resolved").committed, "presumed abort reaches the origin");
+        assert!(report.atomic, "divergent: {:?}", s.divergent_docs());
+        let ap3 = &report.stats[&PeerId(3)];
+        assert_eq!(ap3.crash_recoveries, 1);
+        assert!(ap3.presumed_aborts >= 1, "the in-doubt context was presumed aborted");
+        // The resolution was journaled, so the rebuilt context is terminal.
+        let txn = report.txn.expect("known txn");
+        let tc = s.sim.actor(PeerId(3)).context(txn).expect("replayed from journal");
+        assert_eq!(tc.state, TxnState::Aborted);
+        assert!(
+            s.sim
+                .actor(PeerId(3))
+                .journal()
+                .iter()
+                .any(|e| matches!(e, crate::durability::JournalEntry::Resolved { committed: false, .. })),
+            "presumed abort appended to the journal"
+        );
+    }
+
+    #[test]
+    fn post_commit_crash_replays_journal_without_recompensating() {
+        // AP3 crashes long after the transaction committed: replay finds
+        // only a terminal context, so nothing is compensated and the
+        // committed effects survive the restart.
+        use axml_p2p::CrashEvent;
+        let mut fault = FaultPlane::default();
+        fault.crashes.push(CrashEvent { at: 5000, peer: PeerId(3) });
+        let mut s = ScenarioBuilder::fig1().fault_plane(fault).build();
+        let report = s.run();
+        assert!(report.outcome.expect("resolved").committed);
+        let ap3 = &report.stats[&PeerId(3)];
+        assert_eq!(ap3.crash_recoveries, 1);
+        assert_eq!(ap3.presumed_aborts, 0, "terminal contexts are left untouched");
+        let txn = report.txn.expect("known txn");
+        let actor = s.sim.actor(PeerId(3));
+        assert_eq!(actor.context(txn).expect("replayed").state, TxnState::Committed);
+        assert!(actor.repo.get("d3").expect("doc").to_xml().contains("done-3"), "committed effects survive");
     }
 
     // ------------------------------------------------------------------

@@ -26,6 +26,10 @@ impl PingMonitor {
     }
 
     /// Starts watching a peer (counts as heard-from at `now`).
+    ///
+    /// Re-watching an already-watched peer resets its silence clock to
+    /// `now` — so a peer that was about to be declared suspect gets a
+    /// full fresh timeout window.
     pub fn watch(&mut self, peer: PeerId, now: u64) {
         self.watched.insert(peer, now);
     }
@@ -43,6 +47,12 @@ impl PingMonitor {
     }
 
     /// Peers silent past the timeout as of `now`.
+    ///
+    /// The comparison is strict: a peer whose silence equals the timeout
+    /// exactly is *not* yet suspect — suspicion needs `now - last_heard`
+    /// to strictly exceed `timeout`. This keeps a peer that answers
+    /// every ping at precisely the timeout cadence permanently healthy
+    /// instead of flapping on the boundary.
     pub fn suspects(&self, now: u64) -> Vec<PeerId> {
         self.watched.iter().filter(|(_, &last)| now.saturating_sub(last) > self.timeout).map(|(&p, _)| p).collect()
     }
@@ -96,6 +106,18 @@ mod tests {
         m.watch(PeerId(1), 0);
         assert!(m.suspects(25).is_empty(), "strictly-greater comparison");
         assert_eq!(m.suspects(26), vec![PeerId(1)]);
+    }
+
+    #[test]
+    fn rewatch_resets_suspicion_clock() {
+        let mut m = PingMonitor::new(10, 25);
+        m.watch(PeerId(1), 0);
+        assert_eq!(m.suspects(26), vec![PeerId(1)]);
+        // Watching again (e.g. a second invocation on the same child)
+        // counts as heard-from: the suspect gets a fresh window.
+        m.watch(PeerId(1), 26);
+        assert!(m.suspects(51).is_empty(), "window restarts at the re-watch");
+        assert_eq!(m.suspects(52), vec![PeerId(1)]);
     }
 
     #[test]

@@ -25,12 +25,17 @@
 //! - [`PingMonitor`]: the keep-alive failure detector peers embed
 //!   ("related P2P research relies on ping (or keep-alive) messages to
 //!   detect peer disconnection").
+//! - [`FaultPlane`]: seeded probabilistic and scripted per-link message
+//!   drops, duplication, delay spikes, reordering, windowed partitions,
+//!   and crash-restart events — the adversary the chaos harness sweeps
+//!   and shrinks against.
 //! - [`Directory`]: peer addressing (`peer://ap2` ↔ [`PeerId`]) and the
 //!   replica registry used for forward recovery on replicated documents.
 
 pub mod churn;
 pub mod detect;
 pub mod directory;
+pub mod fault;
 pub mod ids;
 pub mod metrics;
 pub mod sim;
@@ -38,6 +43,7 @@ pub mod sim;
 pub use churn::{ChurnEvent, ChurnSchedule};
 pub use detect::PingMonitor;
 pub use directory::Directory;
+pub use fault::{CrashEvent, FaultAction, FaultPlane, Partition, ScriptedFault};
 pub use ids::{PeerId, TimerId};
 pub use metrics::NetMetrics;
 pub use sim::{Actor, Ctx, LatencyModel, Message, SendError, Sim, SimConfig};

@@ -1,9 +1,10 @@
 //! Network-level counters collected by the simulator.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Counters the experiment harness reads after a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetMetrics {
     /// Messages successfully enqueued for delivery.
     pub sent: u64,
@@ -22,12 +23,103 @@ pub struct NetMetrics {
     pub disconnects: u64,
     /// Reconnect events applied.
     pub reconnects: u64,
+    /// Messages dropped by the fault plane (probabilistic, scripted, or
+    /// partition).
+    pub injected_drops: u64,
+    /// Of [`Self::injected_drops`], those dropped by a partition window.
+    pub partition_drops: u64,
+    /// Messages duplicated by the fault plane.
+    pub injected_dups: u64,
+    /// Messages given a large delay spike by the fault plane.
+    pub injected_spikes: u64,
+    /// Messages given a small reordering delay by the fault plane.
+    pub injected_reorders: u64,
+    /// Deliveries that arrived behind a later-sent message on the same
+    /// link (duplicate copies excluded).
+    pub out_of_order: u64,
+    /// Retransmissions sent by reliable-delivery protocol layers (see
+    /// [`crate::Message::is_retransmit`]).
+    pub retransmits: u64,
+    /// Crash-restart events applied.
+    pub crash_restarts: u64,
+    /// Timer firings discarded because the peer crash-restarted after
+    /// they were set.
+    pub stale_timers: u64,
+    /// Fault-plane drops by message kind.
+    pub drops_by_kind: BTreeMap<&'static str, u64>,
+    /// Fault-plane duplications by message kind.
+    pub dups_by_kind: BTreeMap<&'static str, u64>,
+    /// Retransmissions by message kind.
+    pub retransmits_by_kind: BTreeMap<&'static str, u64>,
 }
 
 impl NetMetrics {
     /// Count of messages of one kind.
     pub fn kind(&self, kind: &str) -> u64 {
         self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Count of fault-plane drops of one kind.
+    pub fn drops_of(&self, kind: &str) -> u64 {
+        self.drops_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Count of fault-plane duplications of one kind.
+    pub fn dups_of(&self, kind: &str) -> u64 {
+        self.dups_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Count of retransmissions of one kind.
+    pub fn retransmits_of(&self, kind: &str) -> u64 {
+        self.retransmits_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total faults injected by the plane (drops + dups + spikes +
+    /// reorders).
+    pub fn injected_total(&self) -> u64 {
+        self.injected_drops + self.injected_dups + self.injected_spikes + self.injected_reorders
+    }
+
+    /// A human-readable multi-line summary, used by the chaos harness to
+    /// make failing runs diagnosable.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "net: sent {} delivered {} send-failures {} dropped-in-flight {}",
+            self.sent, self.delivered, self.send_failures, self.dropped_in_flight
+        );
+        let _ = writeln!(
+            out,
+            "faults: drops {} (partition {}) dups {} spikes {} reorders {} | out-of-order {} retransmits {} crash-restarts {}",
+            self.injected_drops,
+            self.partition_drops,
+            self.injected_dups,
+            self.injected_spikes,
+            self.injected_reorders,
+            self.out_of_order,
+            self.retransmits,
+            self.crash_restarts
+        );
+        let per_kind = |map: &BTreeMap<&'static str, u64>| {
+            map.iter().map(|(k, v)| format!("{k} {v}")).collect::<Vec<_>>().join(", ")
+        };
+        let _ = writeln!(out, "by kind: {}", per_kind(&self.by_kind));
+        if !self.drops_by_kind.is_empty() {
+            let _ = writeln!(out, "drops by kind: {}", per_kind(&self.drops_by_kind));
+        }
+        if !self.dups_by_kind.is_empty() {
+            let _ = writeln!(out, "dups by kind: {}", per_kind(&self.dups_by_kind));
+        }
+        if !self.retransmits_by_kind.is_empty() {
+            let _ = writeln!(out, "retransmits by kind: {}", per_kind(&self.retransmits_by_kind));
+        }
+        let _ = write!(
+            out,
+            "churn: timers {} (stale {}) disconnects {} reconnects {}",
+            self.timers_fired, self.stale_timers, self.disconnects, self.reconnects
+        );
+        out
     }
 }
 
@@ -41,5 +133,33 @@ mod tests {
         assert_eq!(m.kind("invoke"), 0);
         *m.by_kind.entry("invoke").or_default() += 3;
         assert_eq!(m.kind("invoke"), 3);
+    }
+
+    #[test]
+    fn fault_counters_default_to_zero_and_total() {
+        let mut m = NetMetrics::default();
+        assert_eq!(m.injected_total(), 0);
+        assert_eq!(m.drops_of("invoke"), 0);
+        m.injected_drops = 2;
+        m.injected_dups = 1;
+        *m.drops_by_kind.entry("invoke").or_default() += 2;
+        *m.dups_by_kind.entry("result").or_default() += 1;
+        assert_eq!(m.injected_total(), 3);
+        assert_eq!(m.drops_of("invoke"), 2);
+        assert_eq!(m.dups_of("result"), 1);
+    }
+
+    #[test]
+    fn summary_mentions_fault_lines_only_when_present() {
+        let mut m = NetMetrics::default();
+        m.sent = 4;
+        let s = m.summary();
+        assert!(s.contains("sent 4"));
+        assert!(!s.contains("drops by kind"));
+        *m.drops_by_kind.entry("invoke").or_default() += 1;
+        *m.retransmits_by_kind.entry("invoke").or_default() += 2;
+        let s = m.summary();
+        assert!(s.contains("drops by kind: invoke 1"));
+        assert!(s.contains("retransmits by kind: invoke 2"));
     }
 }

@@ -1,17 +1,20 @@
 //! The discrete-event simulator.
 //!
 //! One [`Actor`] per peer; events are message deliveries, timer firings,
-//! and churn (disconnect/reconnect). Everything is driven by a seeded RNG
-//! and a logical clock, so every run is exactly reproducible — the
-//! property that lets the test suite assert precise message sequences for
-//! the paper's Fig. 1 and Fig. 2 scenarios.
+//! churn (disconnect/reconnect), and fault-plane crash-restarts.
+//! Everything is driven by seeded RNGs and a logical clock, so every run
+//! is exactly reproducible — the property that lets the test suite assert
+//! precise message sequences for the paper's Fig. 1 and Fig. 2 scenarios,
+//! and that lets the chaos harness shrink a failing fault schedule to a
+//! scripted reproducer (see [`crate::fault`]).
 
+use crate::fault::{CrashEvent, FaultPlane, FaultRuntime, Injected, ScriptedFault};
 use crate::ids::{PeerId, TimerId};
 use crate::metrics::NetMetrics;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
 
 /// Messages exchanged between actors.
@@ -19,6 +22,12 @@ pub trait Message: Clone + fmt::Debug {
     /// A short label used for per-kind metrics.
     fn kind(&self) -> &'static str {
         "msg"
+    }
+
+    /// True if this message is a protocol-level retransmission of an
+    /// earlier send (counted separately in [`NetMetrics::retransmits`]).
+    fn is_retransmit(&self) -> bool {
+        false
     }
 }
 
@@ -32,6 +41,12 @@ pub trait Actor<M: Message> {
 
     /// The peer just reconnected after a disconnection (optional hook).
     fn on_reconnect(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// The peer crashed and instantly restarted (optional hook). All
+    /// timers set before the crash are dead (the simulator discards them
+    /// by incarnation); the actor must wipe its volatile state and
+    /// rebuild from whatever it journaled durably.
+    fn on_crash_restart(&mut self, _ctx: &mut Ctx<'_, M>) {}
 }
 
 /// Why a send failed.
@@ -77,19 +92,22 @@ pub struct SimConfig {
     pub latency: LatencyModel,
     /// Hard cap on processed events (runaway-protocol guard).
     pub max_events: u64,
+    /// Fault schedule (inert by default; see [`crate::fault`]).
+    pub fault: FaultPlane,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 7, latency: LatencyModel::default(), max_events: 1_000_000 }
+        SimConfig { seed: 7, latency: LatencyModel::default(), max_events: 1_000_000, fault: FaultPlane::default() }
     }
 }
 
 enum Event<M> {
-    Deliver { from: PeerId, to: PeerId, msg: M },
-    Timer { peer: PeerId, id: TimerId, tag: u64 },
+    Deliver { from: PeerId, to: PeerId, msg: M, link_seq: u64, dup: bool },
+    Timer { peer: PeerId, id: TimerId, tag: u64, inc: u64 },
     Disconnect(PeerId),
     Reconnect(PeerId),
+    CrashRestart(PeerId),
 }
 
 struct Scheduled<M> {
@@ -124,10 +142,14 @@ pub struct SimState<M> {
     queue: BinaryHeap<Scheduled<M>>,
     connected: Vec<bool>,
     super_peer: Vec<bool>,
+    incarnation: Vec<u64>,
     cancelled: HashSet<u64>,
     rng: StdRng,
     latency: LatencyModel,
     max_events: u64,
+    fault: FaultRuntime,
+    link_sent: HashMap<(PeerId, PeerId), u64>,
+    link_delivered: HashMap<(PeerId, PeerId), u64>,
     /// Counters, readable after the run.
     pub metrics: NetMetrics,
 }
@@ -159,7 +181,9 @@ impl<M: Message> Ctx<'_, M> {
 
     /// Sends a message. Fails synchronously if the target is disconnected
     /// at this instant; otherwise the message is delivered after a seeded
-    /// latency (and silently dropped if the target disconnects in flight).
+    /// latency — unless the fault plane drops, duplicates, or delays it
+    /// first (and it is silently dropped if the target disconnects in
+    /// flight).
     pub fn send(&mut self, to: PeerId, msg: M) -> Result<(), SendError> {
         if !self.state.connected.get(to.0 as usize).copied().unwrap_or(false) {
             self.state.metrics.send_failures += 1;
@@ -168,21 +192,70 @@ impl<M: Message> Ctx<'_, M> {
         let delay = self.state.rng.gen_range(self.state.latency.min..=self.state.latency.max);
         let at = self.state.now + delay;
         self.state.metrics.sent += 1;
-        *self.state.metrics.by_kind.entry(msg.kind()).or_default() += 1;
+        let kind = msg.kind();
+        *self.state.metrics.by_kind.entry(kind).or_default() += 1;
+        if msg.is_retransmit() {
+            self.state.metrics.retransmits += 1;
+            *self.state.metrics.retransmits_by_kind.entry(kind).or_default() += 1;
+        }
         let from = self.me;
-        self.state.schedule(at, Event::Deliver { from, to, msg });
+        let link_seq = {
+            let counter = self.state.link_sent.entry((from, to)).or_insert(0);
+            let s = *counter;
+            *counter += 1;
+            s
+        };
+        let now = self.state.now;
+        match self.state.fault.on_send(now, from, to, kind) {
+            None => {
+                self.state.schedule(at, Event::Deliver { from, to, msg, link_seq, dup: false });
+            }
+            Some(Injected::PartitionDrop) => {
+                self.state.metrics.injected_drops += 1;
+                self.state.metrics.partition_drops += 1;
+                *self.state.metrics.drops_by_kind.entry(kind).or_default() += 1;
+            }
+            Some(Injected::Drop) => {
+                self.state.metrics.injected_drops += 1;
+                *self.state.metrics.drops_by_kind.entry(kind).or_default() += 1;
+            }
+            Some(Injected::Duplicate { extra }) => {
+                self.state.metrics.injected_dups += 1;
+                *self.state.metrics.dups_by_kind.entry(kind).or_default() += 1;
+                let copy = msg.clone();
+                self.state.schedule(at, Event::Deliver { from, to, msg, link_seq, dup: false });
+                self.state.schedule(at + extra, Event::Deliver { from, to, msg: copy, link_seq, dup: true });
+            }
+            Some(Injected::Spike { extra }) => {
+                self.state.metrics.injected_spikes += 1;
+                self.state.schedule(at + extra, Event::Deliver { from, to, msg, link_seq, dup: false });
+            }
+            Some(Injected::Reorder { extra }) => {
+                self.state.metrics.injected_reorders += 1;
+                self.state.schedule(at + extra, Event::Deliver { from, to, msg, link_seq, dup: false });
+            }
+        }
         Ok(())
     }
 
     /// Sets a timer that fires on this peer after `delay` time units,
-    /// delivering `tag` to [`Actor::on_timer`].
+    /// delivering `tag` to [`Actor::on_timer`]. The timer dies if the
+    /// peer crash-restarts before it fires.
     pub fn set_timer(&mut self, delay: u64, tag: u64) -> TimerId {
         let id = TimerId(self.state.next_timer);
         self.state.next_timer += 1;
         let me = self.me;
         let at = self.state.now + delay;
-        self.state.schedule(at, Event::Timer { peer: me, id, tag });
+        let inc = self.state.incarnation[me.0 as usize];
+        self.state.schedule(at, Event::Timer { peer: me, id, tag, inc });
         id
+    }
+
+    /// This peer's crash-restart incarnation (0 until the first crash).
+    /// Protocol layers use it to namespace identifiers that must not be
+    /// reused across a restart.
+    pub fn incarnation(&self) -> u64 {
+        self.state.incarnation[self.me.0 as usize]
     }
 
     /// Cancels a pending timer (no-op if it already fired).
@@ -219,7 +292,8 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
     /// peers start connected.
     pub fn new(config: SimConfig, actors: Vec<A>) -> Sim<M, A> {
         let n = actors.len();
-        Sim {
+        let crashes: Vec<CrashEvent> = config.fault.crashes.clone();
+        let mut sim = Sim {
             state: SimState {
                 now: 0,
                 seq: 0,
@@ -227,14 +301,22 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
                 queue: BinaryHeap::new(),
                 connected: vec![true; n],
                 super_peer: vec![false; n],
+                incarnation: vec![0; n],
                 cancelled: HashSet::new(),
                 rng: StdRng::seed_from_u64(config.seed),
                 latency: config.latency,
                 max_events: config.max_events,
+                fault: FaultRuntime::new(config.fault),
+                link_sent: HashMap::new(),
+                link_delivered: HashMap::new(),
                 metrics: NetMetrics::default(),
             },
             actors: actors.into_iter().map(Some).collect(),
+        };
+        for c in crashes {
+            sim.state.schedule(c.at, Event::CrashRestart(c.peer));
         }
+        sim
     }
 
     /// Marks a peer as a super peer (disconnect events are ignored for it).
@@ -255,12 +337,20 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
         self.state.schedule(at, Event::Reconnect(peer));
     }
 
+    /// Schedules a crash-restart at time `at` (skipped if the peer is
+    /// disconnected when it fires).
+    pub fn schedule_crash_restart(&mut self, at: u64, peer: PeerId) {
+        self.state.schedule(at, Event::CrashRestart(peer));
+    }
+
     /// Schedules a timer on a peer from outside (how the harness starts a
-    /// scenario: e.g. tag 0 = "submit the transaction now").
+    /// scenario: e.g. tag 0 = "submit the transaction now"). Like actor
+    /// timers, it dies if the peer crash-restarts first.
     pub fn schedule_timer(&mut self, at: u64, peer: PeerId, tag: u64) {
         let id = TimerId(self.state.next_timer);
         self.state.next_timer += 1;
-        self.state.schedule(at, Event::Timer { peer, id, tag });
+        let inc = self.state.incarnation[peer.0 as usize];
+        self.state.schedule(at, Event::Timer { peer, id, tag, inc });
     }
 
     /// Runs until the queue drains or the event cap is hit. Returns the
@@ -284,17 +374,31 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
             let Scheduled { at, event, .. } = self.state.queue.pop().expect("peeked");
             self.state.now = at;
             match event {
-                Event::Deliver { from, to, msg } => {
+                Event::Deliver { from, to, msg, link_seq, dup } => {
                     if !self.state.connected[to.0 as usize] {
                         self.state.metrics.dropped_in_flight += 1;
                         continue;
                     }
+                    if !dup {
+                        // Out-of-order accounting: a delivery behind a
+                        // later-sent message on the same link.
+                        match self.state.link_delivered.get(&(from, to)) {
+                            Some(&hi) if link_seq < hi => self.state.metrics.out_of_order += 1,
+                            _ => {
+                                self.state.link_delivered.insert((from, to), link_seq);
+                            }
+                        }
+                    }
                     self.state.metrics.delivered += 1;
                     self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
                 }
-                Event::Timer { peer, id, tag } => {
+                Event::Timer { peer, id, tag, inc } => {
                     if self.state.cancelled.remove(&id.0) {
                         continue;
+                    }
+                    if inc != self.state.incarnation[peer.0 as usize] {
+                        self.state.metrics.stale_timers += 1;
+                        continue; // set before a crash-restart: dead
                     }
                     if !self.state.connected[peer.0 as usize] {
                         continue; // offline peers' timers don't fire
@@ -315,6 +419,14 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
                         self.state.metrics.reconnects += 1;
                         self.with_actor(peer, |actor, ctx| actor.on_reconnect(ctx));
                     }
+                }
+                Event::CrashRestart(peer) => {
+                    if !self.state.connected[peer.0 as usize] {
+                        continue; // an offline peer has nothing running to crash
+                    }
+                    self.state.metrics.crash_restarts += 1;
+                    self.state.incarnation[peer.0 as usize] += 1;
+                    self.with_actor(peer, |actor, ctx| actor.on_crash_restart(ctx));
                 }
             }
         }
@@ -351,6 +463,24 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
     /// Collected metrics.
     pub fn metrics(&self) -> &NetMetrics {
         &self.state.metrics
+    }
+
+    /// The fault schedule this simulation was configured with.
+    pub fn fault_plane(&self) -> &FaultPlane {
+        self.state.fault.plane()
+    }
+
+    /// Every per-message fault injected so far, as a replayable script
+    /// (partition drops excluded — the partitions themselves are already
+    /// scripted in the plane). Feeding this to [`FaultPlane::scripted`]
+    /// with the same partitions and crashes reproduces the run.
+    pub fn fault_trace(&self) -> &[ScriptedFault] {
+        self.state.fault.trace()
+    }
+
+    /// A peer's crash-restart incarnation (0 until its first crash).
+    pub fn incarnation(&self, peer: PeerId) -> u64 {
+        self.state.incarnation[peer.0 as usize]
     }
 
     /// Connectivity oracle for assertions.
@@ -564,6 +694,154 @@ mod tests {
         assert!(s.actor(PeerId(0)).fired.is_empty());
         s.run();
         assert_eq!(s.actor(PeerId(0)).fired, vec![1]);
+    }
+
+    #[test]
+    fn scripted_drop_loses_exactly_one_message() {
+        use crate::fault::{FaultAction, FaultPlane, ScriptedFault};
+        let mut config = SimConfig::default();
+        config.fault = FaultPlane::scripted(vec![ScriptedFault {
+            from: PeerId(0),
+            to: PeerId(1),
+            kind: "ping".into(),
+            nth: 1,
+            action: FaultAction::Drop,
+        }]);
+        let mut s = Sim::new(config, vec![Echo::default(), Echo::default()]);
+        for t in 0..3 {
+            s.schedule_timer(t * 20, PeerId(0), 1);
+        }
+        s.run();
+        assert_eq!(s.actor(PeerId(1)).pings, 2, "one of three pings dropped");
+        assert_eq!(s.metrics().injected_drops, 1);
+        assert_eq!(s.metrics().drops_of("ping"), 1);
+        assert_eq!(s.metrics().sent, 5, "dropped message still counts as sent");
+        assert_eq!(s.fault_trace().len(), 1);
+    }
+
+    #[test]
+    fn scripted_duplicate_delivers_twice() {
+        use crate::fault::{FaultAction, FaultPlane, ScriptedFault};
+        let mut config = SimConfig::default();
+        config.fault = FaultPlane::scripted(vec![ScriptedFault {
+            from: PeerId(0),
+            to: PeerId(1),
+            kind: "ping".into(),
+            nth: 0,
+            action: FaultAction::Duplicate { extra: 7 },
+        }]);
+        let mut s = Sim::new(config, vec![Echo::default(), Echo::default()]);
+        s.schedule_timer(0, PeerId(0), 1);
+        s.run();
+        assert_eq!(s.actor(PeerId(1)).pings, 2, "original + duplicate");
+        assert_eq!(s.metrics().injected_dups, 1);
+        assert_eq!(s.metrics().dups_of("ping"), 1);
+        assert_eq!(s.metrics().out_of_order, 0, "duplicates are not reorders");
+    }
+
+    #[test]
+    fn reorder_spike_counts_out_of_order_delivery() {
+        use crate::fault::{FaultAction, FaultPlane, ScriptedFault};
+        let mut config = SimConfig::default();
+        config.latency = LatencyModel { min: 1, max: 1 };
+        // Delay the first ping so the second overtakes it on the link.
+        config.fault = FaultPlane::scripted(vec![ScriptedFault {
+            from: PeerId(0),
+            to: PeerId(1),
+            kind: "ping".into(),
+            nth: 0,
+            action: FaultAction::Reorder { extra: 10 },
+        }]);
+        let mut s = Sim::new(config, vec![Echo::default(), Echo::default()]);
+        s.schedule_timer(0, PeerId(0), 1);
+        s.schedule_timer(2, PeerId(0), 1);
+        s.run();
+        assert_eq!(s.actor(PeerId(1)).pings, 2);
+        assert_eq!(s.metrics().injected_reorders, 1);
+        assert_eq!(s.metrics().out_of_order, 1);
+    }
+
+    #[test]
+    fn partition_window_drops_silently_both_ways() {
+        use crate::fault::{FaultPlane, Partition};
+        let mut config = SimConfig::default();
+        config.fault = FaultPlane {
+            partitions: vec![Partition { start: 0, end: 50, a: vec![PeerId(0)], b: vec![PeerId(1)] }],
+            ..FaultPlane::default()
+        };
+        let mut s = Sim::new(config, vec![Echo::default(), Echo::default()]);
+        s.schedule_timer(10, PeerId(0), 1); // inside the window: dropped
+        s.schedule_timer(60, PeerId(0), 1); // after healing: delivered
+        s.run();
+        assert_eq!(s.actor(PeerId(0)).send_failures, 0, "partitions are silent");
+        assert_eq!(s.actor(PeerId(1)).pings, 1);
+        assert_eq!(s.metrics().partition_drops, 1);
+        assert_eq!(s.metrics().injected_drops, 1);
+    }
+
+    #[test]
+    fn crash_restart_fires_hook_bumps_incarnation_and_kills_timers() {
+        // A bespoke actor to observe the hook and timer death.
+        struct Crashy {
+            crashes: u32,
+            fired: Vec<u64>,
+        }
+        impl Actor<Msg> for Crashy {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: PeerId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+                self.fired.push(tag);
+                if tag == 1 {
+                    ctx.set_timer(100, 2); // will be killed by the crash at t=50
+                }
+            }
+            fn on_crash_restart(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                self.crashes += 1;
+                assert_eq!(ctx.incarnation(), 1);
+            }
+        }
+        let mut c = Sim::new(
+            SimConfig::default(),
+            vec![Crashy { crashes: 0, fired: vec![] }, Crashy { crashes: 0, fired: vec![] }],
+        );
+        c.schedule_timer(0, PeerId(0), 1);
+        c.schedule_crash_restart(50, PeerId(0));
+        c.run();
+        assert_eq!(c.actor(PeerId(0)).crashes, 1);
+        assert_eq!(c.actor(PeerId(0)).fired, vec![1], "post-crash timer never fired");
+        assert_eq!(c.incarnation(PeerId(0)), 1);
+        assert_eq!(c.metrics().crash_restarts, 1);
+        assert_eq!(c.metrics().stale_timers, 1);
+    }
+
+    #[test]
+    fn crash_of_offline_peer_is_skipped() {
+        let mut s = sim(2);
+        s.schedule_disconnect(0, PeerId(1));
+        s.schedule_crash_restart(10, PeerId(1));
+        s.run();
+        assert_eq!(s.metrics().crash_restarts, 0);
+        assert_eq!(s.incarnation(PeerId(1)), 0);
+    }
+
+    #[test]
+    fn probabilistic_faults_are_deterministic_per_seed() {
+        use crate::fault::FaultPlane;
+        let run = || {
+            let mut config = SimConfig::default();
+            config.fault = FaultPlane::probabilistic(11, 0.3, 0.2, 0.1, 0.1);
+            let mut s = Sim::new(config, vec![Echo::default(), Echo::default()]);
+            for t in 0..40 {
+                s.schedule_timer(t * 3, PeerId(0), 1);
+            }
+            s.run();
+            (s.actor(PeerId(1)).pings, s.metrics().clone(), s.fault_trace().to_vec())
+        };
+        let (pings1, m1, t1) = run();
+        let (pings2, m2, t2) = run();
+        assert_eq!(pings1, pings2);
+        assert_eq!(m1, m2);
+        assert_eq!(t1, t2);
+        assert!(m1.injected_total() > 0, "faults actually injected");
     }
 
     #[test]
