@@ -1,0 +1,69 @@
+//! Validates the `BENCH_<id>.json` reports the experiments binary wrote.
+//!
+//! ```text
+//! bench-check [--dir DIR] [--min N]
+//! ```
+//!
+//! Scans `DIR` (default: the working directory) for `BENCH_*.json`
+//! files, parses each as a [`BenchReport`], and prints a one-line summary
+//! per report. Exits non-zero if any file fails to parse or fewer than
+//! `N` reports are found (default 1) — the CI bench-smoke gate.
+
+use axml_bench::BenchReport;
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = parse_flag(&args, "--dir").unwrap_or_else(|| ".".to_string());
+    let min: usize = parse_flag(&args, "--min").and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+
+    let mut ok = true;
+    let mut parsed = 0usize;
+    for name in &names {
+        let path = format!("{dir}/{name}");
+        let verdict = std::fs::read_to_string(&path)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|text| BenchReport::parse(&text));
+        match verdict {
+            Ok(r) => {
+                parsed += 1;
+                let params: Vec<String> = r.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                println!(
+                    "{name}: {} rows={} digest={:016x} wall={}us{}{}",
+                    r.experiment,
+                    r.rows,
+                    r.rows_digest,
+                    r.wall_time_us,
+                    if params.is_empty() { "" } else { " " },
+                    params.join(" ")
+                );
+            }
+            Err(e) => {
+                eprintln!("{name}: INVALID — {e}");
+                ok = false;
+            }
+        }
+    }
+    if parsed < min {
+        eprintln!("expected at least {min} valid BENCH_*.json reports in {dir}, found {parsed}");
+        ok = false;
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

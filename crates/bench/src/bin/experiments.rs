@@ -5,12 +5,37 @@
 //! ```
 //!
 //! With `--json`, rows are additionally emitted as JSON lines (one array
-//! per experiment) for downstream plotting.
+//! per experiment) for downstream plotting. Every experiment that runs
+//! also writes a `BENCH_<id>.json` report (row count, rows digest, wall
+//! time, parameters) into the working directory; `bench-check` parses
+//! them back and CI archives them.
 
 use axml_bench::{
     e10_isolation, e11_scale, e1_fig1, e2_fig2, e3_compensation, e4_materialization, e5_recovery_cost, e6_churn,
-    e7_peer_independent, e8_spheres, e9_extended_chaining,
+    e7_peer_independent, e8_spheres, e9_extended_chaining, BenchReport,
 };
+
+/// Runs one experiment: prints its table (plus JSON rows when asked) and
+/// writes its `BENCH_<id>.json` report.
+macro_rules! experiment {
+    ($id:literal, $want:expr, $json:expr, $params:expr, $run:expr, $table:path) => {
+        if $want($id) {
+            let t0 = std::time::Instant::now();
+            let rows = $run;
+            let wall_time_us = t0.elapsed().as_micros() as u64;
+            $table(&rows).print();
+            let rows_json = serde_json::to_string(&rows).expect("serializable");
+            if $json {
+                println!("{rows_json}");
+            }
+            let report = BenchReport::from_run($id, $params, rows.len(), &rows_json, wall_time_us);
+            if let Err(e) = std::fs::write(report.file_name(), report.to_json() + "\n") {
+                eprintln!("cannot write {}: {e}", report.file_name());
+            }
+            println!();
+        }
+    };
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,92 +44,15 @@ fn main() {
     let all = which.is_empty() || which.contains(&"all");
     let want = |name: &str| all || which.contains(&name);
 
-    if want("e1") {
-        let rows = e1_fig1::run();
-        e1_fig1::table(&rows).print();
-        if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
-        }
-        println!();
-    }
-    if want("e2") {
-        let rows = e2_fig2::run();
-        e2_fig2::table(&rows).print();
-        if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
-        }
-        println!();
-    }
-    if want("e3") {
-        let rows = e3_compensation::run(10);
-        e3_compensation::table(&rows).print();
-        if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
-        }
-        println!();
-    }
-    if want("e4") {
-        let rows = e4_materialization::run();
-        e4_materialization::table(&rows).print();
-        if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
-        }
-        println!();
-    }
-    if want("e5") {
-        let rows = e5_recovery_cost::run();
-        e5_recovery_cost::table(&rows).print();
-        if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
-        }
-        println!();
-    }
-    if want("e6") {
-        let rows = e6_churn::run(20);
-        e6_churn::table(&rows).print();
-        if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
-        }
-        println!();
-    }
-    if want("e7") {
-        let rows = e7_peer_independent::run(12);
-        e7_peer_independent::table(&rows).print();
-        if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
-        }
-        println!();
-    }
-    if want("e8") {
-        let rows = e8_spheres::run(16);
-        e8_spheres::table(&rows).print();
-        if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
-        }
-        println!();
-    }
-    if want("e9") {
-        let rows = e9_extended_chaining::run();
-        e9_extended_chaining::table(&rows).print();
-        if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
-        }
-        println!();
-    }
-    if want("e10") {
-        let rows = e10_isolation::run();
-        e10_isolation::table(&rows).print();
-        if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
-        }
-        println!();
-    }
-    if want("e11") {
-        let rows = e11_scale::run();
-        e11_scale::table(&rows).print();
-        if json {
-            println!("{}", serde_json::to_string(&rows).expect("serializable"));
-        }
-        println!();
-    }
+    experiment!("e1", want, json, &[], e1_fig1::run(), e1_fig1::table);
+    experiment!("e2", want, json, &[], e2_fig2::run(), e2_fig2::table);
+    experiment!("e3", want, json, &[("rounds", "10")], e3_compensation::run(10), e3_compensation::table);
+    experiment!("e4", want, json, &[], e4_materialization::run(), e4_materialization::table);
+    experiment!("e5", want, json, &[], e5_recovery_cost::run(), e5_recovery_cost::table);
+    experiment!("e6", want, json, &[("rounds", "20")], e6_churn::run(20), e6_churn::table);
+    experiment!("e7", want, json, &[("rounds", "12")], e7_peer_independent::run(12), e7_peer_independent::table);
+    experiment!("e8", want, json, &[("seeds", "16")], e8_spheres::run(16), e8_spheres::table);
+    experiment!("e9", want, json, &[], e9_extended_chaining::run(), e9_extended_chaining::table);
+    experiment!("e10", want, json, &[], e10_isolation::run(), e10_isolation::table);
+    experiment!("e11", want, json, &[], e11_scale::run(), e11_scale::table);
 }

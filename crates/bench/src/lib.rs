@@ -20,6 +20,8 @@ pub mod e6_churn;
 pub mod e7_peer_independent;
 pub mod e8_spheres;
 pub mod e9_extended_chaining;
+pub mod report;
 pub mod table;
 
+pub use report::BenchReport;
 pub use table::Table;

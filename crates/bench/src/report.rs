@@ -1,0 +1,97 @@
+//! Machine-readable experiment reports (`BENCH_<id>.json`).
+//!
+//! The `experiments` binary drops one report file per experiment it runs,
+//! next to the human-readable table. CI's bench-smoke job parses them
+//! back (see the `bench-check` binary) and archives them as artifacts, so
+//! every run of the harness leaves a comparable, plottable record.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One experiment's run record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Experiment id (`e1` … `e11`).
+    pub experiment: String,
+    /// Run parameters (rounds, seeds, …) as printable strings.
+    pub params: BTreeMap<String, String>,
+    /// Number of result rows the experiment produced.
+    pub rows: u64,
+    /// FNV-1a digest of the serialized rows — equal digests ⇔ equal
+    /// results, so regressions show up as a one-line diff.
+    pub rows_digest: u64,
+    /// Wall-clock duration of the run in microseconds.
+    pub wall_time_us: u64,
+}
+
+impl BenchReport {
+    /// Builds a report from a finished run.
+    pub fn from_run(
+        experiment: &str,
+        params: &[(&str, &str)],
+        rows: usize,
+        rows_json: &str,
+        wall_time_us: u64,
+    ) -> BenchReport {
+        BenchReport {
+            experiment: experiment.to_string(),
+            params: params.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            rows: rows as u64,
+            rows_digest: fnv64(rows_json),
+            wall_time_us,
+        }
+    }
+
+    /// The file this report is written to.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.experiment)
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report is serializable")
+    }
+
+    /// Parses a report back, or explains why the text is not one.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        serde_json::from_str(text).map_err(|e| format!("{e:?}"))
+    }
+}
+
+/// FNV-1a over a string (the workspace's standard content digest).
+pub fn fnv64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = BenchReport::from_run("e3", &[("rounds", "10")], 4, r#"[{"x":1}]"#, 1234);
+        assert_eq!(r.file_name(), "BENCH_e3.json");
+        let back = BenchReport::parse(&r.to_json()).expect("parses");
+        assert_eq!(back, r);
+        assert_eq!(back.params["rounds"], "10");
+        assert_eq!(back.rows, 4);
+    }
+
+    #[test]
+    fn digest_distinguishes_results() {
+        let a = BenchReport::from_run("e1", &[], 1, "[1]", 0);
+        let b = BenchReport::from_run("e1", &[], 1, "[2]", 0);
+        assert_ne!(a.rows_digest, b.rows_digest);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BenchReport::parse("not json").is_err());
+        assert!(BenchReport::parse(r#"{"experiment": 3}"#).is_err());
+    }
+}

@@ -250,9 +250,20 @@ pub fn run_digest(s: &Scenario, report: &ScenarioReport) -> u64 {
     fnv64(&text)
 }
 
-/// Runs one case with an explicit plane (the sweep computes the plane
-/// from the profile; the shrinker passes scripted candidates).
-pub fn run_with_plane(case: &CaseConfig, plane: FaultPlane) -> CaseResult {
+/// What a traced chaos run leaves behind alongside its [`CaseResult`]:
+/// the lifecycle journal (JSON lines, byte-stable across replays), its
+/// causal-tree rendering, and the unified net + peer counter snapshot.
+#[derive(Debug, Clone)]
+pub struct TraceDump {
+    /// The journal as JSON lines ([`axml_p2p::TraceJournal::to_json_lines`]).
+    pub journal: String,
+    /// Human-readable causal tree of the run.
+    pub tree: String,
+    /// Rendered counter registry (`net.*` + `peer.*`).
+    pub snapshot: String,
+}
+
+fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult, Option<TraceDump>) {
     let mut b = builder_for(&case.scenario).expect("known scenario");
     let mut cfg = PeerConfig::default();
     cfg.dedup = case.dedup;
@@ -263,18 +274,42 @@ pub fn run_with_plane(case: &CaseConfig, plane: FaultPlane) -> CaseResult {
     }
     // Decouple latency jitter from the fault seed but vary both per case.
     b.seed = 1000 + case.seed;
+    if traced {
+        b = b.traced();
+    }
     let mut s = b.config(cfg).fault_plane(plane.clone()).build();
     let report = s.run();
     let verdict = check_atomicity(&s, &report);
     let digest = run_digest(&s, &report);
-    CaseResult {
+    let dump = s.trace().map(|j| TraceDump {
+        journal: j.to_json_lines(),
+        tree: j.render_tree(),
+        snapshot: s.snapshot().render(),
+    });
+    let result = CaseResult {
         committed: report.outcome.as_ref().map(|o| o.committed),
         verdict,
         digest,
         trace: s.sim.fault_trace().to_vec(),
         plane,
         metrics: report.metrics.clone(),
-    }
+    };
+    (result, dump)
+}
+
+/// Runs one case with an explicit plane (the sweep computes the plane
+/// from the profile; the shrinker passes scripted candidates).
+pub fn run_with_plane(case: &CaseConfig, plane: FaultPlane) -> CaseResult {
+    run_inner(case, plane, false).0
+}
+
+/// Like [`run_with_plane`] but with the lifecycle trace collected.
+/// Tracing is observation only: the traced run's digest equals the
+/// untraced one, and replaying the same case yields a byte-identical
+/// journal.
+pub fn run_with_plane_traced(case: &CaseConfig, plane: FaultPlane) -> (CaseResult, TraceDump) {
+    let (result, dump) = run_inner(case, plane, true);
+    (result, dump.expect("traced run collects a journal"))
 }
 
 /// Runs one sweep cell (plane derived from the profile).
@@ -378,6 +413,22 @@ pub fn shrink_failure(case: &CaseConfig, result: &CaseResult) -> Option<FaultPla
 // Sweeping.
 // ----------------------------------------------------------------------
 
+/// One oracle violation, packaged for diagnosis: the failing cell, the
+/// oracle's reason, the shrunk scripted reproducer (when the trace
+/// replay reproduced), and the lifecycle trace of that reproducer run.
+#[derive(Debug)]
+pub struct Violation {
+    /// The failing sweep cell.
+    pub case: CaseConfig,
+    /// Why the oracle rejected the run.
+    pub reason: String,
+    /// Minimal scripted [`FaultPlane`] as JSON, replayable via
+    /// `axml-chaos trace <scenario> --script <file>`.
+    pub reproducer: Option<String>,
+    /// Lifecycle trace of the shrunk reproducer's run.
+    pub trace: Option<TraceDump>,
+}
+
 /// A sweep's aggregate outcome.
 #[derive(Debug, Default)]
 pub struct SweepOutcome {
@@ -387,9 +438,8 @@ pub struct SweepOutcome {
     pub committed: usize,
     /// Runs that aborted (atomically).
     pub aborted: usize,
-    /// Oracle violations, with their shrunk reproducers (JSON) when the
-    /// trace replay reproduced.
-    pub violations: Vec<(CaseConfig, String, Option<String>)>,
+    /// Oracle violations with shrunk, traced reproducers.
+    pub violations: Vec<Violation>,
 }
 
 /// Runs the scenario × profile × seed matrix through the oracle,
@@ -409,9 +459,18 @@ pub fn sweep(scenarios: &[String], profiles: &[Profile], seeds: std::ops::Range<
                     None => {}
                 }
                 if !result.verdict.ok {
-                    let repro = shrink_failure(&case, &result)
-                        .map(|plane| serde_json::to_string(&plane).unwrap_or_else(|_| "<unserializable>".into()));
-                    out.violations.push((case, result.verdict.reason.clone(), repro));
+                    // Replay the shrunk schedule traced: the violation
+                    // ships with the exact lifecycle story of a minimal
+                    // failing run, not just the schedule.
+                    let (reproducer, trace) = match shrink_failure(&case, &result) {
+                        Some(plane) => {
+                            let (_, dump) = run_with_plane_traced(&case, plane.clone());
+                            let json = serde_json::to_string(&plane).unwrap_or_else(|_| "<unserializable>".into());
+                            (Some(json), Some(dump))
+                        }
+                        None => (None, None),
+                    };
+                    out.violations.push(Violation { case, reason: result.verdict.reason.clone(), reproducer, trace });
                 }
             }
         }
@@ -456,7 +515,7 @@ mod tests {
         assert!(
             out.violations.is_empty(),
             "violations: {:?}",
-            out.violations.iter().map(|(c, r, _)| format!("{}: {r}", c.label())).collect::<Vec<_>>()
+            out.violations.iter().map(|v| format!("{}: {}", v.case.label(), v.reason)).collect::<Vec<_>>()
         );
         assert!(out.committed > 0, "some runs should commit");
     }
@@ -491,6 +550,66 @@ mod tests {
         assert_eq!(back, repro);
         assert_eq!(back.drop_prob, 0.0);
         assert_eq!(back.dup_prob, 0.0);
+    }
+
+    #[test]
+    fn duplicate_storm_keeps_the_dedup_set_bounded() {
+        // A tiny dedup capacity under heavy duplication: finalize-time
+        // pruning (plus the capacity trigger) must keep every peer's
+        // seen-set at or below capacity once the transaction resolves,
+        // while the high-water mark records the worst the storm managed.
+        let cap = 8;
+        let mut b = builder_for("fig1").expect("known scenario");
+        b.seed = 1009;
+        let mut cfg = PeerConfig::default();
+        cfg.dedup_capacity = cap;
+        let plane = FaultPlane::probabilistic(9, 0.0, 0.5, 0.0, 0.0);
+        let mut s = b.config(cfg).fault_plane(plane).build();
+        let report = s.run();
+        assert!(report.outcome.expect("resolved").committed);
+        let mut suppressed = 0;
+        let mut peak = 0;
+        for &p in &s.participants {
+            let actor = s.sim.actor(p);
+            assert!(
+                actor.seen_deliveries_len() <= cap,
+                "AP{} dedup set not pruned after finalize: {} entries (cap {cap})",
+                p.0,
+                actor.seen_deliveries_len()
+            );
+            suppressed += actor.stats.dup_suppressed;
+            peak = peak.max(actor.stats.seen_peak);
+        }
+        assert!(suppressed > 0, "the storm should have forced suppressions");
+        assert!(peak > 0, "the high-water mark should have registered");
+    }
+
+    #[test]
+    fn traced_replay_of_a_shrunk_reproducer_is_byte_identical() {
+        // The acceptance bar for the trace layer: take a real shrunk
+        // reproducer, replay it traced twice, and require the journals
+        // to match byte for byte.
+        let mut caught = None;
+        for seed in 0..40 {
+            let mut case = CaseConfig::new("fig1", Profile::Dups, seed);
+            case.dedup = false;
+            let result = run_case(&case);
+            if !result.verdict.ok {
+                caught = Some((case, result));
+                break;
+            }
+        }
+        let (case, result) = caught.expect("no violation found to shrink");
+        let plane = shrink_failure(&case, &result).expect("trace replay reproduces");
+        let (ra, da) = run_with_plane_traced(&case, plane.clone());
+        let (rb, db) = run_with_plane_traced(&case, plane);
+        assert!(!da.journal.is_empty());
+        assert_eq!(da.journal, db.journal, "traced replays must be byte-identical");
+        assert_eq!(da.tree, db.tree);
+        assert_eq!(da.snapshot, db.snapshot);
+        assert_eq!(ra.digest, rb.digest);
+        // Tracing is observation only: same digest as the untraced run.
+        assert_eq!(ra.digest, run_with_plane(&case, rb.plane).digest);
     }
 
     #[test]

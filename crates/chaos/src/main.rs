@@ -4,17 +4,26 @@
 //! axml-chaos sweep [--seeds N] [--scenarios a,b] [--profiles p,q] [--no-dedup]
 //! axml-chaos smoke [--seeds N]
 //! axml-chaos shrink-demo
+//! axml-chaos trace (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup])
 //! ```
 //!
 //! `sweep` runs the full scenario × profile × seed matrix (default
 //! 4 × 4 × 16 = 256 runs) and exits non-zero on any oracle violation,
-//! printing each violation's shrunk scripted reproducer as JSON.
+//! printing each violation's shrunk scripted reproducer as JSON plus the
+//! lifecycle trace of the minimal failing run.
 //! `smoke` is the small CI variant (2 scenarios × storm × 16 seeds).
 //! `shrink-demo` deliberately disables duplicate suppression under the
 //! duplication profile and shows the oracle catching it — it exits
 //! non-zero if the broken variant is NOT caught.
+//! `trace` replays one case with the lifecycle-event journal on and
+//! pretty-prints the causal tree plus the unified counter snapshot;
+//! `--script` replays a shrunk reproducer file instead of a profile.
 
-use axml_chaos::{events_of, run_case, shrink_failure, sweep, CaseConfig, Profile, SweepOutcome, SCENARIOS};
+use axml_chaos::{
+    builder_for, events_of, plane_for, run_case, run_with_plane_traced, shrink_failure, sweep, CaseConfig, Profile,
+    SweepOutcome, SCENARIOS,
+};
+use axml_p2p::FaultPlane;
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
@@ -29,11 +38,17 @@ fn report(out: &SweepOutcome) -> bool {
         out.runs - out.committed - out.aborted,
         out.violations.len()
     );
-    for (case, reason, repro) in &out.violations {
-        println!("VIOLATION {}: {reason}", case.label());
-        match repro {
+    for v in &out.violations {
+        println!("VIOLATION {}: {}", v.case.label(), v.reason);
+        match &v.reproducer {
             Some(json) => println!("  reproducer: {json}"),
             None => println!("  (trace replay did not reproduce)"),
+        }
+        if let Some(dump) = &v.trace {
+            println!("  lifecycle trace of the shrunk run:");
+            for line in dump.tree.lines() {
+                println!("    {line}");
+            }
         }
     }
     out.violations.is_empty()
@@ -84,8 +99,68 @@ fn main() {
             }
             caught
         }
+        "trace" => {
+            let (scenario, profile, seed) = if args.iter().any(|a| a == "--demo") {
+                // A run worth looking at: Fig. 1 with S5 failing under
+                // mixed network faults — the full §3.2 recovery story.
+                ("fig1-abort".to_string(), Profile::Mixed, 5)
+            } else {
+                let Some(scenario) = args.get(1).filter(|a| !a.starts_with("--")).cloned() else {
+                    eprintln!(
+                        "usage: axml-chaos trace (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup])"
+                    );
+                    std::process::exit(1);
+                };
+                let profile = parse_flag(&args, "--profile")
+                    .map(|p| {
+                        Profile::parse(&p).unwrap_or_else(|| {
+                            eprintln!("unknown profile `{p}`");
+                            std::process::exit(1);
+                        })
+                    })
+                    .unwrap_or(Profile::Mixed);
+                let seed = parse_flag(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+                (scenario, profile, seed)
+            };
+            let Some(b) = builder_for(&scenario) else {
+                eprintln!("unknown scenario `{scenario}` (expected one of {SCENARIOS:?})");
+                std::process::exit(1);
+            };
+            let plane = match parse_flag(&args, "--script") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                        eprintln!("cannot read {path}: {e}");
+                        std::process::exit(1);
+                    });
+                    serde_json::from_str::<FaultPlane>(&text).unwrap_or_else(|e| {
+                        eprintln!("{path} is not a reproducer: {e:?}");
+                        std::process::exit(1);
+                    })
+                }
+                None => plane_for(profile, seed, &b.peers()),
+            };
+            let mut case = CaseConfig::new(&scenario, profile, seed);
+            // Reproducers caught against the broken no-dedup variant need
+            // the same deliberately broken config to replay the violation.
+            case.dedup = !args.iter().any(|a| a == "--no-dedup");
+            let (result, dump) = run_with_plane_traced(&case, plane);
+            println!("case {}", case.label());
+            println!("{}", dump.tree);
+            println!("{}", dump.snapshot);
+            match result.committed {
+                Some(true) => println!("outcome: committed"),
+                Some(false) => println!("outcome: aborted"),
+                None => println!("outcome: unresolved at the deadline"),
+            }
+            if result.verdict.ok {
+                println!("oracle: atomicity held");
+            } else {
+                println!("oracle: VIOLATION — {}", result.verdict.reason);
+            }
+            true
+        }
         other => {
-            eprintln!("unknown command `{other}` (expected sweep | smoke | shrink-demo)");
+            eprintln!("unknown command `{other}` (expected sweep | smoke | shrink-demo | trace)");
             false
         }
     };

@@ -35,7 +35,7 @@ use axml_doc::{
     apply_call_results, EvalMode, Fault, MaterializationEngine, ParamValue, Repository, ResolvedCall, ServiceCall,
     ServiceInvoker, ServiceKind, ServiceRegistry,
 };
-use axml_p2p::{Actor, Ctx, Directory, PeerId, PingMonitor, SendError};
+use axml_p2p::{Actor, Ctx, Directory, EventKind, PeerId, PingMonitor, SendError, Snapshot, TimerId};
 use axml_query::{Effect, NodePath, SelectQuery};
 use axml_xml::{Fragment, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -116,12 +116,18 @@ pub struct PeerConfig {
     /// is the canonical atomicity bug the chaos oracle catches.
     pub dedup: bool,
     /// Delay before the first retransmission; doubles per attempt (capped
-    /// at `base << 6`). Must exceed one round trip, or fault-free runs
-    /// retransmit spuriously.
+    /// at `base × 64`, saturating — an extreme base never wraps into a
+    /// same-instant retransmit storm). Must exceed one round trip, or
+    /// fault-free runs retransmit spuriously.
     pub retransmit_base: u64,
     /// Retransmissions before the sender gives up and treats the silence
     /// as a failure ([`DetectHow::AckTimeout`]).
     pub max_retransmits: u32,
+    /// Soft bound on the `(sender, id)` dedup set: once it grows past
+    /// this, entries whose transaction has finalized here are pruned
+    /// (entries of live transactions are always kept). The high-water
+    /// mark is exposed as [`PeerStats::seen_peak`].
+    pub dedup_capacity: usize,
 }
 
 impl Default for PeerConfig {
@@ -143,6 +149,7 @@ impl Default for PeerConfig {
             dedup: true,
             retransmit_base: 16,
             max_retransmits: 8,
+            dedup_capacity: 1024,
         }
     }
 }
@@ -161,6 +168,18 @@ pub enum DetectHow {
     /// A reliable delivery exhausted its retransmission budget without an
     /// ack — the peer is silently unreachable (drops or a partition).
     AckTimeout,
+}
+
+impl DetectHow {
+    fn label(&self) -> &'static str {
+        match self {
+            DetectHow::SendFailure => "send-failure",
+            DetectHow::PingTimeout => "ping-timeout",
+            DetectHow::StreamSilence => "stream-silence",
+            DetectHow::Notice => "notice",
+            DetectHow::AckTimeout => "ack-timeout",
+        }
+    }
 }
 
 /// One detection event.
@@ -217,12 +236,49 @@ pub struct PeerStats {
     pub retransmit_giveups: u64,
     /// Re-deliveries suppressed by `(sender, id)` dedup (receiver side).
     pub dup_suppressed: u64,
+    /// High-water mark of the dedup set (entries, before pruning).
+    pub seen_peak: u64,
     /// Crash-restarts this peer recovered from.
     pub crash_recoveries: u64,
     /// In-doubt contexts presumed aborted during crash recovery.
     pub presumed_aborts: u64,
     /// Disconnections this peer detected.
     pub detections: Vec<Detection>,
+}
+
+impl PeerStats {
+    /// These counters as one flat registry snapshot (names scoped under
+    /// `peer.<id>.`), mergeable with `NetMetrics::snapshot()` into the
+    /// unified view included in trace dumps.
+    pub fn snapshot(&self, peer: PeerId) -> Snapshot {
+        let mut s = Snapshot::default();
+        let p = peer.0;
+        s.set(format!("peer.{p}.served"), self.served);
+        s.set(format!("peer.{p}.isolation_conflicts"), self.isolation_conflicts);
+        s.set(format!("peer.{p}.completed"), self.completed);
+        s.set(format!("peer.{p}.faults_raised"), self.faults_raised);
+        s.set(format!("peer.{p}.retries"), self.retries);
+        s.set(format!("peer.{p}.substitutions"), self.substitutions);
+        s.set(format!("peer.{p}.alternatives_used"), self.alternatives_used);
+        s.set(format!("peer.{p}.compensations_executed"), self.compensations_executed);
+        s.set(format!("peer.{p}.comp_cost_nodes"), self.comp_cost_nodes);
+        s.set(format!("peer.{p}.aborts_received"), self.aborts_received);
+        s.set(format!("peer.{p}.aborts_sent"), self.aborts_sent);
+        s.set(format!("peer.{p}.work_wasted"), self.work_wasted);
+        s.set(format!("peer.{p}.work_reused"), self.work_reused);
+        s.set(format!("peer.{p}.orphan_stops"), self.orphan_stops);
+        s.set(format!("peer.{p}.redirects_sent"), self.redirects_sent);
+        s.set(format!("peer.{p}.redirects_received"), self.redirects_received);
+        s.set(format!("peer.{p}.late_messages"), self.late_messages);
+        s.set(format!("peer.{p}.retransmits"), self.retransmits);
+        s.set(format!("peer.{p}.retransmit_giveups"), self.retransmit_giveups);
+        s.set(format!("peer.{p}.dup_suppressed"), self.dup_suppressed);
+        s.set(format!("peer.{p}.seen_peak"), self.seen_peak);
+        s.set(format!("peer.{p}.crash_recoveries"), self.crash_recoveries);
+        s.set(format!("peer.{p}.presumed_aborts"), self.presumed_aborts);
+        s.set(format!("peer.{p}.detections"), self.detections.len() as u64);
+        s
+    }
 }
 
 /// Where a child invocation's results go.
@@ -293,6 +349,11 @@ struct PendingDelivery {
     to: PeerId,
     msg: TxnMsg,
     attempts: u32,
+    /// The pending retransmit timer, as `(payload tag, simulator timer)`.
+    /// Tracked so an ack (or give-up) cancels the timer and drops its
+    /// payload instead of leaving a stale timer to fire after the outbox
+    /// entry is gone.
+    timer: Option<(u64, TimerId)>,
 }
 
 /// WSDL knowledge shared across the fabric: method → declared result
@@ -391,8 +452,10 @@ pub struct AxmlPeer {
     next_delivery: u64,
     /// Unacked reliable deliveries by delivery id.
     outbox: BTreeMap<u64, PendingDelivery>,
-    /// Reliable deliveries already executed, by `(sender, id)`.
-    seen_deliveries: BTreeSet<(PeerId, u64)>,
+    /// Reliable deliveries already executed, by `(sender, id)`, each
+    /// mapped to its transaction so entries can be pruned once that
+    /// transaction finalizes (see [`PeerConfig::dedup_capacity`]).
+    seen_deliveries: BTreeMap<(PeerId, u64), Option<TxnId>>,
 }
 
 impl AxmlPeer {
@@ -432,7 +495,7 @@ impl AxmlPeer {
             epoch: 0,
             next_delivery: 0,
             outbox: BTreeMap::new(),
-            seen_deliveries: BTreeSet::new(),
+            seen_deliveries: BTreeMap::new(),
         }
     }
 
@@ -476,8 +539,80 @@ impl AxmlPeer {
     }
 
     // ------------------------------------------------------------------
+    // Lifecycle tracing.
+    // ------------------------------------------------------------------
+
+    /// Emits one lifecycle event (no-op when the run is untraced). Ids
+    /// travel in `Display` form so the trace crate stays below the
+    /// protocol layer.
+    fn emit(
+        &self,
+        ctx: &mut Ctx<'_, TxnMsg>,
+        txn: Option<TxnId>,
+        span: Option<InvocationId>,
+        parent: Option<InvocationId>,
+        kind: EventKind,
+    ) {
+        if ctx.tracing() {
+            ctx.emit(txn.map(|t| t.to_string()), span.map(|i| i.to_string()), parent.map(|i| i.to_string()), kind);
+        }
+    }
+
+    /// Appends to the durability journal, mirroring the write into the
+    /// trace as a [`EventKind::LogAppend`] event — every stable-storage
+    /// transition is visible in the run's causal record.
+    fn journal_append(&mut self, ctx: &mut Ctx<'_, TxnMsg>, entry: JournalEntry) {
+        if ctx.tracing() {
+            let (txn, label) = match &entry {
+                JournalEntry::Begin { txn, .. } => (*txn, "begin".to_string()),
+                JournalEntry::Local { txn, op_label, effects, .. } => {
+                    (*txn, format!("local {op_label} effects={}", effects.len()))
+                }
+                JournalEntry::RemoteInvoked { txn, inv, method, .. } => {
+                    (*txn, format!("remote-invoked {inv} {method}"))
+                }
+                JournalEntry::RemoteCompleted { txn, inv, .. } => (*txn, format!("remote-completed {inv}")),
+                JournalEntry::Resolved { txn, committed, .. } => {
+                    (*txn, format!("resolved {}", if *committed { "commit" } else { "abort" }))
+                }
+            };
+            ctx.emit(Some(txn.to_string()), None, None, EventKind::LogAppend { entry: label });
+        }
+        self.journal.push(entry);
+    }
+
+    // ------------------------------------------------------------------
     // At-least-once delivery (ack + retransmit + dedup).
     // ------------------------------------------------------------------
+
+    /// Current size of the `(sender, id)` dedup set (harness-visible so
+    /// chaos profiles can assert boundedness).
+    pub fn seen_deliveries_len(&self) -> usize {
+        self.seen_deliveries.len()
+    }
+
+    /// Evicts dedup entries whose transaction has finalized at this peer
+    /// (suppression is only load-bearing while the transaction can still
+    /// be damaged by a re-executed delivery). Entries of live or unknown
+    /// transactions are kept, so the set is *soft*-bounded: it can exceed
+    /// [`PeerConfig::dedup_capacity`] while many transactions are in
+    /// flight, but returns to it as they resolve. Called whenever a
+    /// transaction finalizes and whenever an insert pushes the set past
+    /// capacity.
+    fn prune_seen(&mut self, ctx: &mut Ctx<'_, TxnMsg>) {
+        let before = self.seen_deliveries.len();
+        let contexts = &self.contexts;
+        self.seen_deliveries.retain(|_, txn| match txn {
+            Some(t) => contexts.get(t).map(|tc| !tc.is_terminal()).unwrap_or(true),
+            // Transaction-less protocol traffic is never sent reliably;
+            // an entry without one has nothing left to protect.
+            None => false,
+        });
+        let evicted = (before - self.seen_deliveries.len()) as u64;
+        if evicted > 0 {
+            self.emit(ctx, None, None, None, EventKind::DedupPrune { evicted });
+        }
+    }
 
     /// Sends a protocol message with at-least-once delivery when
     /// [`PeerConfig::reliable`] is on: the payload travels inside a
@@ -494,9 +629,9 @@ impl AxmlPeer {
         let id = (self.epoch << 48) | self.next_delivery;
         self.next_delivery += 1;
         ctx.send(to, TxnMsg::Reliable { id, attempt: 0, inner: Box::new(msg.clone()) })?;
-        self.outbox.insert(id, PendingDelivery { to, msg, attempts: 0 });
         let tag = self.alloc_payload_tag(TimerPayload::Retransmit(id));
-        ctx.set_timer(self.config.retransmit_base, tag);
+        let timer = ctx.set_timer(self.config.retransmit_base, tag);
+        self.outbox.insert(id, PendingDelivery { to, msg, attempts: 0, timer: Some((tag, timer)) });
         Ok(())
     }
 
@@ -504,32 +639,53 @@ impl AxmlPeer {
     /// backoff; past the budget (or on a synchronous failure) treat the
     /// silence as a detected failure and run the give-up action.
     fn retransmit(&mut self, ctx: &mut Ctx<'_, TxnMsg>, id: u64) {
-        let Some(pending) = self.outbox.get_mut(&id) else {
-            return; // acked (or given up) meanwhile
+        let (to, attempts, msg) = {
+            let Some(pending) = self.outbox.get_mut(&id) else {
+                return; // acked (or given up) meanwhile
+            };
+            pending.timer = None; // this very timer is what fired
+            pending.attempts += 1;
+            (pending.to, pending.attempts, pending.msg.clone())
         };
-        pending.attempts += 1;
-        let attempts = pending.attempts;
-        let to = pending.to;
+        let txn = txn_of(&msg);
         if attempts > self.config.max_retransmits {
             let pending = self.outbox.remove(&id).expect("checked above");
             self.stats.retransmit_giveups += 1;
+            self.emit(ctx, txn, None, None, EventKind::RetransmitGiveUp { to: to.0, id });
             self.record_detection(ctx, to, DetectHow::AckTimeout);
             self.delivery_failed(ctx, pending);
             return;
         }
-        let envelope = TxnMsg::Reliable { id, attempt: attempts, inner: Box::new(pending.msg.clone()) };
+        let envelope = TxnMsg::Reliable { id, attempt: attempts, inner: Box::new(msg) };
         self.stats.retransmits += 1;
+        self.emit(ctx, txn, None, None, EventKind::Retransmit { to: to.0, id, attempt: attempts });
         match ctx.send(to, envelope) {
             Ok(()) => {
-                let delay = self.config.retransmit_base << attempts.min(6);
+                // Saturating multiply: `base << attempts` would wrap for
+                // extreme bases, turning the backoff into an immediate
+                // retransmit storm.
+                let delay = self.config.retransmit_base.saturating_mul(1u64 << attempts.min(6));
                 let tag = self.alloc_payload_tag(TimerPayload::Retransmit(id));
-                ctx.set_timer(delay, tag);
+                let timer = ctx.set_timer(delay, tag);
+                if let Some(pending) = self.outbox.get_mut(&id) {
+                    pending.timer = Some((tag, timer));
+                }
             }
             Err(_) => {
                 let pending = self.outbox.remove(&id).expect("checked above");
                 self.record_detection(ctx, to, DetectHow::SendFailure);
                 self.delivery_failed(ctx, pending);
             }
+        }
+    }
+
+    /// Drops an outbox entry's pending retransmit timer (ack or give-up):
+    /// the sim timer is cancelled and its payload removed, so a stale
+    /// firing can never alias a delivery id reused after this one ends.
+    fn clear_delivery_timer(&mut self, ctx: &mut Ctx<'_, TxnMsg>, pending: &mut PendingDelivery) {
+        if let Some((tag, timer)) = pending.timer.take() {
+            self.timers.remove(&tag);
+            ctx.cancel_timer(timer);
         }
     }
 
@@ -587,9 +743,10 @@ impl AxmlPeer {
         self.next_txn += 1;
         let chain = ActiveList::new(self.id, self.config.is_super);
         let tc = TransactionContext::new(txn, None, chain.clone(), ctx.now());
-        self.journal.push(JournalEntry::Begin { txn, parent: None, chain, at: ctx.now() });
+        self.journal_append(ctx, JournalEntry::Begin { txn, parent: None, chain, at: ctx.now() });
         self.contexts.insert(txn, tc);
         let inv = self.alloc_inv();
+        self.emit(ctx, Some(txn), Some(inv), None, EventKind::Submit { method: method.to_string() });
         let serving = Serving {
             txn,
             inv,
@@ -661,12 +818,10 @@ impl AxmlPeer {
         }
         if !self.contexts.contains_key(&txn) {
             let tc = TransactionContext::new(txn, Some((from, inv)), chain.clone(), ctx.now());
-            self.journal.push(JournalEntry::Begin {
-                txn,
-                parent: Some((from, inv)),
-                chain: chain.clone(),
-                at: ctx.now(),
-            });
+            self.journal_append(
+                ctx,
+                JournalEntry::Begin { txn, parent: Some((from, inv)), chain: chain.clone(), at: ctx.now() },
+            );
             self.contexts.insert(txn, tc);
         }
         let tc = self.contexts.get_mut(&txn).expect("inserted above");
@@ -695,6 +850,7 @@ impl AxmlPeer {
         };
         self.stats.served += 1;
         self.servings.insert(inv, serving);
+        self.emit(ctx, Some(txn), Some(inv), None, EventKind::Serve { from: from.0, method });
         self.maybe_start_stream(ctx);
         self.advance_serving(ctx, inv);
     }
@@ -932,8 +1088,20 @@ impl AxmlPeer {
         };
         if let Some(tc) = self.contexts.get_mut(&txn) {
             tc.record_remote(peer, inv, call.method.clone());
-            self.journal.push(JournalEntry::RemoteInvoked { txn, child: peer, inv, method: call.method.clone() });
         }
+        if self.contexts.contains_key(&txn) {
+            self.journal_append(
+                ctx,
+                JournalEntry::RemoteInvoked { txn, child: peer, inv, method: call.method.clone() },
+            );
+        }
+        self.emit(
+            ctx,
+            Some(txn),
+            Some(inv),
+            Some(serving_inv),
+            EventKind::Invoke { to: peer.0, method: call.method.clone() },
+        );
         let chain = self.current_chain(txn);
         let prefilled = self.prefill_store.get(&txn).cloned().unwrap_or_default();
         self.waiting.insert(inv, wc);
@@ -1044,16 +1212,28 @@ impl AxmlPeer {
                     self.fail_serving(ctx, serving_inv, fault);
                     return;
                 }
-                if let Some(tc) = self.contexts.get_mut(&txn) {
+                if self.contexts.contains_key(&txn) {
+                    self.emit(
+                        ctx,
+                        Some(txn),
+                        Some(serving_inv),
+                        None,
+                        EventKind::Materialize { doc: doc.clone(), items: items.len() as u64 },
+                    );
                     if !effects.is_empty() {
-                        self.journal.push(JournalEntry::Local {
-                            txn,
-                            doc: doc.clone(),
-                            op_label: format!("materialize {method}"),
-                            effects: effects.clone(),
-                        });
+                        self.journal_append(
+                            ctx,
+                            JournalEntry::Local {
+                                txn,
+                                doc: doc.clone(),
+                                op_label: format!("materialize {method}"),
+                                effects: effects.clone(),
+                            },
+                        );
                     }
-                    tc.record_local(doc, format!("materialize {method}"), effects);
+                    if let Some(tc) = self.contexts.get_mut(&txn) {
+                        tc.record_local(doc, format!("materialize {method}"), effects);
+                    }
                 }
             }
             ChildTarget::ParamFill { node } => {
@@ -1102,16 +1282,23 @@ impl AxmlPeer {
                         return;
                     }
                 }
-                if let (Some(tc), Some(doc)) = (self.contexts.get_mut(&txn), doc) {
-                    if !resp.effects.is_empty() {
-                        self.journal.push(JournalEntry::Local {
-                            txn,
-                            doc: doc.clone(),
-                            op_label: method.clone(),
-                            effects: resp.effects.clone(),
-                        });
+                if let Some(doc) = doc {
+                    if self.contexts.contains_key(&txn) {
+                        if !resp.effects.is_empty() {
+                            self.journal_append(
+                                ctx,
+                                JournalEntry::Local {
+                                    txn,
+                                    doc: doc.clone(),
+                                    op_label: method.clone(),
+                                    effects: resp.effects.clone(),
+                                },
+                            );
+                        }
+                        if let Some(tc) = self.contexts.get_mut(&txn) {
+                            tc.record_local(doc, method.clone(), resp.effects.clone());
+                        }
                     }
-                    tc.record_local(doc, method.clone(), resp.effects.clone());
                 }
                 self.finish_serving(ctx, serving_inv, resp.items);
             }
@@ -1153,15 +1340,21 @@ impl AxmlPeer {
                         }
                     }
                 }
+                let mut resolved = false;
                 if let Some(tc) = self.contexts.get_mut(&txn) {
                     tc.resolve(TxnState::Committed, ctx.now());
-                    self.journal.push(JournalEntry::Resolved { txn, committed: true, at: ctx.now() });
                     self.outcomes.push(TxnOutcome {
                         txn,
                         committed: true,
                         started_at: tc.created_at,
                         resolved_at: ctx.now(),
                     });
+                    resolved = true;
+                }
+                if resolved {
+                    self.journal_append(ctx, JournalEntry::Resolved { txn, committed: true, at: ctx.now() });
+                    self.emit(ctx, Some(txn), Some(serving.inv), None, EventKind::Resolve { committed: true });
+                    self.prune_seen(ctx);
                 }
                 self.results.insert(txn, items);
                 for peer in targets {
@@ -1173,6 +1366,7 @@ impl AxmlPeer {
             Some(parent) => {
                 self.completed_results.insert(txn, (serving.method.clone(), items.clone(), comp.clone()));
                 let chain = self.current_chain(txn);
+                self.emit(ctx, Some(txn), Some(serving.inv), None, EventKind::ResultReturn { to: parent.0 });
                 let msg = TxnMsg::Result { txn, inv: serving.inv, items: items.clone(), comp: comp.clone(), chain };
                 if self.send_reliable(ctx, parent, msg).is_err() {
                     // Scenario (b): parent disconnected, detected while
@@ -1258,8 +1452,10 @@ impl AxmlPeer {
             return;
         };
         self.unwatch(from);
+        if self.contexts.contains_key(&txn) {
+            self.journal_append(ctx, JournalEntry::RemoteCompleted { txn, inv, comp: comp.clone() });
+        }
         if let Some(tc) = self.contexts.get_mut(&txn) {
-            self.journal.push(JournalEntry::RemoteCompleted { txn, inv, comp: comp.clone() });
             tc.complete_remote(inv, comp);
             let merged = merge_chains(&tc.chain, &chain);
             let grew = merged != tc.chain;
@@ -1374,11 +1570,23 @@ impl AxmlPeer {
         }
         if let Some(tc) = self.contexts.get_mut(&txn) {
             tc.record_remote(to_peer, inv, to_method.clone());
-            self.journal.push(JournalEntry::RemoteInvoked { txn, child: to_peer, inv, method: to_method.clone() });
             if self.config.chaining {
                 tc.chain.add_invocation(self.id, to_peer, false);
             }
         }
+        if self.contexts.contains_key(&txn) {
+            self.journal_append(
+                ctx,
+                JournalEntry::RemoteInvoked { txn, child: to_peer, inv, method: to_method.clone() },
+            );
+        }
+        self.emit(
+            ctx,
+            Some(txn),
+            Some(inv),
+            Some(wc.serving_inv),
+            EventKind::Invoke { to: to_peer.0, method: to_method.clone() },
+        );
         let chain = self.current_chain(txn);
         let prefilled = self.prefill_store.get(&txn).cloned().unwrap_or_default();
         let msg = TxnMsg::Invoke { txn, inv, method: to_method, params: wc.params.clone(), chain, prefilled };
@@ -1421,6 +1629,7 @@ impl AxmlPeer {
         match serving.reply_to {
             Some(parent) => {
                 self.stats.aborts_sent += 1;
+                self.emit(ctx, Some(txn), Some(serving.inv), None, EventKind::FaultRaise { to: parent.0 });
                 if self.send_reliable(ctx, parent, TxnMsg::Fault { txn, inv: serving.inv, fault }).is_err() {
                     self.record_detection(ctx, parent, DetectHow::SendFailure);
                     // Route the bad news past the dead parent.
@@ -1445,17 +1654,25 @@ impl AxmlPeer {
     /// Compensates this peer's own effects from its log and marks the
     /// context aborted.
     fn abort_local(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId) {
-        let Some(tc) = self.contexts.get_mut(&txn) else { return };
-        if tc.is_terminal() {
-            return;
-        }
-        let comp = tc.own_compensation();
-        tc.resolve(TxnState::Aborted, ctx.now());
-        self.journal.push(JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
+        let comp = {
+            let Some(tc) = self.contexts.get_mut(&txn) else { return };
+            if tc.is_terminal() {
+                return;
+            }
+            let comp = tc.own_compensation();
+            tc.resolve(TxnState::Aborted, ctx.now());
+            comp
+        };
+        self.journal_append(ctx, JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
+        self.emit(ctx, Some(txn), None, None, EventKind::Resolve { committed: false });
+        self.prune_seen(ctx);
         self.completed_results.remove(&txn);
         self.conflicts.release(txn);
         if !comp.is_empty() {
+            let actions: u64 = comp.actions.iter().map(|(_, a)| a.len() as u64).sum();
+            self.emit(ctx, Some(txn), None, None, EventKind::CompensateDerive { actions });
             let cost = self.execute_compensation(&comp);
+            self.emit(ctx, Some(txn), None, None, EventKind::CompensateApply { actions });
             self.stats.compensations_executed += 1;
             self.stats.comp_cost_nodes += cost as u64;
         }
@@ -1517,6 +1734,7 @@ impl AxmlPeer {
                     continue;
                 }
                 self.stats.aborts_sent += 1;
+                self.emit(ctx, Some(txn), None, None, EventKind::AbortPropagate { to: peer.0 });
                 if self.send_reliable(ctx, peer, TxnMsg::Compensate { txn, service: cs.clone() }).is_err() {
                     // Original peer gone: run it on a replica if one holds
                     // the documents (structural addressing makes this
@@ -1542,6 +1760,7 @@ impl AxmlPeer {
                     continue;
                 }
                 self.stats.aborts_sent += 1;
+                self.emit(ctx, Some(txn), None, None, EventKind::AbortPropagate { to: peer.0 });
                 let _ = self.send_reliable(ctx, peer, TxnMsg::Abort { txn });
             }
         } else {
@@ -1550,6 +1769,7 @@ impl AxmlPeer {
                     continue;
                 }
                 self.stats.aborts_sent += 1;
+                self.emit(ctx, Some(txn), None, None, EventKind::AbortPropagate { to: peer.0 });
                 let _ = self.send_reliable(ctx, peer, TxnMsg::Abort { txn });
             }
         }
@@ -1564,8 +1784,8 @@ impl AxmlPeer {
             // the transaction.
             let mut t = TransactionContext::new(txn, None, ActiveList::new(txn.origin, false), ctx.now());
             t.resolve(TxnState::Aborted, ctx.now());
-            self.journal.push(JournalEntry::Begin { txn, parent: None, chain: t.chain.clone(), at: ctx.now() });
-            self.journal.push(JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
+            self.journal_append(ctx, JournalEntry::Begin { txn, parent: None, chain: t.chain.clone(), at: ctx.now() });
+            self.journal_append(ctx, JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
             self.contexts.insert(txn, t);
             return;
         }
@@ -1577,12 +1797,16 @@ impl AxmlPeer {
     }
 
     fn handle_commit(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId) {
-        let Some(tc) = self.contexts.get_mut(&txn) else { return };
-        if tc.is_terminal() {
-            return;
+        {
+            let Some(tc) = self.contexts.get_mut(&txn) else { return };
+            if tc.is_terminal() {
+                return;
+            }
+            tc.resolve(TxnState::Committed, ctx.now());
         }
-        tc.resolve(TxnState::Committed, ctx.now());
-        self.journal.push(JournalEntry::Resolved { txn, committed: true, at: ctx.now() });
+        self.journal_append(ctx, JournalEntry::Resolved { txn, committed: true, at: ctx.now() });
+        self.emit(ctx, Some(txn), None, None, EventKind::Resolve { committed: true });
+        self.prune_seen(ctx);
         let invoked = self.contexts.get(&txn).map(|tc| tc.invoked_peers()).unwrap_or_default();
         for peer in invoked {
             if peer != self.id {
@@ -1612,7 +1836,9 @@ impl AxmlPeer {
     /// Executes a received compensating service — statelessly, as §3.2
     /// prescribes.
     fn handle_compensate(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId, service: CompensatingService) {
+        let actions: u64 = service.actions.iter().map(|(_, a)| a.len() as u64).sum();
         let cost = self.execute_compensation(&service);
+        self.emit(ctx, Some(txn), None, None, EventKind::CompensateApply { actions });
         self.stats.compensations_executed += 1;
         self.stats.comp_cost_nodes += cost as u64;
         // Mark the context resolved *without* self-compensating: the
@@ -1620,13 +1846,22 @@ impl AxmlPeer {
         // transaction (replica-targeted compensation).
         if !self.contexts.contains_key(&txn) {
             let t = TransactionContext::new(txn, None, ActiveList::new(txn.origin, false), ctx.now());
-            self.journal.push(JournalEntry::Begin { txn, parent: None, chain: t.chain.clone(), at: ctx.now() });
+            self.journal_append(ctx, JournalEntry::Begin { txn, parent: None, chain: t.chain.clone(), at: ctx.now() });
             self.contexts.insert(txn, t);
         }
-        let tc = self.contexts.get_mut(&txn).expect("inserted above");
-        if !tc.is_terminal() {
-            tc.resolve(TxnState::Aborted, ctx.now());
-            self.journal.push(JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
+        let resolved = {
+            let tc = self.contexts.get_mut(&txn).expect("inserted above");
+            if tc.is_terminal() {
+                false
+            } else {
+                tc.resolve(TxnState::Aborted, ctx.now());
+                true
+            }
+        };
+        if resolved {
+            self.journal_append(ctx, JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
+            self.emit(ctx, Some(txn), None, None, EventKind::Resolve { committed: false });
+            self.prune_seen(ctx);
         }
         self.conflicts.release(txn);
     }
@@ -1640,6 +1875,7 @@ impl AxmlPeer {
         // Concurrent notices about the same disconnection arrive in
         // bursts; keep one record per (peer, mechanism, instant).
         if self.stats.detections.last() != Some(&d) && !self.stats.detections.contains(&d) {
+            self.emit(ctx, None, None, None, EventKind::Detect { peer: peer.0, how: how.label().to_string() });
             self.stats.detections.push(d);
         }
     }
@@ -1702,13 +1938,11 @@ impl AxmlPeer {
         self.prefill_store.entry(txn).or_default().push((method.clone(), items));
         let orphan_inv = self.alloc_inv();
         if self.contexts.contains_key(&txn) {
-            self.journal.push(JournalEntry::RemoteInvoked {
-                txn,
-                child: from,
-                inv: orphan_inv,
-                method: method.clone(),
-            });
-            self.journal.push(JournalEntry::RemoteCompleted { txn, inv: orphan_inv, comp: comp.clone() });
+            self.journal_append(
+                ctx,
+                JournalEntry::RemoteInvoked { txn, child: from, inv: orphan_inv, method: method.clone() },
+            );
+            self.journal_append(ctx, JournalEntry::RemoteCompleted { txn, inv: orphan_inv, comp: comp.clone() });
         }
         if let Some(tc) = self.contexts.get_mut(&txn) {
             tc.record_orphan_comp(from, orphan_inv, method, comp);
@@ -1858,9 +2092,10 @@ impl AxmlPeer {
         let mut contexts = durability::replay(&self.journal).unwrap_or_default();
         let outcome = durability::recover_in_doubt(&mut contexts, &mut self.repo, ctx.now());
         self.stats.presumed_aborts += outcome.presumed_aborted.len() as u64;
+        self.emit(ctx, None, None, None, EventKind::Restart { presumed_aborts: outcome.presumed_aborted.len() as u64 });
         self.contexts = contexts.into_iter().map(|t| (t.txn, t)).collect();
         for txn in &outcome.presumed_aborted {
-            self.journal.push(JournalEntry::Resolved { txn: *txn, committed: false, at: ctx.now() });
+            self.journal_append(ctx, JournalEntry::Resolved { txn: *txn, committed: false, at: ctx.now() });
         }
         for txn in outcome.presumed_aborted {
             let parent = self.contexts.get(&txn).and_then(|t| t.parent);
@@ -1939,6 +2174,25 @@ impl AxmlPeer {
 
 struct NeedParams(Vec<ServiceCall>);
 
+/// The transaction a protocol message belongs to (`None` for transport
+/// traffic: pings, acks). Drives trace attribution and dedup pruning.
+fn txn_of(msg: &TxnMsg) -> Option<TxnId> {
+    match msg {
+        TxnMsg::Invoke { txn, .. }
+        | TxnMsg::Result { txn, .. }
+        | TxnMsg::Fault { txn, .. }
+        | TxnMsg::Abort { txn }
+        | TxnMsg::Commit { txn }
+        | TxnMsg::Compensate { txn, .. }
+        | TxnMsg::Redirected { txn, .. }
+        | TxnMsg::DisconnectNotice { txn, .. }
+        | TxnMsg::StreamData { txn, .. }
+        | TxnMsg::ChainUpdate { txn, .. } => Some(*txn),
+        TxnMsg::Reliable { inner, .. } => txn_of(inner),
+        TxnMsg::Ping | TxnMsg::Pong | TxnMsg::Ack { .. } => None,
+    }
+}
+
 /// Merges two active lists: edges present in either appear in the result
 /// (`a` is the base; unknown edges from `b` are grafted in).
 fn merge_chains(a: &ActiveList, b: &ActiveList) -> ActiveList {
@@ -1973,14 +2227,29 @@ impl Actor<TxnMsg> for AxmlPeer {
                 // Always ack — even re-deliveries, since the original ack
                 // may itself have been dropped.
                 let _ = ctx.send(from, TxnMsg::Ack { id });
-                if self.config.dedup && !self.seen_deliveries.insert((from, id)) {
-                    self.stats.dup_suppressed += 1;
-                    return;
+                let txn = txn_of(&inner);
+                self.emit(ctx, txn, None, None, EventKind::AckSend { to: from.0, id });
+                if self.config.dedup {
+                    if self.seen_deliveries.contains_key(&(from, id)) {
+                        self.stats.dup_suppressed += 1;
+                        self.emit(ctx, txn, None, None, EventKind::DedupSuppress { from: from.0, id });
+                        return;
+                    }
+                    self.seen_deliveries.insert((from, id), txn);
+                    self.stats.seen_peak = self.stats.seen_peak.max(self.seen_deliveries.len() as u64);
+                    if self.seen_deliveries.len() > self.config.dedup_capacity {
+                        self.prune_seen(ctx);
+                    }
                 }
                 *inner
             }
             TxnMsg::Ack { id } => {
-                self.outbox.remove(&id);
+                if let Some(mut pending) = self.outbox.remove(&id) {
+                    // The delivery is settled: its retransmit timer must
+                    // die with it, or the stale firing would re-enter
+                    // `retransmit` for a recycled outbox slot.
+                    self.clear_delivery_timer(ctx, &mut pending);
+                }
                 return;
             }
             other => other,
@@ -2045,8 +2314,16 @@ impl Actor<TxnMsg> for AxmlPeer {
         // never retransmit (and quiescence would never be reached).
         let ids: Vec<u64> = self.outbox.keys().copied().collect();
         for id in ids {
-            let tag = self.alloc_payload_tag(TimerPayload::Retransmit(id));
-            ctx.set_timer(self.config.retransmit_base, tag);
+            // Retire the pre-disconnect timer's bookkeeping first — its
+            // payload entry would otherwise leak, and a firing that beat
+            // the disconnect would chain a second timer for this entry.
+            if let Some(mut pending) = self.outbox.remove(&id) {
+                self.clear_delivery_timer(ctx, &mut pending);
+                let tag = self.alloc_payload_tag(TimerPayload::Retransmit(id));
+                let timer = ctx.set_timer(self.config.retransmit_base, tag);
+                pending.timer = Some((tag, timer));
+                self.outbox.insert(id, pending);
+            }
         }
         // Same for the keep-alive and stream loops.
         if self.config.ping_interval > 0 && !self.monitor.watched().is_empty() && !self.ping_running {
@@ -2074,7 +2351,7 @@ impl AxmlPeer {
 mod tests {
     use super::*;
     use axml_doc::ServiceDef;
-    use axml_p2p::{Sim, SimConfig};
+    use axml_p2p::{FaultPlane, Sim, SimConfig};
     use axml_query::SelectQuery;
 
     fn fabric(n: u32) -> Vec<AxmlPeer> {
@@ -2250,6 +2527,104 @@ mod tests {
         let outcome = origin.outcomes.first().expect("resolved");
         assert!(!outcome.committed);
         assert!(origin.is_quiescent());
+    }
+
+    /// Regression: an ack must retire the delivery's pending retransmit
+    /// timer. Before the fix, the payload stayed in `timers` after the
+    /// outbox entry was removed, and the stale timer fired into
+    /// `retransmit` for a delivery that no longer existed.
+    #[test]
+    fn ack_clears_retransmit_timer_state() {
+        let mut peers = fabric(3);
+        peers[1]
+            .repo
+            .put_xml(
+                "main",
+                r#"<d><out>x</out><axml:sc mode="replace" serviceNameSpace="r" serviceURL="peer://ap2" methodName="fetch"/></d>"#,
+            )
+            .unwrap();
+        peers[1].registry.register(
+            ServiceDef::query(
+                "root",
+                "main",
+                SelectQuery::parse("Select v//out from v in d").expect("static query: Select v//out from v in d"),
+            )
+            .with_results(&["out"]),
+        );
+        peers[1].wsdl.publish("fetch", &["out"]);
+        peers[2].registry.register(
+            ServiceDef::function("fetch", |_| Ok(vec![Fragment::elem_text("out", "y")])).with_results(&["out"]),
+        );
+        let mut sim = Sim::new(SimConfig::default(), peers);
+        sim.actor_mut(PeerId(1)).auto_submit = Some(("root".into(), vec![]));
+        sim.schedule_timer(0, PeerId(1), 0);
+        // Latency is 1..=5, so the Invoke's ack is back by t=10 — well
+        // before its retransmit timer (base 16) would fire. At this
+        // checkpoint every Retransmit payload must match a live outbox
+        // entry; an orphaned payload is exactly the pre-fix stale state.
+        sim.run_until(12);
+        for id in [PeerId(1), PeerId(2)] {
+            let p = sim.actor(id);
+            let orphaned = p
+                .timers
+                .values()
+                .filter(|t| matches!(t, TimerPayload::Retransmit(d) if !p.outbox.contains_key(d)))
+                .count();
+            assert_eq!(orphaned, 0, "{id}: acked deliveries left timer state behind");
+        }
+        sim.run();
+        assert!(sim.actor(PeerId(1)).outcomes.first().expect("resolved").committed);
+        assert!(sim.actor(PeerId(1)).outbox.is_empty());
+    }
+
+    /// Regression: with an extreme `retransmit_base`, the backoff must
+    /// saturate instead of wrapping (`base << attempts` overflowed into a
+    /// zero delay — a same-instant retransmit storm), and give-up must
+    /// clear all pending timer state for the abandoned delivery.
+    #[test]
+    fn extreme_backoff_saturates_and_giveup_clears_timer_state() {
+        let mut config = PeerConfig::default();
+        config.retransmit_base = 1 << 62;
+        config.max_retransmits = 3;
+        config.ping_interval = 0; // isolate the delivery layer's timers
+        let mut peers: Vec<AxmlPeer> = (0..3).map(|i| AxmlPeer::new(PeerId(i), config.clone())).collect();
+        peers[1]
+            .repo
+            .put_xml(
+                "main",
+                r#"<d><out>x</out><axml:sc mode="replace" serviceNameSpace="r" serviceURL="peer://ap2" methodName="fetch"/></d>"#,
+            )
+            .unwrap();
+        peers[1].registry.register(
+            ServiceDef::query(
+                "root",
+                "main",
+                SelectQuery::parse("Select v//out from v in d").expect("static query: Select v//out from v in d"),
+            )
+            .with_results(&["out"]),
+        );
+        peers[1].wsdl.publish("fetch", &["out"]);
+        peers[2].registry.register(
+            ServiceDef::function("fetch", |_| Ok(vec![Fragment::elem_text("out", "y")])).with_results(&["out"]),
+        );
+        let mut sim_config = SimConfig::default();
+        // Drop every message: the Invoke is never acked and the sender
+        // must walk its full backoff schedule to the give-up.
+        sim_config.fault = FaultPlane::probabilistic(7, 1.0, 0.0, 0.0, 0.0);
+        let mut sim = Sim::new(sim_config, peers);
+        sim.actor_mut(PeerId(1)).auto_submit = Some(("root".into(), vec![]));
+        sim.schedule_timer(0, PeerId(1), 0);
+        sim.run();
+        let p1 = sim.actor(PeerId(1));
+        assert!(p1.stats.retransmit_giveups >= 1, "delivery gave up");
+        assert!(p1.stats.detections.iter().any(|d| d.how == DetectHow::AckTimeout), "give-up detected as ack timeout");
+        assert!(p1.outbox.is_empty());
+        let leftover = p1.timers.values().filter(|t| matches!(t, TimerPayload::Retransmit(_))).count();
+        assert_eq!(leftover, 0, "give-up cleared its timer state");
+        assert!(!p1.outcomes.first().expect("resolved").committed, "undeliverable invoke aborts");
+        // Saturation: the doubled backoff pins to u64::MAX. The wrapping
+        // shift instead produced zero delays, giving up at 3 * 2^62.
+        assert_eq!(sim.now(), u64::MAX, "backoff saturated instead of wrapping");
     }
 
     #[test]

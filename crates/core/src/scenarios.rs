@@ -17,7 +17,7 @@ use crate::ids::TxnId;
 use crate::messages::TxnMsg;
 use crate::peer::{AxmlPeer, PeerConfig, PeerStats, WsdlCatalog};
 use axml_doc::Fault;
-use axml_p2p::{Directory, FaultPlane, NetMetrics, PeerId, Sim, SimConfig};
+use axml_p2p::{Directory, FaultPlane, NetMetrics, PeerId, Sim, SimConfig, Snapshot, TraceJournal, TraceSink};
 use std::collections::BTreeMap;
 
 /// What kind of service each peer exposes.
@@ -67,6 +67,9 @@ pub struct ScenarioBuilder {
     /// Fault schedule for the simulated network (inert by default, so
     /// scenarios not opting in are byte-for-byte unaffected).
     pub fault: FaultPlane,
+    /// Collect a lifecycle-event journal for the run (off by default:
+    /// untraced runs pay nothing, and replays stay byte-identical).
+    pub trace: bool,
 }
 
 impl ScenarioBuilder {
@@ -87,6 +90,7 @@ impl ScenarioBuilder {
             submit_at: 0,
             deadline: 100_000,
             fault: FaultPlane::default(),
+            trace: false,
         }
     }
 
@@ -132,6 +136,12 @@ impl ScenarioBuilder {
     /// duplication, reordering, spikes, partitions, crash-restarts).
     pub fn fault_plane(mut self, fault: FaultPlane) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Builder: collect a transaction-lifecycle trace journal.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
         self
     }
 
@@ -309,7 +319,9 @@ impl ScenarioBuilder {
             }
             actors.push(peer);
         }
-        let mut sim = Sim::new(SimConfig { seed: self.seed, fault: self.fault.clone(), ..Default::default() }, actors);
+        let trace = if self.trace { TraceSink::Memory } else { TraceSink::Disabled };
+        let mut sim =
+            Sim::new(SimConfig { seed: self.seed, fault: self.fault.clone(), trace, ..Default::default() }, actors);
         for &s in &self.supers {
             sim.mark_super(PeerId(s));
         }
@@ -440,6 +452,24 @@ impl Scenario {
                 })
             })
         }
+    }
+
+    /// The lifecycle-event journal, if the scenario was built with
+    /// [`ScenarioBuilder::traced`].
+    pub fn trace(&self) -> Option<&TraceJournal> {
+        self.sim.trace()
+    }
+
+    /// One unified counter registry for the run: network counters
+    /// (`net.*`) merged with every participant's protocol stats
+    /// (`peer<k>.*`). This is the snapshot trace dumps embed so a single
+    /// artifact carries both the event stream and the totals.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut s = self.sim.metrics().snapshot();
+        for &p in &self.participants {
+            s.merge(&self.sim.actor(p).stats.snapshot(p));
+        }
+        s
     }
 
     /// Documents diverging from the baseline on connected peers
@@ -811,6 +841,53 @@ mod tests {
         let actor = s.sim.actor(PeerId(3));
         assert_eq!(actor.context(txn).expect("replayed").state, TxnState::Committed);
         assert!(actor.repo.get("d3").expect("doc").to_xml().contains("done-3"), "committed effects survive");
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle tracing.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn traced_run_covers_the_lifecycle_and_replays_byte_identically() {
+        let mut a = ScenarioBuilder::fig1().fault_at(5).traced().build();
+        a.run();
+        let journal = a.trace().expect("traced build collects a journal");
+        // The fig1-with-fault run exercises the whole §3.2 lifecycle.
+        for label in [
+            "submit",
+            "invoke",
+            "serve",
+            "materialize",
+            "log-append",
+            "fault-raise",
+            "compensate-apply",
+            "abort-propagate",
+            "resolve",
+        ] {
+            assert!(journal.count(label) > 0, "no {label} events");
+        }
+        let lines = journal.to_json_lines();
+        // Same scenario, same seed: the journal is replay-stable.
+        let mut b = ScenarioBuilder::fig1().fault_at(5).traced().build();
+        b.run();
+        assert_eq!(lines, b.trace().unwrap().to_json_lines());
+        // Untraced builds pay nothing and expose no journal.
+        let mut c = ScenarioBuilder::fig1().fault_at(5).build();
+        c.run();
+        assert!(c.trace().is_none());
+    }
+
+    #[test]
+    fn snapshot_unifies_net_and_peer_counters() {
+        let mut s = ScenarioBuilder::fig1().fault_at(5).traced().build();
+        let report = s.run();
+        let snap = s.snapshot();
+        assert_eq!(snap.get("net.sent.invoke"), report.metrics.kind("invoke"));
+        assert_eq!(snap.get("peer.5.faults_raised"), 1);
+        assert_eq!(snap.get("peer.1.served"), report.stats[&PeerId(1)].served);
+        let rendered = snap.render();
+        assert!(rendered.contains("net.sent"), "render lists net counters: {rendered}");
+        assert!(rendered.contains("peer.5.faults_raised"), "render lists peer counters");
     }
 
     // ------------------------------------------------------------------

@@ -47,3 +47,6 @@ pub use fault::{CrashEvent, FaultAction, FaultPlane, Partition, ScriptedFault};
 pub use ids::{PeerId, TimerId};
 pub use metrics::NetMetrics;
 pub use sim::{Actor, Ctx, LatencyModel, Message, SendError, Sim, SimConfig};
+
+// Re-exported so protocol layers and harnesses name one tracing surface.
+pub use axml_trace::{EventKind, Snapshot, TraceEvent, TraceJournal, TraceSink};

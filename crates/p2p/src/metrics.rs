@@ -1,5 +1,6 @@
 //! Network-level counters collected by the simulator.
 
+use axml_trace::Snapshot;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -80,6 +81,42 @@ impl NetMetrics {
         self.injected_drops + self.injected_dups + self.injected_spikes + self.injected_reorders
     }
 
+    /// These counters as one flat registry snapshot (names scoped under
+    /// `net.`), ready to merge with per-peer protocol stats into the
+    /// unified view included in trace dumps.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::default();
+        s.set("net.sent", self.sent);
+        s.set("net.delivered", self.delivered);
+        s.set("net.send_failures", self.send_failures);
+        s.set("net.dropped_in_flight", self.dropped_in_flight);
+        s.set("net.timers_fired", self.timers_fired);
+        s.set("net.disconnects", self.disconnects);
+        s.set("net.reconnects", self.reconnects);
+        s.set("net.injected_drops", self.injected_drops);
+        s.set("net.partition_drops", self.partition_drops);
+        s.set("net.injected_dups", self.injected_dups);
+        s.set("net.injected_spikes", self.injected_spikes);
+        s.set("net.injected_reorders", self.injected_reorders);
+        s.set("net.out_of_order", self.out_of_order);
+        s.set("net.retransmits", self.retransmits);
+        s.set("net.crash_restarts", self.crash_restarts);
+        s.set("net.stale_timers", self.stale_timers);
+        for (k, v) in &self.by_kind {
+            s.set(format!("net.sent.{k}"), *v);
+        }
+        for (k, v) in &self.drops_by_kind {
+            s.set(format!("net.drops.{k}"), *v);
+        }
+        for (k, v) in &self.dups_by_kind {
+            s.set(format!("net.dups.{k}"), *v);
+        }
+        for (k, v) in &self.retransmits_by_kind {
+            s.set(format!("net.retransmits.{k}"), *v);
+        }
+        s
+    }
+
     /// A human-readable multi-line summary, used by the chaos harness to
     /// make failing runs diagnosable.
     pub fn summary(&self) -> String {
@@ -147,6 +184,20 @@ mod tests {
         assert_eq!(m.injected_total(), 3);
         assert_eq!(m.drops_of("invoke"), 2);
         assert_eq!(m.dups_of("result"), 1);
+    }
+
+    #[test]
+    fn snapshot_scopes_names_under_net() {
+        let mut m = NetMetrics::default();
+        m.sent = 9;
+        m.retransmits = 2;
+        *m.by_kind.entry("invoke").or_default() += 4;
+        *m.retransmits_by_kind.entry("invoke").or_default() += 2;
+        let s = m.snapshot();
+        assert_eq!(s.get("net.sent"), 9);
+        assert_eq!(s.get("net.sent.invoke"), 4);
+        assert_eq!(s.get("net.retransmits.invoke"), 2);
+        assert_eq!(s.get("net.drops.invoke"), 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::fault::{CrashEvent, FaultPlane, FaultRuntime, Injected, ScriptedFault};
 use crate::ids::{PeerId, TimerId};
 use crate::metrics::NetMetrics;
+use axml_trace::{EventKind, TraceJournal, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -94,11 +95,22 @@ pub struct SimConfig {
     pub max_events: u64,
     /// Fault schedule (inert by default; see [`crate::fault`]).
     pub fault: FaultPlane,
+    /// Lifecycle-event sink (disabled by default — see [`axml_trace`]).
+    /// Tracing shares the fault plane's determinism: enabling it never
+    /// perturbs the event schedule, so a scripted replay yields a
+    /// byte-identical journal.
+    pub trace: TraceSink,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 7, latency: LatencyModel::default(), max_events: 1_000_000, fault: FaultPlane::default() }
+        SimConfig {
+            seed: 7,
+            latency: LatencyModel::default(),
+            max_events: 1_000_000,
+            fault: FaultPlane::default(),
+            trace: TraceSink::default(),
+        }
     }
 }
 
@@ -150,6 +162,7 @@ pub struct SimState<M> {
     fault: FaultRuntime,
     link_sent: HashMap<(PeerId, PeerId), u64>,
     link_delivered: HashMap<(PeerId, PeerId), u64>,
+    trace: Option<TraceJournal>,
     /// Counters, readable after the run.
     pub metrics: NetMetrics,
 }
@@ -159,6 +172,15 @@ impl<M: Message> SimState<M> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, event });
+    }
+
+    /// Substrate-level emission (churn/crash events the simulator itself
+    /// observes, not any one actor).
+    fn emit_sim(&mut self, peer: PeerId, kind: EventKind) {
+        let (now, epoch) = (self.now, self.incarnation[peer.0 as usize]);
+        if let Some(j) = &mut self.trace {
+            j.record(now, peer.0, epoch, None, None, None, kind);
+        }
     }
 }
 
@@ -190,7 +212,9 @@ impl<M: Message> Ctx<'_, M> {
             return Err(SendError::Unreachable(to));
         }
         let delay = self.state.rng.gen_range(self.state.latency.min..=self.state.latency.max);
-        let at = self.state.now + delay;
+        // Saturating: protocol layers with saturating backoff can run at
+        // the very end of the logical clock.
+        let at = self.state.now.saturating_add(delay);
         self.state.metrics.sent += 1;
         let kind = msg.kind();
         *self.state.metrics.by_kind.entry(kind).or_default() += 1;
@@ -224,15 +248,16 @@ impl<M: Message> Ctx<'_, M> {
                 *self.state.metrics.dups_by_kind.entry(kind).or_default() += 1;
                 let copy = msg.clone();
                 self.state.schedule(at, Event::Deliver { from, to, msg, link_seq, dup: false });
-                self.state.schedule(at + extra, Event::Deliver { from, to, msg: copy, link_seq, dup: true });
+                self.state
+                    .schedule(at.saturating_add(extra), Event::Deliver { from, to, msg: copy, link_seq, dup: true });
             }
             Some(Injected::Spike { extra }) => {
                 self.state.metrics.injected_spikes += 1;
-                self.state.schedule(at + extra, Event::Deliver { from, to, msg, link_seq, dup: false });
+                self.state.schedule(at.saturating_add(extra), Event::Deliver { from, to, msg, link_seq, dup: false });
             }
             Some(Injected::Reorder { extra }) => {
                 self.state.metrics.injected_reorders += 1;
-                self.state.schedule(at + extra, Event::Deliver { from, to, msg, link_seq, dup: false });
+                self.state.schedule(at.saturating_add(extra), Event::Deliver { from, to, msg, link_seq, dup: false });
             }
         }
         Ok(())
@@ -240,12 +265,14 @@ impl<M: Message> Ctx<'_, M> {
 
     /// Sets a timer that fires on this peer after `delay` time units,
     /// delivering `tag` to [`Actor::on_timer`]. The timer dies if the
-    /// peer crash-restarts before it fires.
+    /// peer crash-restarts before it fires. Extreme delays saturate at
+    /// the end of logical time instead of wrapping (a timer that "never"
+    /// fires stays a timer that never fires).
     pub fn set_timer(&mut self, delay: u64, tag: u64) -> TimerId {
         let id = TimerId(self.state.next_timer);
         self.state.next_timer += 1;
         let me = self.me;
-        let at = self.state.now + delay;
+        let at = self.state.now.saturating_add(delay);
         let inc = self.state.incarnation[me.0 as usize];
         self.state.schedule(at, Event::Timer { peer: me, id, tag, inc });
         id
@@ -279,6 +306,23 @@ impl<M: Message> Ctx<'_, M> {
     pub fn rand_range(&mut self, lo: u64, hi: u64) -> u64 {
         self.state.rng.gen_range(lo..=hi)
     }
+
+    /// True if a trace sink is collecting events. Protocol layers use
+    /// this to skip building event payloads on untraced runs.
+    pub fn tracing(&self) -> bool {
+        self.state.trace.is_some()
+    }
+
+    /// Emits one lifecycle event, stamped with the current logical time,
+    /// this peer's id, and its crash-restart epoch. A no-op when the
+    /// sink is disabled.
+    pub fn emit(&mut self, txn: Option<String>, span: Option<String>, parent: Option<String>, kind: EventKind) {
+        let (now, epoch) = (self.state.now, self.state.incarnation[self.me.0 as usize]);
+        let peer = self.me.0;
+        if let Some(j) = &mut self.state.trace {
+            j.record(now, peer, epoch, txn, span, parent, kind);
+        }
+    }
 }
 
 /// The simulator: actors plus the event queue.
@@ -309,6 +353,7 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
                 fault: FaultRuntime::new(config.fault),
                 link_sent: HashMap::new(),
                 link_delivered: HashMap::new(),
+                trace: config.trace.enabled().then(TraceJournal::default),
                 metrics: NetMetrics::default(),
             },
             actors: actors.into_iter().map(Some).collect(),
@@ -412,11 +457,13 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
                     }
                     if std::mem::replace(&mut self.state.connected[peer.0 as usize], false) {
                         self.state.metrics.disconnects += 1;
+                        self.state.emit_sim(peer, EventKind::Disconnect);
                     }
                 }
                 Event::Reconnect(peer) => {
                     if !std::mem::replace(&mut self.state.connected[peer.0 as usize], true) {
                         self.state.metrics.reconnects += 1;
+                        self.state.emit_sim(peer, EventKind::Reconnect);
                         self.with_actor(peer, |actor, ctx| actor.on_reconnect(ctx));
                     }
                 }
@@ -425,6 +472,7 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
                         continue; // an offline peer has nothing running to crash
                     }
                     self.state.metrics.crash_restarts += 1;
+                    self.state.emit_sim(peer, EventKind::Crash);
                     self.state.incarnation[peer.0 as usize] += 1;
                     self.with_actor(peer, |actor, ctx| actor.on_crash_restart(ctx));
                 }
@@ -463,6 +511,11 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
     /// Collected metrics.
     pub fn metrics(&self) -> &NetMetrics {
         &self.state.metrics
+    }
+
+    /// The collected event journal, if the run was traced.
+    pub fn trace(&self) -> Option<&TraceJournal> {
+        self.state.trace.as_ref()
     }
 
     /// The fault schedule this simulation was configured with.
@@ -842,6 +895,69 @@ mod tests {
         assert_eq!(m1, m2);
         assert_eq!(t1, t2);
         assert!(m1.injected_total() > 0, "faults actually injected");
+    }
+
+    #[test]
+    fn tracing_disabled_by_default_enabled_via_sink() {
+        let mut s = sim(2);
+        s.schedule_timer(0, PeerId(0), 1);
+        s.run();
+        assert!(s.trace().is_none(), "no journal unless the sink is on");
+
+        let config = SimConfig { trace: TraceSink::Memory, ..Default::default() };
+        let mut s = Sim::new(config, vec![Echo::default(), Echo::default()]);
+        s.schedule_disconnect(5, PeerId(1));
+        s.schedule_reconnect(10, PeerId(1));
+        s.schedule_crash_restart(20, PeerId(1));
+        s.run();
+        let j = s.trace().expect("journal collected");
+        assert_eq!(j.count("disconnect"), 1);
+        assert_eq!(j.count("reconnect"), 1);
+        assert_eq!(j.count("crash"), 1);
+        let crash = j.events().iter().find(|e| e.kind == EventKind::Crash).unwrap();
+        assert_eq!(crash.at, 20);
+        assert_eq!(crash.peer, 1);
+        assert_eq!(crash.epoch, 0, "crash stamped with the dying incarnation");
+    }
+
+    #[test]
+    fn ctx_emit_stamps_time_peer_epoch() {
+        struct Emitter;
+        impl Actor<Msg> for Emitter {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: PeerId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+                assert!(ctx.tracing());
+                ctx.emit(Some("T0.0".into()), None, None, EventKind::Resolve { committed: tag == 1 });
+            }
+        }
+        let config = SimConfig { trace: TraceSink::Memory, ..Default::default() };
+        let mut s = Sim::new(config, vec![Emitter]);
+        s.schedule_timer(3, PeerId(0), 1);
+        s.run();
+        let j = s.trace().unwrap();
+        assert_eq!(j.len(), 1);
+        let e = &j.events()[0];
+        assert_eq!((e.at, e.peer, e.epoch, e.seq), (3, 0, 0, 0));
+        assert_eq!(e.txn.as_deref(), Some("T0.0"));
+    }
+
+    #[test]
+    fn extreme_timer_delay_saturates_instead_of_wrapping() {
+        // Setting a timer near u64::MAX from a nonzero `now` must not wrap
+        // to the past; it should simply never fire within any deadline.
+        struct Far;
+        impl Actor<Msg> for Far {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: PeerId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+                if tag == 1 {
+                    ctx.set_timer(u64::MAX - 1, 2);
+                }
+                assert_ne!(tag, 2, "saturated timer must not fire early");
+            }
+        }
+        let mut s = Sim::new(SimConfig::default(), vec![Far]);
+        s.schedule_timer(10, PeerId(0), 1);
+        s.run_until(1_000_000);
     }
 
     #[test]

@@ -1,0 +1,560 @@
+//! Structured transaction-lifecycle tracing.
+//!
+//! The chaos oracle (see `axml-chaos`) checks atomicity as a final-state
+//! predicate — when it fails, the *why* is a causally-ordered sequence of
+//! protocol transitions spread over many peers. This crate is the
+//! zero-dependency event model for that record: peers emit typed
+//! [`TraceEvent`]s (invoke, materialize, log-append, compensate,
+//! abort-propagate, ack/retransmit/dedup, detect, crash/restart), the
+//! simulator stamps them with logical time and collects them into a
+//! per-run [`TraceJournal`]. Because event order is a pure function of
+//! the simulator's seeded schedule, replaying a scripted fault plane
+//! reproduces the journal byte for byte.
+//!
+//! [`Snapshot`] is the companion registry: one flat `name → counter` map
+//! unifying the simulator's `NetMetrics` with per-peer protocol stats,
+//! included in trace dumps so a journal is self-describing.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Where the simulator sends trace events.
+///
+/// Lives in the simulator config; [`TraceSink::Disabled`] (the default)
+/// makes every emission a no-op so traced and untraced runs execute the
+/// identical event schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceSink {
+    /// Discard all events (the default — zero overhead).
+    #[default]
+    Disabled,
+    /// Collect events into an in-memory [`TraceJournal`].
+    Memory,
+}
+
+impl TraceSink {
+    /// True if events are collected.
+    pub fn enabled(&self) -> bool {
+        matches!(self, TraceSink::Memory)
+    }
+}
+
+/// What happened — one variant per protocol transition.
+///
+/// Peer ids are raw `u32`s (this crate sits below the p2p layer), txn and
+/// invocation ids are their `Display` forms (`T1.0`, `inv3.7`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A transaction was submitted at its origin peer.
+    Submit {
+        /// Service method of the root invocation.
+        method: String,
+    },
+    /// A service call was issued to a remote provider.
+    Invoke {
+        /// Provider peer.
+        to: u32,
+        /// Service method.
+        method: String,
+    },
+    /// A provider started serving an incoming invocation.
+    Serve {
+        /// Invoking peer.
+        from: u32,
+        /// Service method.
+        method: String,
+    },
+    /// Child results were materialized into the local document.
+    Materialize {
+        /// Target document.
+        doc: String,
+        /// Items merged.
+        items: u64,
+    },
+    /// An entry was appended to the durable journal.
+    LogAppend {
+        /// Entry label (mirrors `JournalEntry` variant names).
+        entry: String,
+    },
+    /// Results were returned to the invoker (or its chain substitute).
+    ResultReturn {
+        /// Receiving peer.
+        to: u32,
+    },
+    /// A fault was raised up the invocation tree.
+    FaultRaise {
+        /// Receiving peer.
+        to: u32,
+    },
+    /// A compensating action list was derived from the journal.
+    CompensateDerive {
+        /// Number of compensating actions.
+        actions: u64,
+    },
+    /// Compensating actions were applied to local documents.
+    CompensateApply {
+        /// Number of compensating actions.
+        actions: u64,
+    },
+    /// An abort was propagated to a subordinate.
+    AbortPropagate {
+        /// Receiving peer.
+        to: u32,
+    },
+    /// The transaction reached a terminal state at this peer.
+    Resolve {
+        /// True for commit, false for abort.
+        committed: bool,
+    },
+    /// An acknowledgement was sent for a reliable delivery.
+    AckSend {
+        /// Receiving peer.
+        to: u32,
+        /// Delivery id.
+        id: u64,
+    },
+    /// A reliable delivery was retransmitted.
+    Retransmit {
+        /// Receiving peer.
+        to: u32,
+        /// Delivery id.
+        id: u64,
+        /// Attempt number (1-based for the first resend).
+        attempt: u32,
+    },
+    /// Retransmission gave up after `max_retransmits` attempts.
+    RetransmitGiveUp {
+        /// Receiving peer.
+        to: u32,
+        /// Delivery id.
+        id: u64,
+    },
+    /// A duplicate reliable delivery was suppressed by the dedup set.
+    DedupSuppress {
+        /// Sending peer.
+        from: u32,
+        /// Delivery id.
+        id: u64,
+    },
+    /// The dedup set was pruned of finalized-transaction entries.
+    DedupPrune {
+        /// Entries evicted.
+        evicted: u64,
+    },
+    /// A peer failure was detected.
+    Detect {
+        /// The peer detected as failed/disconnected.
+        peer: u32,
+        /// Detection mechanism label.
+        how: String,
+    },
+    /// The simulator crashed this peer (volatile state lost).
+    Crash,
+    /// The peer restarted and replayed its durable journal.
+    Restart {
+        /// In-doubt transactions presumed aborted during recovery.
+        presumed_aborts: u64,
+    },
+    /// The simulator disconnected this peer.
+    Disconnect,
+    /// The simulator reconnected this peer.
+    Reconnect,
+}
+
+impl EventKind {
+    /// Short stable label (used for grouping and counting).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Submit { .. } => "submit",
+            EventKind::Invoke { .. } => "invoke",
+            EventKind::Serve { .. } => "serve",
+            EventKind::Materialize { .. } => "materialize",
+            EventKind::LogAppend { .. } => "log-append",
+            EventKind::ResultReturn { .. } => "result-return",
+            EventKind::FaultRaise { .. } => "fault-raise",
+            EventKind::CompensateDerive { .. } => "compensate-derive",
+            EventKind::CompensateApply { .. } => "compensate-apply",
+            EventKind::AbortPropagate { .. } => "abort-propagate",
+            EventKind::Resolve { .. } => "resolve",
+            EventKind::AckSend { .. } => "ack-send",
+            EventKind::Retransmit { .. } => "retransmit",
+            EventKind::RetransmitGiveUp { .. } => "retransmit-give-up",
+            EventKind::DedupSuppress { .. } => "dedup-suppress",
+            EventKind::DedupPrune { .. } => "dedup-prune",
+            EventKind::Detect { .. } => "detect",
+            EventKind::Crash => "crash",
+            EventKind::Restart { .. } => "restart",
+            EventKind::Disconnect => "disconnect",
+            EventKind::Reconnect => "reconnect",
+        }
+    }
+
+    fn detail(&self) -> String {
+        match self {
+            EventKind::Submit { method } => format!("method={method}"),
+            EventKind::Invoke { to, method } => format!("to=AP{to} method={method}"),
+            EventKind::Serve { from, method } => format!("from=AP{from} method={method}"),
+            EventKind::Materialize { doc, items } => format!("doc={doc} items={items}"),
+            EventKind::LogAppend { entry } => format!("entry={entry}"),
+            EventKind::ResultReturn { to } => format!("to=AP{to}"),
+            EventKind::FaultRaise { to } => format!("to=AP{to}"),
+            EventKind::CompensateDerive { actions } => format!("actions={actions}"),
+            EventKind::CompensateApply { actions } => format!("actions={actions}"),
+            EventKind::AbortPropagate { to } => format!("to=AP{to}"),
+            EventKind::Resolve { committed } => (if *committed { "committed" } else { "aborted" }).to_string(),
+            EventKind::AckSend { to, id } => format!("to=AP{to} id={id}"),
+            EventKind::Retransmit { to, id, attempt } => {
+                format!("to=AP{to} id={id} attempt={attempt}")
+            }
+            EventKind::RetransmitGiveUp { to, id } => format!("to=AP{to} id={id}"),
+            EventKind::DedupSuppress { from, id } => format!("from=AP{from} id={id}"),
+            EventKind::DedupPrune { evicted } => format!("evicted={evicted}"),
+            EventKind::Detect { peer, how } => format!("peer=AP{peer} how={how}"),
+            EventKind::Crash | EventKind::Disconnect | EventKind::Reconnect => String::new(),
+            EventKind::Restart { presumed_aborts } => {
+                format!("presumed-aborts={presumed_aborts}")
+            }
+        }
+    }
+}
+
+/// One stamped lifecycle event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Journal-wide sequence number (total order of emission).
+    pub seq: u64,
+    /// Simulator logical time.
+    pub at: u64,
+    /// Emitting peer.
+    pub peer: u32,
+    /// Emitting peer's crash-restart epoch.
+    pub epoch: u64,
+    /// Transaction this event belongs to, if any (`Display` form).
+    pub txn: Option<String>,
+    /// Invocation span this event belongs to, if any (`Display` form).
+    pub span: Option<String>,
+    /// Parent invocation span, if known (`Display` form) — present on
+    /// [`EventKind::Invoke`] events, from which the invocation tree of
+    /// the paper's Figures 1–2 is reconstructed.
+    pub parent: Option<String>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    fn render(&self) -> String {
+        let mut line = format!("[t={:>5} AP{} e{}] {}", self.at, self.peer, self.epoch, self.kind.label());
+        let detail = self.kind.detail();
+        if !detail.is_empty() {
+            let _ = write!(line, " {detail}");
+        }
+        if let Some(span) = &self.span {
+            let _ = write!(line, " span={span}");
+        }
+        if let Some(parent) = &self.parent {
+            let _ = write!(line, " parent={parent}");
+        }
+        line
+    }
+}
+
+/// The per-run event journal collected by the simulator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceJournal {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceJournal {
+    /// Stamps and appends one event; `seq` is assigned here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        at: u64,
+        peer: u32,
+        epoch: u64,
+        txn: Option<String>,
+        span: Option<String>,
+        parent: Option<String>,
+        kind: EventKind,
+    ) {
+        let seq = self.events.len() as u64;
+        self.events.push(TraceEvent { seq, at, peer, epoch, txn, span, parent, kind });
+    }
+
+    /// All events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count of events with a given [`EventKind::label`].
+    pub fn count(&self, label: &str) -> usize {
+        self.events.iter().filter(|e| e.kind.label() == label).count()
+    }
+
+    /// The journal as JSON lines (one event per line). This is the
+    /// byte-stable replay artifact: same scripted plane + same seed ⇒
+    /// identical output.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&serde_json::to_string(e).expect("trace events serialize"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a journal back from [`Self::to_json_lines`] output.
+    pub fn from_json_lines(text: &str) -> Result<TraceJournal, String> {
+        let mut events = Vec::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            events.push(serde_json::from_str::<TraceEvent>(line).map_err(|e| format!("{e:?}"))?);
+        }
+        Ok(TraceJournal { events })
+    }
+
+    /// FNV-1a digest of the JSON-lines form — a compact replay-stability
+    /// fingerprint.
+    pub fn digest(&self) -> u64 {
+        fnv64(self.to_json_lines().as_bytes())
+    }
+
+    /// Pretty-prints the journal as causal trees: events grouped by
+    /// transaction, invocation spans nested by parent edge (taken from
+    /// [`EventKind::Invoke`] events) — the run-time image of the paper's
+    /// Figures 1–2 invocation trees. Events outside any span are listed
+    /// under the transaction header; events outside any transaction (the
+    /// delivery/churn substrate) come last.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        // Transactions in order of first appearance.
+        let mut txns: Vec<&str> = Vec::new();
+        for e in &self.events {
+            if let Some(t) = &e.txn {
+                if !txns.iter().any(|x| x == t) {
+                    txns.push(t);
+                }
+            }
+        }
+        for txn in &txns {
+            let _ = writeln!(out, "txn {txn}");
+            let evs: Vec<&TraceEvent> = self.events.iter().filter(|e| e.txn.as_deref() == Some(*txn)).collect();
+            // parent edges: child span -> parent span (from Invoke/Submit emissions).
+            let mut parent_of: BTreeMap<&str, &str> = BTreeMap::new();
+            let mut spans: Vec<&str> = Vec::new();
+            for e in &evs {
+                if let Some(s) = &e.span {
+                    if !spans.iter().any(|x| x == s) {
+                        spans.push(s);
+                    }
+                    if let Some(p) = &e.parent {
+                        parent_of.entry(s).or_insert(p);
+                    }
+                }
+            }
+            // Spanless events sit directly under the txn header.
+            for e in evs.iter().filter(|e| e.span.is_none()) {
+                let _ = writeln!(out, "  {}", e.render());
+            }
+            // Roots: spans with no recorded parent (or a parent outside this txn).
+            let roots: Vec<&str> =
+                spans.iter().copied().filter(|s| parent_of.get(s).is_none_or(|p| !spans.contains(p))).collect();
+            for root in roots {
+                render_span(&mut out, root, &spans, &parent_of, &evs, 1);
+            }
+        }
+        let loose: Vec<&TraceEvent> = self.events.iter().filter(|e| e.txn.is_none()).collect();
+        if !loose.is_empty() {
+            let _ = writeln!(out, "(no txn)");
+            for e in loose {
+                let _ = writeln!(out, "  {}", e.render());
+            }
+        }
+        out
+    }
+}
+
+fn render_span(
+    out: &mut String,
+    span: &str,
+    spans: &[&str],
+    parent_of: &BTreeMap<&str, &str>,
+    evs: &[&TraceEvent],
+    depth: usize,
+) {
+    let pad = "  ".repeat(depth);
+    let _ = writeln!(out, "{pad}span {span}");
+    for e in evs.iter().filter(|e| e.span.as_deref() == Some(span)) {
+        let _ = writeln!(out, "{pad}  {}", e.render());
+    }
+    for child in spans.iter().copied().filter(|s| parent_of.get(s) == Some(&span)) {
+        render_span(out, child, spans, parent_of, evs, depth + 1);
+    }
+}
+
+/// One unified registry snapshot: flat counter map merging the
+/// simulator's network metrics with per-peer protocol stats.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// `name → value`, names dot-scoped (`net.sent`, `peer.3.dup_suppressed`).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// Sets one counter.
+    pub fn set(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.insert(name.into(), value);
+    }
+
+    /// Adds to one counter (creating it at zero).
+    pub fn add(&mut self, name: impl Into<String>, value: u64) {
+        *self.counters.entry(name.into()).or_default() += value;
+    }
+
+    /// Reads one counter (0 if absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Absorbs another snapshot (summing shared names).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_default() += v;
+        }
+    }
+
+    /// One `name = value` line per counter, sorted by name.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k} = {v}");
+        }
+        out
+    }
+}
+
+/// FNV-1a over a byte slice — the workspace's standard cheap fingerprint.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceJournal {
+        let mut j = TraceJournal::default();
+        j.record(
+            0,
+            1,
+            0,
+            Some("T1.0".into()),
+            Some("inv1.0".into()),
+            None,
+            EventKind::Submit { method: "book".into() },
+        );
+        j.record(
+            1,
+            1,
+            0,
+            Some("T1.0".into()),
+            Some("inv1.1".into()),
+            Some("inv1.0".into()),
+            EventKind::Invoke { to: 2, method: "pay".into() },
+        );
+        j.record(
+            4,
+            2,
+            0,
+            Some("T1.0".into()),
+            Some("inv1.1".into()),
+            None,
+            EventKind::Serve { from: 1, method: "pay".into() },
+        );
+        j.record(9, 1, 0, Some("T1.0".into()), None, None, EventKind::Resolve { committed: true });
+        j.record(9, 2, 0, None, None, None, EventKind::AckSend { to: 1, id: 7 });
+        j
+    }
+
+    #[test]
+    fn seq_is_assigned_in_emission_order() {
+        let j = sample();
+        let seqs: Vec<u64> = j.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let j = sample();
+        let text = j.to_json_lines();
+        assert_eq!(text.lines().count(), j.len());
+        let back = TraceJournal::from_json_lines(&text).unwrap();
+        assert_eq!(back, j);
+        assert_eq!(back.digest(), j.digest());
+    }
+
+    #[test]
+    fn digest_is_content_sensitive() {
+        let j = sample();
+        let mut k = sample();
+        k.record(10, 3, 0, None, None, None, EventKind::Crash);
+        assert_ne!(j.digest(), k.digest());
+    }
+
+    #[test]
+    fn tree_nests_child_span_under_parent() {
+        let tree = sample().render_tree();
+        let root = tree.find("span inv1.0").expect("root span shown");
+        let child = tree.find("  span inv1.1").expect("child span shown indented");
+        assert!(root < child, "parent renders before child:\n{tree}");
+        assert!(tree.starts_with("txn T1.0\n"));
+        assert!(tree.contains("(no txn)"), "substrate events listed:\n{tree}");
+        assert!(tree.contains("resolve committed"));
+    }
+
+    #[test]
+    fn count_by_label() {
+        let j = sample();
+        assert_eq!(j.count("invoke"), 1);
+        assert_eq!(j.count("serve"), 1);
+        assert_eq!(j.count("crash"), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_and_render() {
+        let mut a = Snapshot::default();
+        a.set("net.sent", 10);
+        a.add("net.sent", 2);
+        let mut b = Snapshot::default();
+        b.set("net.sent", 1);
+        b.set("peer.0.dup_suppressed", 4);
+        a.merge(&b);
+        assert_eq!(a.get("net.sent"), 13);
+        assert_eq!(a.get("peer.0.dup_suppressed"), 4);
+        assert_eq!(a.get("missing"), 0);
+        assert!(a.render().contains("net.sent = 13"));
+    }
+
+    #[test]
+    fn sink_default_is_disabled() {
+        assert!(!TraceSink::default().enabled());
+        assert!(TraceSink::Memory.enabled());
+    }
+}

@@ -212,6 +212,23 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => {
+                entries.iter().map(|(k, val)| Ok((k.clone(), V::from_value(val)?))).collect()
+            }
+            _ => Err(DeError::expected("map", v)),
+        }
+    }
+}
+
 macro_rules! ser_de_tuple {
     ($(($($n:tt $t:ident),+))*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
