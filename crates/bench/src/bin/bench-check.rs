@@ -54,6 +54,14 @@ fn main() {
                     if params.is_empty() { "" } else { " " },
                     params.join(" ")
                 );
+                if let Some(hists) = &r.histograms {
+                    for (metric, s) in hists {
+                        println!(
+                            "  {metric}: count={} p50={} p90={} p99={} max={}",
+                            s.count, s.p50, s.p90, s.p99, s.max
+                        );
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("{name}: INVALID — {e}");

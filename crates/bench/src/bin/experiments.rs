@@ -8,17 +8,27 @@
 //! per experiment) for downstream plotting. Every experiment that runs
 //! also writes a `BENCH_<id>.json` report (row count, rows digest, wall
 //! time, parameters) into the working directory; `bench-check` parses
-//! them back and CI archives them.
+//! them back and CI archives them. Experiments with a traced latency
+//! sweep (currently E5) additionally embed per-metric histogram
+//! summaries in the report and drop the full distributions alongside it
+//! as a Prometheus text exposition (`BENCH_<id>.prom`).
 
 use axml_bench::{
     e10_isolation, e11_scale, e1_fig1, e2_fig2, e3_compensation, e4_materialization, e5_recovery_cost, e6_churn,
     e7_peer_independent, e8_spheres, e9_extended_chaining, BenchReport,
 };
+use axml_obs::{render_prometheus, Histogram};
+use std::collections::BTreeMap;
 
 /// Runs one experiment: prints its table (plus JSON rows when asked) and
-/// writes its `BENCH_<id>.json` report.
+/// writes its `BENCH_<id>.json` report. When `$hists` yields histograms,
+/// their summaries are embedded in the report and the full distributions
+/// written next to it as `BENCH_<id>.prom`.
 macro_rules! experiment {
     ($id:literal, $want:expr, $json:expr, $params:expr, $run:expr, $table:path) => {
+        experiment!($id, $want, $json, $params, $run, $table, None);
+    };
+    ($id:literal, $want:expr, $json:expr, $params:expr, $run:expr, $table:path, $hists:expr) => {
         if $want($id) {
             let t0 = std::time::Instant::now();
             let rows = $run;
@@ -28,7 +38,15 @@ macro_rules! experiment {
             if $json {
                 println!("{rows_json}");
             }
-            let report = BenchReport::from_run($id, $params, rows.len(), &rows_json, wall_time_us);
+            let mut report = BenchReport::from_run($id, $params, rows.len(), &rows_json, wall_time_us);
+            let hists: Option<BTreeMap<String, Histogram>> = $hists;
+            if let Some(hists) = hists {
+                report.histograms = Some(hists.iter().map(|(k, v)| (k.clone(), v.summary())).collect());
+                let prom_name = concat!("BENCH_", $id, ".prom");
+                if let Err(e) = std::fs::write(prom_name, render_prometheus(&hists)) {
+                    eprintln!("cannot write {prom_name}: {e}");
+                }
+            }
             if let Err(e) = std::fs::write(report.file_name(), report.to_json() + "\n") {
                 eprintln!("cannot write {}: {e}", report.file_name());
             }
@@ -48,7 +66,15 @@ fn main() {
     experiment!("e2", want, json, &[], e2_fig2::run(), e2_fig2::table);
     experiment!("e3", want, json, &[("rounds", "10")], e3_compensation::run(10), e3_compensation::table);
     experiment!("e4", want, json, &[], e4_materialization::run(), e4_materialization::table);
-    experiment!("e5", want, json, &[], e5_recovery_cost::run(), e5_recovery_cost::table);
+    experiment!(
+        "e5",
+        want,
+        json,
+        &[],
+        e5_recovery_cost::run(),
+        e5_recovery_cost::table,
+        Some(e5_recovery_cost::histograms())
+    );
     experiment!("e6", want, json, &[("rounds", "20")], e6_churn::run(20), e6_churn::table);
     experiment!("e7", want, json, &[("rounds", "12")], e7_peer_independent::run(12), e7_peer_independent::table);
     experiment!("e8", want, json, &[("seeds", "16")], e8_spheres::run(16), e8_spheres::table);

@@ -7,10 +7,15 @@
 
 use axml_core::scenarios::{Flavor, ScenarioBuilder};
 use axml_core::{PeerConfig, RecoveryStyle};
+use axml_obs::{derive_histograms, Histogram};
 use axml_workload::{tree_edges, trees::peer_at_depth, TreeShape};
 use serde::Serialize;
+use std::collections::BTreeMap;
 
 use crate::table::Table;
+
+/// The `(depth, fanout)` shapes E5 sweeps.
+const SHAPES: &[(usize, usize)] = &[(2, 2), (3, 2), (4, 2), (3, 3)];
 
 /// One measured configuration.
 #[derive(Debug, Clone, Serialize)]
@@ -36,6 +41,16 @@ pub struct Row {
 }
 
 fn measure(shape: TreeShape, fault_depth: usize, forward: bool, seed: u64) -> Row {
+    measure_traced(shape, fault_depth, forward, seed, false).0
+}
+
+fn measure_traced(
+    shape: TreeShape,
+    fault_depth: usize,
+    forward: bool,
+    seed: u64,
+    traced: bool,
+) -> (Row, BTreeMap<String, Histogram>) {
     let edges = tree_edges(1, shape);
     let fault_peer = peer_at_depth(1, shape, fault_depth, seed);
     let mut config = PeerConfig::default();
@@ -43,6 +58,7 @@ fn measure(shape: TreeShape, fault_depth: usize, forward: bool, seed: u64) -> Ro
     config.use_alternative_providers = forward;
     let mut builder = ScenarioBuilder::new(1, &edges).flavor(Flavor::Update).fault_at(fault_peer).config(config);
     builder.seed = seed;
+    builder.trace = traced;
     let builder = if forward {
         let (b, _replica) = builder.with_replica(fault_peer);
         b
@@ -51,7 +67,8 @@ fn measure(shape: TreeShape, fault_depth: usize, forward: bool, seed: u64) -> Ro
     };
     let mut s = builder.build();
     let report = s.run();
-    Row {
+    let hists = s.trace().map(derive_histograms).unwrap_or_default();
+    let row = Row {
         depth: shape.depth,
         fanout: shape.fanout,
         fault_depth,
@@ -61,13 +78,14 @@ fn measure(shape: TreeShape, fault_depth: usize, forward: bool, seed: u64) -> Ro
         comp_nodes: report.stats.values().map(|s| s.comp_cost_nodes).sum(),
         messages: report.metrics.sent,
         resolution_time: report.outcome.as_ref().map(|o| o.resolved_at - o.started_at).unwrap_or(report.finished_at),
-    }
+    };
+    (row, hists)
 }
 
 /// Runs the sweep.
 pub fn run() -> Vec<Row> {
     let mut rows = Vec::new();
-    for &(depth, fanout) in &[(2usize, 2usize), (3, 2), (4, 2), (3, 3)] {
+    for &(depth, fanout) in SHAPES {
         let shape = TreeShape { depth, fanout };
         for fault_depth in 1..=depth {
             for forward in [true, false] {
@@ -76,6 +94,25 @@ pub fn run() -> Vec<Row> {
         }
     }
     rows
+}
+
+/// Re-runs the whole sweep traced and folds every run's derived latency
+/// histograms into one set (same fixed bucket layout ⇒ plain merges).
+/// Deterministic: same seeds, byte-identical summaries on every call.
+pub fn histograms() -> BTreeMap<String, Histogram> {
+    let mut out: BTreeMap<String, Histogram> = BTreeMap::new();
+    for &(depth, fanout) in SHAPES {
+        let shape = TreeShape { depth, fanout };
+        for fault_depth in 1..=depth {
+            for forward in [true, false] {
+                let (_, hists) = measure_traced(shape, fault_depth, forward, 11, true);
+                for (name, h) in hists {
+                    out.entry(name).or_default().merge(&h);
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Formats the rows.
@@ -143,5 +180,23 @@ mod tests {
     fn bench_entry_point() {
         assert!(bench_once(2, true));
         assert!(bench_once(2, false));
+    }
+
+    #[test]
+    fn histograms_are_deterministic_and_populated() {
+        let a = histograms();
+        let b = histograms();
+        assert_eq!(a, b, "traced replays must agree exactly");
+        // The sweep commits (forward) and aborts (backward), so both the
+        // commit-latency and abort-wave distributions must have samples.
+        assert!(a["commit_latency"].count() > 0, "{a:?}");
+        assert!(a["abort_drain"].count() > 0, "{a:?}");
+        assert!(a["retransmits_per_delivery"].count() > 0, "{a:?}");
+        // Tracing is observation only: the traced sweep's rows equal the
+        // untraced ones (spot-check one configuration).
+        let shape = TreeShape { depth: 3, fanout: 2 };
+        let (traced_row, _) = measure_traced(shape, 2, false, 11, true);
+        let plain = measure(shape, 2, false, 11);
+        assert_eq!(format!("{traced_row:?}"), format!("{plain:?}"));
     }
 }

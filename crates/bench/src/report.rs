@@ -5,6 +5,7 @@
 //! back (see the `bench-check` binary) and archives them as artifacts, so
 //! every run of the harness leaves a comparable, plottable record.
 
+use axml_obs::HistogramSummary;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -22,6 +23,10 @@ pub struct BenchReport {
     pub rows_digest: u64,
     /// Wall-clock duration of the run in microseconds.
     pub wall_time_us: u64,
+    /// Latency histogram summaries (metric → fixed-point summary) for
+    /// experiments that run traced; `None` for the rest, and absent in
+    /// pre-histogram reports (the field parses as `None` there).
+    pub histograms: Option<BTreeMap<String, HistogramSummary>>,
 }
 
 impl BenchReport {
@@ -39,6 +44,7 @@ impl BenchReport {
             rows: rows as u64,
             rows_digest: fnv64(rows_json),
             wall_time_us,
+            histograms: None,
         }
     }
 
@@ -80,6 +86,22 @@ mod tests {
         assert_eq!(back, r);
         assert_eq!(back.params["rounds"], "10");
         assert_eq!(back.rows, 4);
+    }
+
+    #[test]
+    fn histograms_are_optional_and_round_trip() {
+        // Pre-histogram reports (no `histograms` key) still parse.
+        let legacy = r#"{"experiment":"e1","params":{},"rows":1,"rows_digest":2,"wall_time_us":3}"#;
+        let r = BenchReport::parse(legacy).expect("legacy reports parse");
+        assert_eq!(r.histograms, None);
+        // And an embedded summary survives the round trip.
+        let mut h = axml_obs::Histogram::default();
+        h.observe(12);
+        let mut with = BenchReport::from_run("e5", &[], 1, "[1]", 9);
+        with.histograms = Some([("commit_latency".to_string(), h.summary())].into_iter().collect());
+        let back = BenchReport::parse(&with.to_json()).expect("parses");
+        assert_eq!(back, with);
+        assert_eq!(back.histograms.unwrap()["commit_latency"].count, 1);
     }
 
     #[test]

@@ -26,7 +26,10 @@
 use axml_core::context::TxnState;
 use axml_core::peer::PeerConfig;
 use axml_core::scenarios::{Scenario, ScenarioBuilder, ScenarioReport};
+use axml_obs::{Monitor, MonitorFinding};
 use axml_p2p::{CrashEvent, FaultPlane, NetMetrics, Partition, PeerId, ScriptedFault};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Scenario names the harness knows how to build.
 pub const SCENARIOS: &[&str] = &["fig1", "fig2", "fig1-abort", "deep"];
@@ -179,6 +182,11 @@ pub struct CaseResult {
     pub plane: FaultPlane,
     /// Network counters.
     pub metrics: NetMetrics,
+    /// Everything the online protocol monitor flagged. Always collected
+    /// (the monitor rides every run as a sim observer); when the
+    /// atomicity oracle passes but the monitor does not, the verdict is
+    /// downgraded to a violation.
+    pub findings: Vec<MonitorFinding>,
 }
 
 /// The atomicity oracle (see the crate docs for the exact rule).
@@ -278,8 +286,19 @@ fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult,
         b = b.traced();
     }
     let mut s = b.config(cfg).fault_plane(plane.clone()).build();
+    // The online protocol monitor observes every run (traced or not);
+    // observation never perturbs the seeded schedule, so digests are
+    // unaffected.
+    let monitor = Rc::new(RefCell::new(Monitor::new()));
+    s.sim.attach_observer(monitor.clone());
     let report = s.run();
-    let verdict = check_atomicity(&s, &report);
+    let findings = monitor.borrow_mut().finish().to_vec();
+    let mut verdict = check_atomicity(&s, &report);
+    if verdict.ok {
+        if let Some(f) = findings.first() {
+            verdict = Verdict::violation(format!("online monitor: {f}"));
+        }
+    }
     let digest = run_digest(&s, &report);
     let dump = s.trace().map(|j| TraceDump {
         journal: j.to_json_lines(),
@@ -293,6 +312,7 @@ fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult,
         trace: s.sim.fault_trace().to_vec(),
         plane,
         metrics: report.metrics.clone(),
+        findings,
     };
     (result, dump)
 }
@@ -610,6 +630,38 @@ mod tests {
         assert_eq!(ra.digest, rb.digest);
         // Tracing is observation only: same digest as the untraced run.
         assert_eq!(ra.digest, run_with_plane(&case, rb.plane).digest);
+    }
+
+    #[test]
+    fn monitor_catches_out_of_order_compensation() {
+        // The deliberately broken peer variant applies self-compensation
+        // batches in forward log order; the online monitor's rule M001
+        // (§3.1 reverse order) must flag it, and must stay silent on the
+        // correct reverse-order peer under the same schedule.
+        let run = |broken: bool| {
+            // Fig. 1 with S2 slow and faulty: the whole AP3 subtree
+            // completes first, so AP3 accumulates several forward log
+            // records (child materializations plus its own update)
+            // before the abort arrives — giving the reverse-order rule
+            // an actual order to check.
+            let mut b = ScenarioBuilder::fig1().fault_at(2);
+            b.seed = 1000;
+            b.durations.insert(2, 60);
+            let mut cfg = PeerConfig::default();
+            cfg.use_alternative_providers = false;
+            cfg.compensate_in_log_order = broken;
+            let monitor = Rc::new(RefCell::new(Monitor::new()));
+            let mut s = b.config(cfg).build();
+            s.sim.attach_observer(monitor.clone());
+            let report = s.run();
+            assert_eq!(report.outcome.map(|o| o.committed), Some(false), "fig1-abort aborts");
+            let mut m = monitor.borrow_mut();
+            m.finish().to_vec()
+        };
+        let clean = run(false);
+        assert!(clean.is_empty(), "correct peer must be monitor-clean: {clean:?}");
+        let broken = run(true);
+        assert!(broken.iter().any(|f| f.rule == "M001"), "forward-order compensation must trigger M001: {broken:?}");
     }
 
     #[test]

@@ -4,29 +4,85 @@
 //! axml-chaos sweep [--seeds N] [--scenarios a,b] [--profiles p,q] [--no-dedup]
 //! axml-chaos smoke [--seeds N]
 //! axml-chaos shrink-demo
-//! axml-chaos trace (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup])
+//! axml-chaos trace (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup]) [--journal FILE]
+//! axml-chaos stats (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup]) [--prom FILE]
 //! ```
 //!
 //! `sweep` runs the full scenario × profile × seed matrix (default
-//! 4 × 4 × 16 = 256 runs) and exits non-zero on any oracle violation,
-//! printing each violation's shrunk scripted reproducer as JSON plus the
-//! lifecycle trace of the minimal failing run.
+//! 4 × 4 × 16 = 256 runs) — every run watched by the online protocol
+//! monitor — and exits non-zero on any oracle violation or monitor
+//! finding, printing each violation's shrunk scripted reproducer as JSON
+//! plus the lifecycle trace of the minimal failing run.
 //! `smoke` is the small CI variant (2 scenarios × storm × 16 seeds).
 //! `shrink-demo` deliberately disables duplicate suppression under the
 //! duplication profile and shows the oracle catching it — it exits
 //! non-zero if the broken variant is NOT caught.
 //! `trace` replays one case with the lifecycle-event journal on and
 //! pretty-prints the causal tree plus the unified counter snapshot;
-//! `--script` replays a shrunk reproducer file instead of a profile.
+//! `--script` replays a shrunk reproducer file instead of a profile and
+//! `--journal` writes the raw JSON-lines journal for `axml-obs`.
+//! `stats` replays one case traced and prints the trace analytics:
+//! per-transaction critical paths, the latency percentile table, and the
+//! monitor findings; `--prom` writes the Prometheus text exposition.
 
 use axml_chaos::{
     builder_for, events_of, plane_for, run_case, run_with_plane_traced, shrink_failure, sweep, CaseConfig, Profile,
     SweepOutcome, SCENARIOS,
 };
-use axml_p2p::FaultPlane;
+use axml_obs::{critical_paths, derive_histograms, percentile_table, render_prometheus};
+use axml_p2p::{FaultPlane, TraceJournal};
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Resolves the shared `trace` / `stats` case syntax:
+/// `(--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup])`.
+fn resolve_case(cmd: &str, args: &[String]) -> (CaseConfig, FaultPlane) {
+    let (scenario, profile, seed) = if args.iter().any(|a| a == "--demo") {
+        // A run worth looking at: Fig. 1 with S5 failing under
+        // mixed network faults — the full §3.2 recovery story.
+        ("fig1-abort".to_string(), Profile::Mixed, 5)
+    } else {
+        let Some(scenario) = args.get(1).filter(|a| !a.starts_with("--")).cloned() else {
+            eprintln!(
+                "usage: axml-chaos {cmd} (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup])"
+            );
+            std::process::exit(1);
+        };
+        let profile = parse_flag(args, "--profile")
+            .map(|p| {
+                Profile::parse(&p).unwrap_or_else(|| {
+                    eprintln!("unknown profile `{p}`");
+                    std::process::exit(1);
+                })
+            })
+            .unwrap_or(Profile::Mixed);
+        let seed = parse_flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+        (scenario, profile, seed)
+    };
+    let Some(b) = builder_for(&scenario) else {
+        eprintln!("unknown scenario `{scenario}` (expected one of {SCENARIOS:?})");
+        std::process::exit(1);
+    };
+    let plane = match parse_flag(args, "--script") {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            serde_json::from_str::<FaultPlane>(&text).unwrap_or_else(|e| {
+                eprintln!("{path} is not a reproducer: {e:?}");
+                std::process::exit(1);
+            })
+        }
+        None => plane_for(profile, seed, &b.peers()),
+    };
+    let mut case = CaseConfig::new(&scenario, profile, seed);
+    // Reproducers caught against the broken no-dedup variant need
+    // the same deliberately broken config to replay the violation.
+    case.dedup = !args.iter().any(|a| a == "--no-dedup");
+    (case, plane)
 }
 
 fn report(out: &SweepOutcome) -> bool {
@@ -100,53 +156,18 @@ fn main() {
             caught
         }
         "trace" => {
-            let (scenario, profile, seed) = if args.iter().any(|a| a == "--demo") {
-                // A run worth looking at: Fig. 1 with S5 failing under
-                // mixed network faults — the full §3.2 recovery story.
-                ("fig1-abort".to_string(), Profile::Mixed, 5)
-            } else {
-                let Some(scenario) = args.get(1).filter(|a| !a.starts_with("--")).cloned() else {
-                    eprintln!(
-                        "usage: axml-chaos trace (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup])"
-                    );
-                    std::process::exit(1);
-                };
-                let profile = parse_flag(&args, "--profile")
-                    .map(|p| {
-                        Profile::parse(&p).unwrap_or_else(|| {
-                            eprintln!("unknown profile `{p}`");
-                            std::process::exit(1);
-                        })
-                    })
-                    .unwrap_or(Profile::Mixed);
-                let seed = parse_flag(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(0);
-                (scenario, profile, seed)
-            };
-            let Some(b) = builder_for(&scenario) else {
-                eprintln!("unknown scenario `{scenario}` (expected one of {SCENARIOS:?})");
-                std::process::exit(1);
-            };
-            let plane = match parse_flag(&args, "--script") {
-                Some(path) => {
-                    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-                        eprintln!("cannot read {path}: {e}");
-                        std::process::exit(1);
-                    });
-                    serde_json::from_str::<FaultPlane>(&text).unwrap_or_else(|e| {
-                        eprintln!("{path} is not a reproducer: {e:?}");
-                        std::process::exit(1);
-                    })
-                }
-                None => plane_for(profile, seed, &b.peers()),
-            };
-            let mut case = CaseConfig::new(&scenario, profile, seed);
-            // Reproducers caught against the broken no-dedup variant need
-            // the same deliberately broken config to replay the violation.
-            case.dedup = !args.iter().any(|a| a == "--no-dedup");
+            let (case, plane) = resolve_case("trace", &args);
             let (result, dump) = run_with_plane_traced(&case, plane);
             println!("case {}", case.label());
             println!("{}", dump.tree);
             println!("{}", dump.snapshot);
+            if let Some(path) = parse_flag(&args, "--journal") {
+                if let Err(e) = std::fs::write(&path, &dump.journal) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("journal written to {path}");
+            }
             match result.committed {
                 Some(true) => println!("outcome: committed"),
                 Some(false) => println!("outcome: aborted"),
@@ -159,8 +180,39 @@ fn main() {
             }
             true
         }
+        "stats" => {
+            let (case, plane) = resolve_case("stats", &args);
+            let (result, dump) = run_with_plane_traced(&case, plane);
+            let journal = TraceJournal::from_json_lines(&dump.journal).expect("journal round-trips");
+            println!("case {}", case.label());
+            println!();
+            println!("== critical paths");
+            print!("{}", critical_paths(&journal));
+            println!();
+            println!("== latency percentiles (sim-time ticks)");
+            let hists = derive_histograms(&journal);
+            print!("{}", percentile_table(&hists));
+            if let Some(path) = parse_flag(&args, "--prom") {
+                if let Err(e) = std::fs::write(&path, render_prometheus(&hists)) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!();
+                println!("== prometheus exposition written to {path}");
+            }
+            println!();
+            if result.findings.is_empty() {
+                println!("== monitor: clean (0 findings)");
+            } else {
+                println!("== monitor: {} finding(s)", result.findings.len());
+                for f in &result.findings {
+                    println!("  {f}");
+                }
+            }
+            result.findings.is_empty()
+        }
         other => {
-            eprintln!("unknown command `{other}` (expected sweep | smoke | shrink-demo | trace)");
+            eprintln!("unknown command `{other}` (expected sweep | smoke | shrink-demo | trace | stats)");
             false
         }
     };

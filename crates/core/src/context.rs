@@ -13,10 +13,10 @@
 //! active-peer list (chaining, §3.3).
 
 use crate::chain::ActiveList;
-use crate::compensate::{CompBundle, CompensatingService};
+use crate::compensate::{compensation_for_effects, CompBundle, CompensatingService};
 use crate::ids::{InvocationId, TxnId};
 use axml_p2p::PeerId;
-use axml_query::Effect;
+use axml_query::{Effect, UpdateAction};
 use serde::{Deserialize, Serialize};
 
 /// Lifecycle of a transaction context.
@@ -165,6 +165,24 @@ impl TransactionContext {
         CompensatingService::from_effect_log(&self.local_effects())
     }
 
+    /// Like [`Self::own_compensation`], but each compensating batch keeps
+    /// the forward log index (0-based, log order) of the `Local` record
+    /// it undoes, newest first — the shape the online protocol monitor
+    /// checks §3.1's reverse-order rule against. Records whose effects
+    /// derive no compensating action are skipped, matching
+    /// [`CompensatingService::from_effect_log`]; concatenating the
+    /// batches in the returned order reproduces `own_compensation()`
+    /// exactly.
+    pub fn own_compensation_indexed(&self) -> Vec<(u64, String, Vec<UpdateAction>)> {
+        self.local_effects()
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(i, (doc, effects))| (i as u64, doc.clone(), compensation_for_effects(effects)))
+            .filter(|(_, _, actions)| !actions.is_empty())
+            .collect()
+    }
+
     /// Compensating services collected from completed children, newest
     /// first (compensation runs in reverse execution order).
     pub fn child_compensations(&self) -> CompBundle {
@@ -258,6 +276,29 @@ mod tests {
         docs.insert("d".to_string(), &mut doc);
         comp.execute(&mut docs).unwrap();
         assert_eq!(doc.to_xml(), before);
+    }
+
+    #[test]
+    fn indexed_compensation_matches_own_compensation() {
+        let mut doc = Document::parse("<r><a>1</a><b>2</b></r>").unwrap();
+        let mut c = ctx();
+        let r1 = UpdateAction::replace(Locator::parse("r/a").unwrap(), vec![Fragment::elem_text("a", "x")])
+            .apply(&mut doc)
+            .unwrap();
+        c.record_local("d", "setA", r1.effects);
+        let r2 = UpdateAction::replace(Locator::parse("r/b").unwrap(), vec![Fragment::elem_text("b", "y")])
+            .apply(&mut doc)
+            .unwrap();
+        c.record_local("d", "setB", r2.effects);
+        let indexed = c.own_compensation_indexed();
+        // Newest first: the second record's batch leads, indices descend.
+        assert_eq!(indexed.len(), 2);
+        assert_eq!(indexed[0].0, 1);
+        assert_eq!(indexed[1].0, 0);
+        // Concatenating the batches in order reproduces own_compensation.
+        let flat: Vec<(String, Vec<UpdateAction>)> =
+            indexed.into_iter().map(|(_, doc, actions)| (doc, actions)).collect();
+        assert_eq!(flat, c.own_compensation().actions);
     }
 
     #[test]

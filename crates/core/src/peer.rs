@@ -128,6 +128,12 @@ pub struct PeerConfig {
     /// (entries of live transactions are always kept). The high-water
     /// mark is exposed as [`PeerStats::seen_peak`].
     pub dedup_capacity: usize,
+    /// **Deliberately broken, test-only.** Apply self-compensation
+    /// batches in forward log order instead of §3.1's reverse order.
+    /// Exists so the online protocol monitor (`axml-obs`, rule M001) can
+    /// be demonstrated catching an out-of-order compensation; never
+    /// enable it outside that demonstration.
+    pub compensate_in_log_order: bool,
 }
 
 impl Default for PeerConfig {
@@ -150,6 +156,7 @@ impl Default for PeerConfig {
             retransmit_base: 16,
             max_retransmits: 8,
             dedup_capacity: 1024,
+            compensate_in_log_order: false,
         }
     }
 }
@@ -1654,27 +1661,48 @@ impl AxmlPeer {
     /// Compensates this peer's own effects from its log and marks the
     /// context aborted.
     fn abort_local(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId) {
-        let comp = {
+        let mut batches = {
             let Some(tc) = self.contexts.get_mut(&txn) else { return };
             if tc.is_terminal() {
                 return;
             }
-            let comp = tc.own_compensation();
+            let batches = tc.own_compensation_indexed();
             tc.resolve(TxnState::Aborted, ctx.now());
-            comp
+            batches
         };
         self.journal_append(ctx, JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
         self.emit(ctx, Some(txn), None, None, EventKind::Resolve { committed: false });
         self.prune_seen(ctx);
         self.completed_results.remove(&txn);
         self.conflicts.release(txn);
-        if !comp.is_empty() {
-            let actions: u64 = comp.actions.iter().map(|(_, a)| a.len() as u64).sum();
+        if !batches.is_empty() {
+            if self.config.compensate_in_log_order {
+                // Test-only broken variant: undo in forward order so the
+                // online monitor's §3.1 reverse-order rule has a target.
+                batches.reverse();
+            }
+            let actions: u64 = batches.iter().map(|(_, _, a)| a.len() as u64).sum();
             self.emit(ctx, Some(txn), None, None, EventKind::CompensateDerive { actions });
-            let cost = self.execute_compensation(&comp);
+            for (undoes, doc, acts) in &batches {
+                let mut cost = 0usize;
+                if let Some(document) = self.repo.get_mut(doc) {
+                    if let Ok(c) = crate::compensate::apply_compensation(document, acts) {
+                        cost = c;
+                    }
+                }
+                self.stats.comp_cost_nodes += cost as u64;
+                if ctx.tracing() {
+                    self.emit(
+                        ctx,
+                        Some(txn),
+                        None,
+                        None,
+                        EventKind::CompensateOp { doc: doc.clone(), undoes: *undoes, actions: acts.len() as u64 },
+                    );
+                }
+            }
             self.emit(ctx, Some(txn), None, None, EventKind::CompensateApply { actions });
             self.stats.compensations_executed += 1;
-            self.stats.comp_cost_nodes += cost as u64;
         }
         // Drop any servings/waits of this transaction, telling their
         // invokers (otherwise they would wait for a reply forever).
@@ -1786,6 +1814,10 @@ impl AxmlPeer {
             t.resolve(TxnState::Aborted, ctx.now());
             self.journal_append(ctx, JournalEntry::Begin { txn, parent: None, chain: t.chain.clone(), at: ctx.now() });
             self.journal_append(ctx, JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
+            // The tombstone is a terminal decision: emit it, so abort
+            // reachability is visible to the online monitor even when the
+            // Abort overtook the Invoke.
+            self.emit(ctx, Some(txn), None, None, EventKind::Resolve { committed: false });
             self.contexts.insert(txn, t);
             return;
         }

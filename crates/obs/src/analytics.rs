@@ -1,0 +1,304 @@
+//! Trace analytics: latency histograms and per-transaction critical
+//! paths derived from a stored [`TraceJournal`].
+//!
+//! Everything here is a pure function of the journal, so replaying the
+//! same seeded scenario yields byte-identical tables and expositions.
+//! Five distributions are extracted:
+//!
+//! - `commit_latency` — submit → commit resolve at the origin peer.
+//! - `abort_drain` — width of a transaction's abort wave: first to last
+//!   event among fault raises, abort propagations, compensation
+//!   activity, and abort resolves.
+//! - `compensation_lag` — each compensation application's distance from
+//!   the start of its transaction's abort wave (how long undo work
+//!   straggles behind the decision).
+//! - `detect_latency` — crash/disconnect → the first detection of that
+//!   peer (the failure detector's reaction time).
+//! - `retransmits_per_delivery` — retransmission attempts per reliable
+//!   delivery, zeros included (acknowledged-first-try deliveries count).
+
+use crate::hist::Histogram;
+use axml_trace::{EventKind, TraceEvent, TraceJournal};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Whether an event belongs to a transaction's abort wave.
+fn in_abort_wave(kind: &EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::FaultRaise { .. }
+            | EventKind::AbortPropagate { .. }
+            | EventKind::CompensateDerive { .. }
+            | EventKind::CompensateOp { .. }
+            | EventKind::CompensateApply { .. }
+            | EventKind::Resolve { committed: false }
+    )
+}
+
+/// Derives the standard latency histograms from a journal.
+pub fn derive_histograms(journal: &TraceJournal) -> BTreeMap<String, Histogram> {
+    let mut commit = Histogram::default();
+    let mut drain = Histogram::default();
+    let mut lag = Histogram::default();
+    let mut detect = Histogram::default();
+    let mut retrans = Histogram::default();
+
+    // txn → (origin peer, submit time) from its first Submit.
+    let mut submitted: BTreeMap<String, (u32, u64)> = BTreeMap::new();
+    // txn → (wave start, wave end) over abort-wave events.
+    let mut wave: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    // txn → compensation application times (lag needs the wave start,
+    // which may move earlier as the wave is discovered — defer).
+    let mut applies: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    // peer → latest crash/disconnect not yet detected.
+    let mut churned_at: BTreeMap<u32, u64> = BTreeMap::new();
+    // (sender, receiver, id) → retransmit attempts.
+    let mut deliveries: BTreeMap<(u32, u32, u64), u64> = BTreeMap::new();
+
+    for e in journal.events() {
+        if let Some(t) = &e.txn {
+            if in_abort_wave(&e.kind) {
+                let w = wave.entry(t.clone()).or_insert((e.at, e.at));
+                w.0 = w.0.min(e.at);
+                w.1 = w.1.max(e.at);
+            }
+        }
+        match &e.kind {
+            EventKind::Submit { .. } => {
+                if let Some(t) = &e.txn {
+                    submitted.entry(t.clone()).or_insert((e.peer, e.at));
+                }
+            }
+            EventKind::Resolve { committed: true } => {
+                if let Some(t) = &e.txn {
+                    if let Some(&(origin, at0)) = submitted.get(t) {
+                        if origin == e.peer {
+                            commit.observe(e.at - at0);
+                        }
+                    }
+                }
+            }
+            EventKind::CompensateApply { .. } => {
+                if let Some(t) = &e.txn {
+                    applies.entry(t.clone()).or_default().push(e.at);
+                }
+            }
+            EventKind::Crash | EventKind::Disconnect => {
+                churned_at.insert(e.peer, e.at);
+            }
+            EventKind::Detect { peer, .. } => {
+                if let Some(at0) = churned_at.remove(peer) {
+                    detect.observe(e.at.saturating_sub(at0));
+                }
+            }
+            EventKind::AckSend { to, id } => {
+                // Receiver-side: the delivery (sender=to, receiver=peer).
+                deliveries.entry((*to, e.peer, *id)).or_insert(0);
+            }
+            EventKind::Retransmit { to, id, .. } => {
+                // Sender-side: the delivery (sender=peer, receiver=to).
+                *deliveries.entry((e.peer, *to, *id)).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    for (start, end) in wave.values() {
+        drain.observe(end - start);
+    }
+    for (t, times) in &applies {
+        if let Some(&(start, _)) = wave.get(t) {
+            for at in times {
+                lag.observe(at.saturating_sub(start));
+            }
+        }
+    }
+    for attempts in deliveries.values() {
+        retrans.observe(*attempts);
+    }
+
+    let mut out = BTreeMap::new();
+    out.insert("commit_latency".to_string(), commit);
+    out.insert("abort_drain".to_string(), drain);
+    out.insert("compensation_lag".to_string(), lag);
+    out.insert("detect_latency".to_string(), detect);
+    out.insert("retransmits_per_delivery".to_string(), retrans);
+    out
+}
+
+/// One span's aggregate on a transaction's invocation tree.
+#[derive(Debug, Clone)]
+struct SpanAgg {
+    peer: u32,
+    first: u64,
+    last: u64,
+    parent: Option<String>,
+}
+
+fn span_aggregates(events: &[&TraceEvent]) -> BTreeMap<String, SpanAgg> {
+    let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    for e in events {
+        let Some(s) = &e.span else { continue };
+        let agg = spans.entry(s.clone()).or_insert(SpanAgg { peer: e.peer, first: e.at, last: e.at, parent: None });
+        agg.first = agg.first.min(e.at);
+        agg.last = agg.last.max(e.at);
+        if agg.parent.is_none() {
+            agg.parent = e.parent.clone();
+        }
+    }
+    spans
+}
+
+/// Renders each transaction's critical path: the root-to-leaf chain of
+/// invocation spans that finishes last, i.e. the chain that bounds the
+/// transaction's wall-clock (sim-time) duration.
+pub fn critical_paths(journal: &TraceJournal) -> String {
+    // Group events per transaction, preserving emission order.
+    let mut by_txn: BTreeMap<String, Vec<&TraceEvent>> = BTreeMap::new();
+    for e in journal.events() {
+        if let Some(t) = &e.txn {
+            by_txn.entry(t.clone()).or_default().push(e);
+        }
+    }
+    let mut out = String::new();
+    for (txn, events) in &by_txn {
+        let spans = span_aggregates(events);
+        if spans.is_empty() {
+            continue;
+        }
+        // Children index; roots are spans whose parent is unknown or
+        // outside the recorded span set.
+        let mut children: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        let mut roots: Vec<&str> = Vec::new();
+        for (name, agg) in &spans {
+            match agg.parent.as_deref().filter(|p| spans.contains_key(*p)) {
+                Some(p) => children.entry(p).or_default().push(name),
+                None => roots.push(name),
+            }
+        }
+        // A span's completion is bounded by its whole subtree (an abort
+        // can resolve the root while compensation still runs below it),
+        // so rank by the deepest finish, not a span's own last event.
+        fn deep_last(
+            span: &str,
+            spans: &BTreeMap<String, SpanAgg>,
+            children: &BTreeMap<&str, Vec<&str>>,
+            memo: &mut BTreeMap<String, u64>,
+        ) -> u64 {
+            if let Some(&v) = memo.get(span) {
+                return v;
+            }
+            // Seed the memo before recursing so a malformed journal with
+            // a parent cycle terminates instead of overflowing.
+            memo.insert(span.to_string(), spans[span].last);
+            let mut last = spans[span].last;
+            if let Some(cs) = children.get(span) {
+                for c in cs {
+                    last = last.max(deep_last(c, spans, children, memo));
+                }
+            }
+            memo.insert(span.to_string(), last);
+            last
+        }
+        let mut memo = BTreeMap::new();
+        // The critical root is the one whose subtree finishes last.
+        roots.sort_by_key(|r| (deep_last(r, &spans, &children, &mut memo), std::cmp::Reverse(*r)));
+        let Some(mut cur) = roots.last().copied() else { continue };
+        let t0 = spans[cur].first;
+        let t_end = deep_last(cur, &spans, &children, &mut memo);
+        let _ = write!(out, "{txn}: critical path {} ticks\n  ", t_end - t0);
+        loop {
+            let a = &spans[cur];
+            let _ = write!(out, "{cur}@AP{} [{}..{}]", a.peer, a.first, a.last);
+            // Greedy descent: the child whose subtree finishes last
+            // bounds the parent's completion.
+            let next = children.get(cur).and_then(|cs| {
+                cs.iter().copied().max_by_key(|c| (deep_last(c, &spans, &children, &mut memo), std::cmp::Reverse(*c)))
+            });
+            match next {
+                Some(c) => {
+                    let _ = write!(out, " -> ");
+                    cur = c;
+                }
+                None => break,
+            }
+        }
+        out.push('\n');
+    }
+    if out.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journal() -> TraceJournal {
+        let mut j = TraceJournal::default();
+        let t = || Some("T1.0".to_string());
+        j.record(0, 1, 0, t(), Some("I1.0".into()), None, EventKind::Submit { method: "m".into() });
+        j.record(
+            2,
+            1,
+            0,
+            t(),
+            Some("I1.1".into()),
+            Some("I1.0".into()),
+            EventKind::Invoke { to: 2, method: "m".into() },
+        );
+        j.record(5, 2, 0, t(), Some("I1.1".into()), None, EventKind::Serve { from: 1, method: "m".into() });
+        j.record(5, 2, 0, t(), None, None, EventKind::AckSend { to: 1, id: 1 });
+        j.record(9, 1, 0, t(), Some("I1.1".into()), None, EventKind::Retransmit { to: 2, id: 2, attempt: 1 });
+        j.record(20, 2, 0, t(), Some("I1.1".into()), None, EventKind::ResultReturn { to: 1 });
+        j.record(24, 1, 0, t(), Some("I1.0".into()), None, EventKind::Resolve { committed: true });
+        j
+    }
+
+    #[test]
+    fn commit_latency_is_submit_to_origin_resolve() {
+        let h = derive_histograms(&journal());
+        assert_eq!(h["commit_latency"].count(), 1);
+        assert_eq!(h["commit_latency"].sum(), 24);
+        assert_eq!(h["abort_drain"].count(), 0, "no abort wave in a clean commit");
+    }
+
+    #[test]
+    fn retransmits_per_delivery_includes_zeros() {
+        let h = derive_histograms(&journal());
+        // Delivery (1→2, id=1) acked with no retransmit: a zero sample.
+        // Delivery (1→2, id=2) retransmitted once.
+        assert_eq!(h["retransmits_per_delivery"].count(), 2);
+        assert_eq!(h["retransmits_per_delivery"].sum(), 1);
+        assert_eq!(h["retransmits_per_delivery"].min(), Some(0));
+    }
+
+    #[test]
+    fn abort_wave_and_detection_metrics() {
+        let mut j = TraceJournal::default();
+        let t = || Some("T2.0".to_string());
+        j.record(10, 3, 0, t(), None, None, EventKind::FaultRaise { to: 1 });
+        j.record(14, 1, 0, t(), None, None, EventKind::AbortPropagate { to: 2 });
+        j.record(18, 2, 0, t(), None, None, EventKind::CompensateApply { actions: 2 });
+        j.record(22, 2, 0, t(), None, None, EventKind::Resolve { committed: false });
+        j.record(30, 4, 0, None, None, None, EventKind::Crash);
+        j.record(55, 1, 0, None, None, None, EventKind::Detect { peer: 4, how: "ack-timeout".into() });
+        let h = derive_histograms(&j);
+        assert_eq!(h["abort_drain"].count(), 1);
+        assert_eq!(h["abort_drain"].sum(), 12, "wave spans t=10..22");
+        assert_eq!(h["compensation_lag"].count(), 1);
+        assert_eq!(h["compensation_lag"].sum(), 8, "apply at 18, wave start 10");
+        assert_eq!(h["detect_latency"].sum(), 25);
+        assert_eq!(h["commit_latency"].count(), 0);
+    }
+
+    #[test]
+    fn critical_path_follows_latest_finishing_chain() {
+        let text = critical_paths(&journal());
+        assert!(text.contains("T1.0: critical path 24 ticks"), "{text}");
+        assert!(text.contains("I1.0@AP1 [0..24] -> I1.1@AP"), "{text}");
+        assert_eq!(text, critical_paths(&journal()), "rendering is deterministic");
+        assert_eq!(critical_paths(&TraceJournal::default()), "(no spans recorded)\n");
+    }
+}

@@ -1,0 +1,30 @@
+//! Observability for the recovery pipeline.
+//!
+//! Three layers on top of `axml-trace`'s event stream, all deterministic
+//! so seeded replays agree byte-for-byte:
+//!
+//! - [`hist`] — fixed-layout log-bucketed [`Histogram`]s with
+//!   replay-stable merges, percentile tables, and a Prometheus text
+//!   exposition renderer.
+//! - [`monitor`] — the online protocol [`Monitor`], an event sink that
+//!   checks the paper's runtime invariants (reverse compensation order,
+//!   terminal-state finality, at-most-once delivery processing, abort
+//!   reachability) as the simulation runs and reports
+//!   [`MonitorFinding`]s.
+//! - [`analytics`] — offline journal analytics: latency histogram
+//!   derivation and per-transaction critical paths.
+//!
+//! The `axml-obs` binary reads a JSON-lines journal (as written by
+//! `axml-chaos trace --journal`) and prints critical paths, a percentile
+//! table, and monitor findings; `--prom FILE` writes the Prometheus
+//! exposition.
+
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod hist;
+pub mod monitor;
+
+pub use analytics::{critical_paths, derive_histograms};
+pub use hist::{bucket_bound, percentile_table, render_prometheus, Histogram, HistogramSummary, FINITE_BUCKETS};
+pub use monitor::{Monitor, MonitorFinding};

@@ -1,0 +1,99 @@
+//! `axml-obs` — trace analytics over a stored JSON-lines journal.
+//!
+//! ```text
+//! axml-obs [JOURNAL] [--prom FILE]
+//! ```
+//!
+//! Reads the journal from `JOURNAL` (or stdin when omitted or `-`),
+//! prints per-transaction critical paths, the latency percentile table,
+//! and every online-monitor finding found by offline replay. `--prom
+//! FILE` additionally writes the Prometheus text exposition. Exits
+//! nonzero when the monitor reports any finding, so CI can gate on a
+//! clean protocol run.
+
+use axml_obs::{critical_paths, derive_histograms, percentile_table, render_prometheus, Monitor};
+use axml_trace::TraceJournal;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: axml-obs [JOURNAL|-] [--prom FILE]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut journal_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--prom" => match args.next() {
+                Some(p) => prom_path = Some(p),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("axml-obs: critical paths, percentile table, and protocol-monitor replay");
+                println!("usage: axml-obs [JOURNAL|-] [--prom FILE]");
+                return ExitCode::SUCCESS;
+            }
+            _ if journal_path.is_none() => journal_path = Some(a),
+            _ => return usage(),
+        }
+    }
+
+    let text = match journal_path.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("axml-obs: reading stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("axml-obs: reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let journal = match TraceJournal::from_json_lines(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("axml-obs: parsing journal: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("== journal: {} events, digest {:016x}", journal.len(), journal.digest());
+    println!();
+    println!("== critical paths");
+    print!("{}", critical_paths(&journal));
+    println!();
+    println!("== latency percentiles (sim-time ticks)");
+    let hists = derive_histograms(&journal);
+    print!("{}", percentile_table(&hists));
+
+    if let Some(path) = prom_path {
+        if let Err(e) = std::fs::write(&path, render_prometheus(&hists)) {
+            eprintln!("axml-obs: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!();
+        println!("== prometheus exposition written to {path}");
+    }
+
+    println!();
+    let findings = Monitor::replay(&journal);
+    if findings.is_empty() {
+        println!("== monitor: clean (0 findings)");
+        ExitCode::SUCCESS
+    } else {
+        println!("== monitor: {} finding(s)", findings.len());
+        for f in &findings {
+            println!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

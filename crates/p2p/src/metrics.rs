@@ -201,6 +201,93 @@ mod tests {
     }
 
     #[test]
+    fn accessors_over_a_mixed_fault_trace() {
+        // Drive a real simulation through a scripted mixed fault plane
+        // (drop + duplicate + spike + reorder, two message kinds, one of
+        // them a protocol retransmission) and check every accessor
+        // against the known script rather than hand-set counters.
+        use crate::fault::{FaultAction, FaultPlane, ScriptedFault};
+        use crate::sim::{Actor, Ctx, Message, Sim, SimConfig};
+        use crate::PeerId;
+
+        // The payloads exist to give each send a distinct body, as a
+        // real protocol message would have; nothing reads them back.
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)]
+        enum M {
+            Op(u64),
+            Redo(u64),
+        }
+        impl Message for M {
+            fn kind(&self) -> &'static str {
+                match self {
+                    M::Op(_) => "op",
+                    M::Redo(_) => "redo",
+                }
+            }
+            fn is_retransmit(&self) -> bool {
+                matches!(self, M::Redo(_))
+            }
+        }
+        struct Src;
+        impl Actor<M> for Src {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, M>, _from: PeerId, _msg: M) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, tag: u64) {
+                let msg = if tag.is_multiple_of(2) { M::Op(tag) } else { M::Redo(tag) };
+                let _ = ctx.send(PeerId(1), msg);
+            }
+        }
+
+        let fault = |kind: &str, nth: u64, action: FaultAction| ScriptedFault {
+            from: PeerId(0),
+            to: PeerId(1),
+            kind: kind.to_string(),
+            nth,
+            action,
+        };
+        let mut config = SimConfig::default();
+        config.fault = FaultPlane::scripted(vec![
+            fault("op", 0, FaultAction::Drop),
+            fault("op", 1, FaultAction::Duplicate { extra: 3 }),
+            fault("redo", 0, FaultAction::Spike { extra: 40 }),
+            fault("redo", 1, FaultAction::Reorder { extra: 2 }),
+        ]);
+        let mut s = Sim::new(config, vec![Src, Src]);
+        for t in 0..6 {
+            // tags 0..5 alternate op/redo → 3 sends of each kind
+            s.schedule_timer(10 * t, PeerId(0), t);
+        }
+        s.run();
+
+        let m = s.metrics();
+        assert_eq!(m.kind("op"), 3);
+        assert_eq!(m.kind("redo"), 3);
+        assert_eq!(m.kind("absent"), 0);
+        assert_eq!(m.drops_of("op"), 1);
+        assert_eq!(m.drops_of("redo"), 0);
+        assert_eq!(m.dups_of("op"), 1);
+        assert_eq!(m.dups_of("redo"), 0);
+        assert_eq!(m.retransmits_of("redo"), 3);
+        assert_eq!(m.retransmits_of("op"), 0);
+        assert_eq!(m.retransmits, 3);
+        assert_eq!(m.injected_total(), 4, "drop + dup + spike + reorder all counted");
+        assert_eq!((m.injected_drops, m.injected_dups, m.injected_spikes, m.injected_reorders), (1, 1, 1, 1));
+        assert_eq!(m.sent, 6);
+        assert_eq!(m.delivered, 6, "6 sent − 1 dropped + 1 duplicate copy");
+        assert_eq!(s.fault_trace().len(), 4, "every scripted fault fired");
+
+        let snap = m.snapshot();
+        assert_eq!(snap.get("net.drops.op"), 1);
+        assert_eq!(snap.get("net.dups.op"), 1);
+        assert_eq!(snap.get("net.retransmits.redo"), 3);
+
+        let text = m.summary();
+        assert!(text.contains("drops by kind: op 1"), "{text}");
+        assert!(text.contains("dups by kind: op 1"), "{text}");
+        assert!(text.contains("retransmits by kind: redo 3"), "{text}");
+    }
+
+    #[test]
     fn summary_mentions_fault_lines_only_when_present() {
         let mut m = NetMetrics::default();
         m.sent = 4;

@@ -11,7 +11,7 @@
 use crate::fault::{CrashEvent, FaultPlane, FaultRuntime, Injected, ScriptedFault};
 use crate::ids::{PeerId, TimerId};
 use crate::metrics::NetMetrics;
-use axml_trace::{EventKind, TraceJournal, TraceSink};
+use axml_trace::{EventKind, SharedSink, TraceEvent, TraceJournal, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -163,6 +163,8 @@ pub struct SimState<M> {
     link_sent: HashMap<(PeerId, PeerId), u64>,
     link_delivered: HashMap<(PeerId, PeerId), u64>,
     trace: Option<TraceJournal>,
+    observer: Option<SharedSink>,
+    emitted: u64,
     /// Counters, readable after the run.
     pub metrics: NetMetrics,
 }
@@ -178,8 +180,36 @@ impl<M: Message> SimState<M> {
     /// observes, not any one actor).
     fn emit_sim(&mut self, peer: PeerId, kind: EventKind) {
         let (now, epoch) = (self.now, self.incarnation[peer.0 as usize]);
+        self.emit_event(now, peer.0, epoch, None, None, None, kind);
+    }
+
+    /// Central emission point: stamps one event, hands it to the online
+    /// observer (if attached), then journals it (if collecting). The
+    /// observer sees events in the same order and with the same `seq` the
+    /// journal assigns, so online and post-hoc analysis agree.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_event(
+        &mut self,
+        at: u64,
+        peer: u32,
+        epoch: u64,
+        txn: Option<String>,
+        span: Option<String>,
+        parent: Option<String>,
+        kind: EventKind,
+    ) {
+        if self.trace.is_none() && self.observer.is_none() {
+            return;
+        }
+        let seq = self.emitted;
+        self.emitted += 1;
+        let event = TraceEvent { seq, at, peer, epoch, txn, span, parent, kind };
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut().on_event(&event);
+        }
         if let Some(j) = &mut self.trace {
-            j.record(now, peer.0, epoch, None, None, None, kind);
+            let TraceEvent { at, peer, epoch, txn, span, parent, kind, .. } = event;
+            j.record(at, peer, epoch, txn, span, parent, kind);
         }
     }
 }
@@ -307,21 +337,20 @@ impl<M: Message> Ctx<'_, M> {
         self.state.rng.gen_range(lo..=hi)
     }
 
-    /// True if a trace sink is collecting events. Protocol layers use
-    /// this to skip building event payloads on untraced runs.
+    /// True if a trace sink is collecting events or an online observer is
+    /// attached. Protocol layers use this to skip building event payloads
+    /// on unobserved runs.
     pub fn tracing(&self) -> bool {
-        self.state.trace.is_some()
+        self.state.trace.is_some() || self.state.observer.is_some()
     }
 
     /// Emits one lifecycle event, stamped with the current logical time,
     /// this peer's id, and its crash-restart epoch. A no-op when the
-    /// sink is disabled.
+    /// sink is disabled and no observer is attached.
     pub fn emit(&mut self, txn: Option<String>, span: Option<String>, parent: Option<String>, kind: EventKind) {
         let (now, epoch) = (self.state.now, self.state.incarnation[self.me.0 as usize]);
         let peer = self.me.0;
-        if let Some(j) = &mut self.state.trace {
-            j.record(now, peer, epoch, txn, span, parent, kind);
-        }
+        self.state.emit_event(now, peer, epoch, txn, span, parent, kind);
     }
 }
 
@@ -354,6 +383,8 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
                 link_sent: HashMap::new(),
                 link_delivered: HashMap::new(),
                 trace: config.trace.enabled().then(TraceJournal::default),
+                observer: None,
+                emitted: 0,
                 metrics: NetMetrics::default(),
             },
             actors: actors.into_iter().map(Some).collect(),
@@ -362,6 +393,14 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
             sim.state.schedule(c.at, Event::CrashRestart(c.peer));
         }
         sim
+    }
+
+    /// Attaches an online event observer (e.g. the `axml-obs` protocol
+    /// monitor). The observer receives every lifecycle event as it is
+    /// emitted, whether or not a journal is collecting. Observation-only:
+    /// attaching one never changes the seeded event schedule.
+    pub fn attach_observer(&mut self, sink: SharedSink) {
+        self.state.observer = Some(sink);
     }
 
     /// Marks a peer as a super peer (disconnect events are ignored for it).
@@ -939,6 +978,51 @@ mod tests {
         let e = &j.events()[0];
         assert_eq!((e.at, e.peer, e.epoch, e.seq), (3, 0, 0, 0));
         assert_eq!(e.txn.as_deref(), Some("T0.0"));
+    }
+
+    #[test]
+    fn observer_sees_journal_events_without_a_journal() {
+        use axml_trace::{EventSink, SharedSink, TraceEvent};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Collect(Vec<TraceEvent>);
+        impl EventSink for Collect {
+            fn on_event(&mut self, event: &TraceEvent) {
+                self.0.push(event.clone());
+            }
+        }
+        struct Emitter;
+        impl Actor<Msg> for Emitter {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: PeerId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
+                assert!(ctx.tracing(), "observer alone turns tracing on");
+                ctx.emit(Some("T0.0".into()), None, None, EventKind::Resolve { committed: true });
+            }
+        }
+        let run = |journal: bool, observe: bool| {
+            let trace = if journal { TraceSink::Memory } else { TraceSink::Disabled };
+            let config = SimConfig { trace, ..Default::default() };
+            let mut s = Sim::new(config, vec![Emitter]);
+            let seen = Rc::new(RefCell::new(Collect::default()));
+            if observe {
+                let sink: SharedSink = seen.clone();
+                s.attach_observer(sink);
+            }
+            s.schedule_timer(3, PeerId(0), 1);
+            s.schedule_disconnect(7, PeerId(0));
+            s.run();
+            let journal: Vec<TraceEvent> = s.trace().map(|j| j.events().to_vec()).unwrap_or_default();
+            let observed = std::mem::take(&mut seen.borrow_mut().0);
+            (journal, observed)
+        };
+        let (journal, observed) = run(true, true);
+        assert_eq!(journal, observed, "observer and journal see the identical stamped stream");
+        let (_, alone) = run(false, true);
+        assert_eq!(alone, observed, "observer-only runs emit the same events");
+        assert_eq!(alone.len(), 2, "resolve + disconnect");
+        assert_eq!(alone[1].seq, 1, "seq assigned without a journal too");
     }
 
     #[test]

@@ -18,8 +18,10 @@
 #![warn(missing_docs)]
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::rc::Rc;
 
 /// Where the simulator sends trace events.
 ///
@@ -41,6 +43,24 @@ impl TraceSink {
         matches!(self, TraceSink::Memory)
     }
 }
+
+/// An online consumer of trace events.
+///
+/// Where [`TraceJournal`] *stores* the event stream for post-hoc
+/// analysis, an `EventSink` *watches* it as the run unfolds — the
+/// simulator hands every stamped event to the attached sink before (or
+/// instead of) journaling it. Sinks are observation-only: they must not
+/// influence the event schedule, so attaching one never perturbs a
+/// seeded run. The online protocol monitor in `axml-obs` is the primary
+/// implementation.
+pub trait EventSink {
+    /// Called once per emitted event, in emission (seq) order.
+    fn on_event(&mut self, event: &TraceEvent);
+}
+
+/// Shared handle to an [`EventSink`] — the simulator is single-threaded,
+/// so plain `Rc<RefCell<..>>` interior mutability suffices.
+pub type SharedSink = Rc<RefCell<dyn EventSink>>;
 
 /// What happened — one variant per protocol transition.
 ///
@@ -97,6 +117,18 @@ pub enum EventKind {
     /// Compensating actions were applied to local documents.
     CompensateApply {
         /// Number of compensating actions.
+        actions: u64,
+    },
+    /// One compensating batch was applied, undoing one forward log
+    /// record. `undoes` is the forward index of the log record being
+    /// undone, so §3.1's reverse-order rule is checkable online: within
+    /// a (peer, txn), successive `undoes` values must strictly decrease.
+    CompensateOp {
+        /// Document the batch was applied to.
+        doc: String,
+        /// Forward index (0-based, log order) of the record undone.
+        undoes: u64,
+        /// Number of compensating actions in the batch.
         actions: u64,
     },
     /// An abort was propagated to a subordinate.
@@ -177,6 +209,7 @@ impl EventKind {
             EventKind::FaultRaise { .. } => "fault-raise",
             EventKind::CompensateDerive { .. } => "compensate-derive",
             EventKind::CompensateApply { .. } => "compensate-apply",
+            EventKind::CompensateOp { .. } => "compensate-op",
             EventKind::AbortPropagate { .. } => "abort-propagate",
             EventKind::Resolve { .. } => "resolve",
             EventKind::AckSend { .. } => "ack-send",
@@ -203,6 +236,9 @@ impl EventKind {
             EventKind::FaultRaise { to } => format!("to=AP{to}"),
             EventKind::CompensateDerive { actions } => format!("actions={actions}"),
             EventKind::CompensateApply { actions } => format!("actions={actions}"),
+            EventKind::CompensateOp { doc, undoes, actions } => {
+                format!("doc={doc} undoes={undoes} actions={actions}")
+            }
             EventKind::AbortPropagate { to } => format!("to=AP{to}"),
             EventKind::Resolve { committed } => (if *committed { "committed" } else { "aborted" }).to_string(),
             EventKind::AckSend { to, id } => format!("to=AP{to} id={id}"),
@@ -368,11 +404,15 @@ impl TraceJournal {
             for e in evs.iter().filter(|e| e.span.is_none()) {
                 let _ = writeln!(out, "  {}", e.render());
             }
-            // Roots: spans with no recorded parent (or a parent outside this txn).
+            // Roots: spans with no recorded parent (or a parent outside
+            // this txn). A root whose *recorded* parent never appears is
+            // an orphan — typical of a crash truncating the journal —
+            // and is flagged rather than silently promoted.
             let roots: Vec<&str> =
                 spans.iter().copied().filter(|s| parent_of.get(s).is_none_or(|p| !spans.contains(p))).collect();
             for root in roots {
-                render_span(&mut out, root, &spans, &parent_of, &evs, 1);
+                let orphan_of = parent_of.get(root).copied().filter(|p| !spans.contains(p));
+                render_span(&mut out, root, orphan_of, &spans, &parent_of, &evs, 1);
             }
         }
         let loose: Vec<&TraceEvent> = self.events.iter().filter(|e| e.txn.is_none()).collect();
@@ -389,18 +429,26 @@ impl TraceJournal {
 fn render_span(
     out: &mut String,
     span: &str,
+    orphan_of: Option<&str>,
     spans: &[&str],
     parent_of: &BTreeMap<&str, &str>,
     evs: &[&TraceEvent],
     depth: usize,
 ) {
     let pad = "  ".repeat(depth);
-    let _ = writeln!(out, "{pad}span {span}");
+    match orphan_of {
+        Some(missing) => {
+            let _ = writeln!(out, "{pad}span {span} (orphan: parent {missing} not in journal)");
+        }
+        None => {
+            let _ = writeln!(out, "{pad}span {span}");
+        }
+    }
     for e in evs.iter().filter(|e| e.span.as_deref() == Some(span)) {
         let _ = writeln!(out, "{pad}  {}", e.render());
     }
     for child in spans.iter().copied().filter(|s| parent_of.get(s) == Some(&span)) {
-        render_span(out, child, spans, parent_of, evs, depth + 1);
+        render_span(out, child, None, spans, parent_of, evs, depth + 1);
     }
 }
 
@@ -428,10 +476,17 @@ impl Snapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Absorbs another snapshot (summing shared names).
+    /// Absorbs another snapshot. Plain counters sum; high-water-mark
+    /// names (`*_peak`) take the max — summing a peak across snapshots
+    /// would fabricate a level no peer ever reached.
     pub fn merge(&mut self, other: &Snapshot) {
         for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_default() += v;
+            let slot = self.counters.entry(k.clone()).or_default();
+            if k.ends_with("_peak") {
+                *slot = (*slot).max(*v);
+            } else {
+                *slot += v;
+            }
         }
     }
 
@@ -550,6 +605,61 @@ mod tests {
         assert_eq!(a.get("peer.0.dup_suppressed"), 4);
         assert_eq!(a.get("missing"), 0);
         assert!(a.render().contains("net.sent = 13"));
+    }
+
+    #[test]
+    fn snapshot_merge_takes_max_for_peaks() {
+        // Regression: merge used to sum *_peak names, fabricating a
+        // high-water mark no peer ever reached.
+        let mut a = Snapshot::default();
+        a.set("peer.1.seen_peak", 7);
+        a.set("peer.1.dup_suppressed", 2);
+        let mut b = Snapshot::default();
+        b.set("peer.1.seen_peak", 4);
+        b.set("peer.1.dup_suppressed", 3);
+        a.merge(&b);
+        assert_eq!(a.get("peer.1.seen_peak"), 7, "peaks max-merge, not sum");
+        assert_eq!(a.get("peer.1.dup_suppressed"), 5, "plain counters still sum");
+        // Max-merge also works when the peak is new to the receiver.
+        let mut c = Snapshot::default();
+        c.merge(&a);
+        assert_eq!(c.get("peer.1.seen_peak"), 7);
+    }
+
+    #[test]
+    fn tree_flags_orphan_spans() {
+        // A child event whose parent span never appears (crash-truncated
+        // journal) must render without panic and be flagged.
+        let mut j = TraceJournal::default();
+        j.record(
+            3,
+            4,
+            0,
+            Some("T1.0".into()),
+            Some("inv1.2".into()),
+            Some("inv1.0".into()),
+            EventKind::Serve { from: 1, method: "pay".into() },
+        );
+        j.record(5, 4, 0, Some("T1.0".into()), Some("inv1.2".into()), None, EventKind::Resolve { committed: false });
+        let tree = j.render_tree();
+        assert!(tree.contains("span inv1.2 (orphan: parent inv1.0 not in journal)"), "orphan flagged:\n{tree}");
+        assert!(tree.contains("resolve aborted"), "orphan's events still render:\n{tree}");
+    }
+
+    #[test]
+    fn event_sink_sees_emission_order() {
+        struct Labels(Vec<&'static str>);
+        impl EventSink for Labels {
+            fn on_event(&mut self, event: &TraceEvent) {
+                self.0.push(event.kind.label());
+            }
+        }
+        let labels = Rc::new(RefCell::new(Labels(Vec::new())));
+        let sink: SharedSink = labels.clone();
+        for e in sample().events() {
+            sink.borrow_mut().on_event(e);
+        }
+        assert_eq!(labels.borrow().0, vec!["submit", "invoke", "serve", "resolve", "ack-send"]);
     }
 
     #[test]
