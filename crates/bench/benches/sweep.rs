@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the parallel sweep runner and the simulator
+//! hot paths it leans on.
+//!
+//! `sweep/*` times a small chaos matrix end to end, serial vs sharded
+//! (the full 256-case matrix is E12's job; here the matrix is trimmed so
+//! the bench budget buys iterations, not coverage). `hotpath/*` isolates
+//! the two paths the PR optimized: the clone-free delivery fast path
+//! with dense per-link counters, and the reliable-delivery bookkeeping
+//! (outbox retransmit / ack / dedup) under a duplication profile.
+
+use axml_chaos::{run_case, sweep_jobs, CaseConfig, Profile};
+use axml_p2p::{Actor, Ctx, Message, PeerId, Sim, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    let scenarios = vec!["fig1".to_string(), "fig1-abort".to_string()];
+    let profiles = [Profile::Mixed, Profile::Storm];
+    for jobs in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("matrix_2x2x4", jobs), &jobs, |b, &jobs| {
+            b.iter(|| black_box(sweep_jobs(&scenarios, &profiles, 0..4, true, jobs).digest));
+        });
+    }
+    g.finish();
+}
+
+/// A two-peer flood: peer 0's timers each fire a burst at peer 1. Every
+/// delivery crosses the sim's fast path (move, not clone; dense link
+/// counter bump), so this isolates exactly the per-delivery overhead.
+#[derive(Debug, Clone)]
+struct Payload(u64);
+
+impl Message for Payload {
+    fn kind(&self) -> &'static str {
+        "payload"
+    }
+}
+
+struct Flood;
+
+impl Actor<Payload> for Flood {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Payload>, _from: PeerId, msg: Payload) {
+        black_box(msg.0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Payload>, tag: u64) {
+        for i in 0..8 {
+            let _ = ctx.send(PeerId(1), Payload(tag * 8 + i));
+        }
+    }
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.bench_function("sim_delivery_flood_1600", |b| {
+        b.iter(|| {
+            let mut s = Sim::new(SimConfig::default(), vec![Flood, Flood]);
+            for t in 0..200 {
+                s.schedule_timer(t, PeerId(0), t);
+            }
+            s.run();
+            black_box(s.metrics().delivered)
+        });
+    });
+    // The reliable-delivery bookkeeping (single-pass outbox retransmit /
+    // ack removal, single-probe dedup) under injected duplicates.
+    let case = {
+        let mut case = CaseConfig::new("fig1", Profile::Dups, 7);
+        case.dedup = true;
+        case
+    };
+    g.bench_function("reliable_dups_case", |b| {
+        b.iter(|| black_box(run_case(&case).verdict.ok));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_hotpath);
+criterion_main!(benches);

@@ -8,6 +8,11 @@
 //! files, parses each as a [`BenchReport`], and prints a one-line summary
 //! per report. Exits non-zero if any file fails to parse or fewer than
 //! `N` reports are found (default 1) — the CI bench-smoke gate.
+//!
+//! The `sweep` report gets one extra check: its `digest_serial` and
+//! `digest_parallel` params (the chaos-matrix digest with `--jobs 1` and
+//! `--jobs N`) must be present and equal, proving the parallel runner is
+//! a pure throughput knob.
 
 use axml_bench::BenchReport;
 
@@ -60,6 +65,21 @@ fn main() {
                             "  {metric}: count={} p50={} p90={} p99={} max={}",
                             s.count, s.p50, s.p90, s.p99, s.max
                         );
+                    }
+                }
+                if r.experiment == "sweep" {
+                    match (r.params.get("digest_serial"), r.params.get("digest_parallel")) {
+                        (Some(s), Some(p)) if s == p => {
+                            println!("  sweep digests agree: serial == parallel == {s}");
+                        }
+                        (Some(s), Some(p)) => {
+                            eprintln!("{name}: INVALID — sweep digest mismatch: serial={s} parallel={p}");
+                            ok = false;
+                        }
+                        _ => {
+                            eprintln!("{name}: INVALID — sweep report is missing digest_serial/digest_parallel");
+                            ok = false;
+                        }
                     }
                 }
             }

@@ -1,7 +1,7 @@
 //! Regenerates every experiment table (DESIGN.md §5 / EXPERIMENTS.md).
 //!
 //! ```text
-//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|all] [--json]
+//! experiments [e1|e2|…|e12|sweep|all] [--json] [--jobs N]
 //! ```
 //!
 //! With `--json`, rows are additionally emitted as JSON lines (one array
@@ -12,10 +12,18 @@
 //! sweep (currently E5) additionally embed per-metric histogram
 //! summaries in the report and drop the full distributions alongside it
 //! as a Prometheus text exposition (`BENCH_<id>.prom`).
+//!
+//! `--jobs N` (default: the host's available parallelism) shards the
+//! sim-heavy sweeps — E5, E6, E11, and the E12/`sweep` chaos matrix —
+//! across N worker threads. Every case runs in its own deterministic
+//! sim and results merge in canonical case order, so the rows, digests,
+//! and reports are byte-identical for every jobs value; only wall time
+//! changes. The `sweep` report records both the serial and the parallel
+//! sweep digest in its params so `bench-check` can prove they agree.
 
 use axml_bench::{
-    e10_isolation, e11_scale, e1_fig1, e2_fig2, e3_compensation, e4_materialization, e5_recovery_cost, e6_churn,
-    e7_peer_independent, e8_spheres, e9_extended_chaining, BenchReport,
+    e10_isolation, e11_scale, e12_sweep, e1_fig1, e2_fig2, e3_compensation, e4_materialization, e5_recovery_cost,
+    e6_churn, e7_peer_independent, e8_spheres, e9_extended_chaining, BenchReport,
 };
 use axml_obs::{render_prometheus, Histogram};
 use std::collections::BTreeMap;
@@ -58,7 +66,28 @@ macro_rules! experiment {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    // Experiment names are the non-flag args; `--jobs N` consumes its
+    // value, which would otherwise parse as a name.
+    let which: Vec<&str> = {
+        let mut w = Vec::new();
+        let mut skip = false;
+        for a in &args {
+            if skip {
+                skip = false;
+            } else if a == "--jobs" {
+                skip = true;
+            } else if !a.starts_with("--") {
+                w.push(a.as_str());
+            }
+        }
+        w
+    };
     let all = which.is_empty() || which.contains(&"all");
     let want = |name: &str| all || which.contains(&name);
 
@@ -71,14 +100,42 @@ fn main() {
         want,
         json,
         &[],
-        e5_recovery_cost::run(),
+        e5_recovery_cost::run_jobs(jobs),
         e5_recovery_cost::table,
-        Some(e5_recovery_cost::histograms())
+        Some(e5_recovery_cost::histograms_jobs(jobs))
     );
-    experiment!("e6", want, json, &[("rounds", "20")], e6_churn::run(20), e6_churn::table);
+    experiment!("e6", want, json, &[("rounds", "20")], e6_churn::run_jobs(20, jobs), e6_churn::table);
     experiment!("e7", want, json, &[("rounds", "12")], e7_peer_independent::run(12), e7_peer_independent::table);
     experiment!("e8", want, json, &[("seeds", "16")], e8_spheres::run(16), e8_spheres::table);
     experiment!("e9", want, json, &[], e9_extended_chaining::run(), e9_extended_chaining::table);
     experiment!("e10", want, json, &[], e10_isolation::run(), e10_isolation::table);
-    experiment!("e11", want, json, &[], e11_scale::run(), e11_scale::table);
+    experiment!("e11", want, json, &[], e11_scale::run_jobs(jobs), e11_scale::table);
+
+    // E12 / `sweep` is hand-rolled: its report carries the serial and
+    // parallel sweep digests in `params` (the macro only takes static
+    // params) so `bench-check` can prove the runner is jobs-invariant.
+    if want("e12") || want("sweep") {
+        let t0 = std::time::Instant::now();
+        let (rows, outcome) = e12_sweep::run_with_outcome(jobs);
+        let wall_time_us = t0.elapsed().as_micros() as u64;
+        e12_sweep::table(&rows).print();
+        let rows_json = serde_json::to_string(&rows).expect("serializable");
+        if json {
+            println!("{rows_json}");
+        }
+        let mut report = BenchReport::from_run("sweep", &[], rows.len(), &rows_json, wall_time_us);
+        report.params.insert("jobs".into(), jobs.to_string());
+        report.params.insert("digest_serial".into(), rows[0].digest.clone());
+        report.params.insert("digest_parallel".into(), rows[1].digest.clone());
+        let speedup = rows[0].wall_us as f64 / rows[1].wall_us.max(1) as f64;
+        report.params.insert("speedup_x100".into(), ((speedup * 100.0).round() as u64).to_string());
+        report.histograms = Some(outcome.histograms.iter().map(|(k, v)| (k.clone(), v.summary())).collect());
+        if let Err(e) = std::fs::write("BENCH_sweep.prom", render_prometheus(&outcome.histograms)) {
+            eprintln!("cannot write BENCH_sweep.prom: {e}");
+        }
+        if let Err(e) = std::fs::write(report.file_name(), report.to_json() + "\n") {
+            eprintln!("cannot write {}: {e}", report.file_name());
+        }
+        println!();
+    }
 }

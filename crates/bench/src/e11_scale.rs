@@ -60,13 +60,20 @@ fn measure(depth: usize, chaining: bool, seed: u64) -> Row {
 
 /// Runs the sweep.
 pub fn run() -> Vec<Row> {
-    let mut rows = Vec::new();
+    run_jobs(1)
+}
+
+/// Runs the sweep sharded across `jobs` workers — each `(depth,
+/// chaining)` sim is independent and deterministic, and results come
+/// back in case order, so the rows match the serial run byte for byte.
+pub fn run_jobs(jobs: usize) -> Vec<Row> {
+    let mut cases = Vec::new();
     for depth in 1..=5usize {
         for chaining in [true, false] {
-            rows.push(measure(depth, chaining, 23));
+            cases.push((depth, chaining));
         }
     }
-    rows
+    axml_chaos::par_map(&cases, jobs, |_, &(depth, chaining)| measure(depth, chaining, 23))
 }
 
 /// Formats the rows.

@@ -1,0 +1,116 @@
+//! E12 — chaos-sweep throughput, serial vs parallel (extension).
+//!
+//! Runs the full `axml-chaos` matrix (4 scenarios × 4 fault profiles ×
+//! 16 seeds = 256 cases, the default `sweep` workload) once on a single
+//! worker and once sharded across `jobs` workers, and reports cases/sec
+//! plus the sweep digest of each run. The digests MUST match: the
+//! parallel runner merges per-case results in canonical case order, so
+//! worker count is a pure throughput knob, never a results knob —
+//! `bench-check` fails the report if the two digests differ.
+
+use axml_chaos::{sweep_jobs, Profile, SweepOutcome, SCENARIOS};
+use serde::Serialize;
+
+use crate::table::Table;
+
+/// Seeds per (scenario, profile) cell — 4 × 4 × 16 = 256 cases.
+pub const SEEDS: u64 = 16;
+
+/// One timed sweep of the full matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Worker threads the sweep was sharded across.
+    pub jobs: usize,
+    /// Cases run (scenario × profile × seed).
+    pub runs: usize,
+    /// Cases whose transaction committed.
+    pub committed: usize,
+    /// Cases whose transaction aborted cleanly.
+    pub aborted: usize,
+    /// Oracle violations (expected 0 with dedup on).
+    pub violations: usize,
+    /// Sweep digest (FNV over per-case digests in canonical order).
+    pub digest: String,
+    /// Wall-clock time for the whole matrix, microseconds.
+    pub wall_us: u64,
+    /// Throughput: cases per second.
+    pub cases_per_sec: f64,
+}
+
+fn timed(jobs: usize) -> (Row, SweepOutcome) {
+    let scenarios: Vec<String> = SCENARIOS.iter().map(|s| s.to_string()).collect();
+    let t0 = std::time::Instant::now();
+    let out = sweep_jobs(&scenarios, Profile::all(), 0..SEEDS, true, jobs);
+    let wall_us = t0.elapsed().as_micros() as u64;
+    let row = Row {
+        jobs,
+        runs: out.runs,
+        committed: out.committed,
+        aborted: out.aborted,
+        violations: out.violations.len(),
+        digest: format!("{:016x}", out.digest),
+        wall_us,
+        cases_per_sec: out.runs as f64 / (wall_us.max(1) as f64 / 1e6),
+    };
+    (row, out)
+}
+
+/// Runs the matrix serially, then sharded across `jobs` workers.
+pub fn run(jobs: usize) -> Vec<Row> {
+    let (serial, _) = timed(1);
+    let (parallel, _) = timed(jobs.max(1));
+    vec![serial, parallel]
+}
+
+/// Like [`run`], but also hands back the parallel run's merged
+/// histograms and snapshot for the Prometheus exposition.
+pub fn run_with_outcome(jobs: usize) -> (Vec<Row>, SweepOutcome) {
+    let (serial, _) = timed(1);
+    let (parallel, out) = timed(jobs.max(1));
+    (vec![serial, parallel], out)
+}
+
+/// Formats the rows.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "E12 — chaos-sweep throughput, serial vs parallel (256-case matrix)",
+        &["jobs", "runs", "committed", "aborted", "violations", "digest", "wall-us", "cases/sec"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.jobs.to_string(),
+            r.runs.to_string(),
+            r.committed.to_string(),
+            r.aborted.to_string(),
+            r.violations.to_string(),
+            r.digest.clone(),
+            r.wall_us.to_string(),
+            format!("{:.0}", r.cases_per_sec),
+        ]);
+    }
+    t.with_note(
+        "expected shape: identical digests (and identical runs/committed/aborted) on every row — \
+         the parallel runner merges in canonical case order, so jobs only changes wall time; \
+         speedup approaches the worker count on multi-core hosts and is ~1x when only one \
+         hardware thread is available",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_rows_agree_on_everything_but_time() {
+        let rows = run(4);
+        assert_eq!(rows.len(), 2);
+        let (s, p) = (&rows[0], &rows[1]);
+        assert_eq!(s.jobs, 1);
+        assert_eq!(p.jobs, 4);
+        assert_eq!(s.runs, SCENARIOS.len() * Profile::all().len() * SEEDS as usize);
+        assert_eq!(s.digest, p.digest, "jobs is a throughput knob, not a results knob");
+        assert_eq!((s.runs, s.committed, s.aborted, s.violations), (p.runs, p.committed, p.aborted, p.violations));
+        assert_eq!(s.violations, 0, "dedup-on matrix is clean");
+        assert!(s.cases_per_sec > 0.0 && p.cases_per_sec > 0.0);
+    }
+}

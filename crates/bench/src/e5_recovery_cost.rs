@@ -82,34 +82,51 @@ fn measure_traced(
     (row, hists)
 }
 
-/// Runs the sweep.
-pub fn run() -> Vec<Row> {
-    let mut rows = Vec::new();
+/// The flattened case list, in the canonical (serial) sweep order.
+fn cases() -> Vec<(TreeShape, usize, bool)> {
+    let mut cases = Vec::new();
     for &(depth, fanout) in SHAPES {
         let shape = TreeShape { depth, fanout };
         for fault_depth in 1..=depth {
             for forward in [true, false] {
-                rows.push(measure(shape, fault_depth, forward, 11));
+                cases.push((shape, fault_depth, forward));
             }
         }
     }
-    rows
+    cases
+}
+
+/// Runs the sweep.
+pub fn run() -> Vec<Row> {
+    run_jobs(1)
+}
+
+/// Runs the sweep sharded across `jobs` workers. Each configuration runs
+/// in its own deterministic sim; results come back in case order, so the
+/// rows are byte-identical to the serial run for every jobs value.
+pub fn run_jobs(jobs: usize) -> Vec<Row> {
+    axml_chaos::par_map(&cases(), jobs, |_, &(shape, fault_depth, forward)| measure(shape, fault_depth, forward, 11))
 }
 
 /// Re-runs the whole sweep traced and folds every run's derived latency
 /// histograms into one set (same fixed bucket layout ⇒ plain merges).
 /// Deterministic: same seeds, byte-identical summaries on every call.
 pub fn histograms() -> BTreeMap<String, Histogram> {
+    histograms_jobs(1)
+}
+
+/// [`histograms`] sharded across `jobs` workers; histogram merging is
+/// commutative and associative, but the fold still walks in case order
+/// so intermediate states (and any future order-sensitive metric) stay
+/// canonical.
+pub fn histograms_jobs(jobs: usize) -> BTreeMap<String, Histogram> {
+    let per_case = axml_chaos::par_map(&cases(), jobs, |_, &(shape, fault_depth, forward)| {
+        measure_traced(shape, fault_depth, forward, 11, true).1
+    });
     let mut out: BTreeMap<String, Histogram> = BTreeMap::new();
-    for &(depth, fanout) in SHAPES {
-        let shape = TreeShape { depth, fanout };
-        for fault_depth in 1..=depth {
-            for forward in [true, false] {
-                let (_, hists) = measure_traced(shape, fault_depth, forward, 11, true);
-                for (name, h) in hists {
-                    out.entry(name).or_default().merge(&h);
-                }
-            }
+    for hists in per_case {
+        for (name, h) in hists {
+            out.entry(name).or_default().merge(&h);
         }
     }
     out

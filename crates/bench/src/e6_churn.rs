@@ -86,10 +86,33 @@ fn one(seed: u64, p_disconnect: f64, chaining: bool) -> (bool, bool, bool, u64, 
     (resolved, committed, report.atomic, wasted, reused, orphan, report.metrics.sent)
 }
 
+/// The churn probabilities E6 sweeps.
+const CHURN: &[f64] = &[0.0, 0.1, 0.25, 0.5];
+
 /// Runs the sweep.
 pub fn run(trials: usize) -> Vec<Row> {
+    run_jobs(trials, 1)
+}
+
+/// Runs the sweep with every `(p, chaining, trial)` sim sharded across
+/// `jobs` workers. Each trial is an independent seeded sim; the fold
+/// back into per-configuration rows walks trials in canonical order, so
+/// the rows are byte-identical to the serial run for every jobs value.
+pub fn run_jobs(trials: usize, jobs: usize) -> Vec<Row> {
+    let mut cases = Vec::new();
+    for &p in CHURN {
+        for chaining in [true, false] {
+            for t in 0..trials {
+                let seed = t as u64 * 6151 + (p * 1000.0) as u64;
+                cases.push((seed, p, chaining));
+            }
+        }
+    }
+    let outcomes = axml_chaos::par_map(&cases, jobs, |_, &(seed, p, chaining)| one(seed, p, chaining));
+
     let mut rows = Vec::new();
-    for &p in &[0.0f64, 0.1, 0.25, 0.5] {
+    let mut next = outcomes.into_iter();
+    for &p in CHURN {
         for chaining in [true, false] {
             let mut resolved = 0usize;
             let mut committed = 0usize;
@@ -98,9 +121,8 @@ pub fn run(trials: usize) -> Vec<Row> {
             let mut reused = 0u64;
             let mut orphan = 0u64;
             let mut messages = 0u64;
-            for t in 0..trials {
-                let seed = t as u64 * 6151 + (p * 1000.0) as u64;
-                let (r, c, a, w, re, o, m) = one(seed, p, chaining);
+            for _ in 0..trials {
+                let (r, c, a, w, re, o, m) = next.next().expect("one outcome per case");
                 resolved += r as usize;
                 committed += c as usize;
                 atomic += (r && a) as usize;

@@ -26,10 +26,14 @@
 use axml_core::context::TxnState;
 use axml_core::peer::PeerConfig;
 use axml_core::scenarios::{Scenario, ScenarioBuilder, ScenarioReport};
-use axml_obs::{Monitor, MonitorFinding};
-use axml_p2p::{CrashEvent, FaultPlane, NetMetrics, Partition, PeerId, ScriptedFault};
+use axml_obs::{derive_histograms, Histogram, Monitor, MonitorFinding};
+use axml_p2p::{CrashEvent, FaultPlane, NetMetrics, Partition, PeerId, ScriptedFault, Snapshot};
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
+
+mod parallel;
+pub use parallel::par_map;
 
 /// Scenario names the harness knows how to build.
 pub const SCENARIOS: &[&str] = &["fig1", "fig2", "fig1-abort", "deep"];
@@ -187,6 +191,11 @@ pub struct CaseResult {
     /// atomicity oracle passes but the monitor does not, the verdict is
     /// downgraded to a violation.
     pub findings: Vec<MonitorFinding>,
+    /// The unified `net.*` + `peer.*` counter registry of the finished
+    /// run. Counter-additive ([`Snapshot::merge`]), which is what lets a
+    /// parallel sweep recombine per-case snapshots into the same merged
+    /// registry a serial sweep produces.
+    pub snapshot: Snapshot,
 }
 
 /// The atomicity oracle (see the crate docs for the exact rule).
@@ -269,6 +278,11 @@ pub struct TraceDump {
     pub tree: String,
     /// Rendered counter registry (`net.*` + `peer.*`).
     pub snapshot: String,
+    /// Latency histograms derived from the journal
+    /// ([`axml_obs::derive_histograms`]) — fixed bucket layout, so
+    /// per-case histograms merge into sweep-level distributions by plain
+    /// counter addition, independent of merge order.
+    pub histograms: BTreeMap<String, Histogram>,
 }
 
 fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult, Option<TraceDump>) {
@@ -300,10 +314,12 @@ fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult,
         }
     }
     let digest = run_digest(&s, &report);
+    let snapshot = s.snapshot();
     let dump = s.trace().map(|j| TraceDump {
         journal: j.to_json_lines(),
         tree: j.render_tree(),
-        snapshot: s.snapshot().render(),
+        snapshot: snapshot.render(),
+        histograms: derive_histograms(j),
     });
     let result = CaseResult {
         committed: report.outcome.as_ref().map(|o| o.committed),
@@ -313,6 +329,7 @@ fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult,
         plane,
         metrics: report.metrics.clone(),
         findings,
+        snapshot,
     };
     (result, dump)
 }
@@ -449,7 +466,11 @@ pub struct Violation {
     pub trace: Option<TraceDump>,
 }
 
-/// A sweep's aggregate outcome.
+/// A sweep's aggregate outcome. Every aggregate is merged in canonical
+/// case order (scenario-major, then profile, then seed — the order the
+/// serial nested loops visit), so a parallel sweep is byte-identical to
+/// a serial one: same [`Self::digest`], same rendered snapshot, same
+/// Prometheus exposition of [`Self::histograms`].
 #[derive(Debug, Default)]
 pub struct SweepOutcome {
     /// Total runs executed.
@@ -460,42 +481,119 @@ pub struct SweepOutcome {
     pub aborted: usize,
     /// Oracle violations with shrunk, traced reproducers.
     pub violations: Vec<Violation>,
+    /// FNV-1a digest over every case's label, per-run digest, and
+    /// verdict, folded in canonical case order. Equal sweep digests ⇔
+    /// every single run was equal.
+    pub digest: u64,
+    /// All per-case counter snapshots merged ([`Snapshot::merge`]:
+    /// counters sum, `*_peak` names take the max).
+    pub snapshot: Snapshot,
+    /// All per-case latency histograms merged (fixed bucket layout ⇒
+    /// plain counter addition).
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Every monitor finding across the sweep as `(case label, finding)`,
+    /// in canonical case order.
+    pub findings: Vec<(String, MonitorFinding)>,
 }
 
-/// Runs the scenario × profile × seed matrix through the oracle,
-/// shrinking every violation.
-pub fn sweep(scenarios: &[String], profiles: &[Profile], seeds: std::ops::Range<u64>, dedup: bool) -> SweepOutcome {
-    let mut out = SweepOutcome::default();
+/// What one worker hands back for one sweep cell: the traced case run
+/// plus its already-shrunk violation, if any. Plain `Send` data — the
+/// `Sim`, scenario, and `Rc`-based monitor never leave the worker.
+struct CaseRun {
+    result: CaseResult,
+    histograms: BTreeMap<String, Histogram>,
+    violation: Option<Violation>,
+}
+
+/// Runs one sweep cell start to finish: traced run, oracle, and (on a
+/// violation) trace-replay shrinking plus the traced reproducer replay.
+/// Fully deterministic per case, so it can execute on any worker.
+fn run_cell(case: &CaseConfig) -> CaseRun {
+    let b = builder_for(&case.scenario).expect("known scenario");
+    let plane = plane_for(case.profile, case.seed, &b.peers());
+    let (result, dump) = run_with_plane_traced(case, plane);
+    let violation = (!result.verdict.ok).then(|| {
+        // Replay the shrunk schedule traced: the violation ships with
+        // the exact lifecycle story of a minimal failing run, not just
+        // the schedule.
+        let (reproducer, trace) = match shrink_failure(case, &result) {
+            Some(plane) => {
+                let (_, dump) = run_with_plane_traced(case, plane.clone());
+                let json = serde_json::to_string(&plane).unwrap_or_else(|_| "<unserializable>".into());
+                (Some(json), Some(dump))
+            }
+            None => (None, None),
+        };
+        Violation { case: case.clone(), reason: result.verdict.reason.clone(), reproducer, trace }
+    });
+    CaseRun { result, histograms: dump.histograms, violation }
+}
+
+/// The canonical case list of a sweep matrix: scenario-major, then
+/// profile, then seed — exactly the order the serial loops visit. Both
+/// the serial and the parallel sweep merge results in this order.
+pub fn case_matrix(
+    scenarios: &[String],
+    profiles: &[Profile],
+    seeds: std::ops::Range<u64>,
+    dedup: bool,
+) -> Vec<CaseConfig> {
+    let mut cases = Vec::new();
     for scenario in scenarios {
         for &profile in profiles {
             for seed in seeds.clone() {
                 let mut case = CaseConfig::new(scenario, profile, seed);
                 case.dedup = dedup;
-                let result = run_case(&case);
-                out.runs += 1;
-                match result.committed {
-                    Some(true) => out.committed += 1,
-                    Some(false) => out.aborted += 1,
-                    None => {}
-                }
-                if !result.verdict.ok {
-                    // Replay the shrunk schedule traced: the violation
-                    // ships with the exact lifecycle story of a minimal
-                    // failing run, not just the schedule.
-                    let (reproducer, trace) = match shrink_failure(&case, &result) {
-                        Some(plane) => {
-                            let (_, dump) = run_with_plane_traced(&case, plane.clone());
-                            let json = serde_json::to_string(&plane).unwrap_or_else(|_| "<unserializable>".into());
-                            (Some(json), Some(dump))
-                        }
-                        None => (None, None),
-                    };
-                    out.violations.push(Violation { case, reason: result.verdict.reason.clone(), reproducer, trace });
-                }
+                cases.push(case);
             }
         }
     }
+    cases
+}
+
+/// Runs the scenario × profile × seed matrix through the oracle on
+/// `jobs` worker threads, shrinking every violation where it is found.
+/// Cases are claimed work-stealing style but merged in canonical case
+/// order, so the outcome — report counts, digest, merged snapshot,
+/// merged histograms, findings — is byte-identical for every `jobs`
+/// value (see [`par_map`]).
+pub fn sweep_jobs(
+    scenarios: &[String],
+    profiles: &[Profile],
+    seeds: std::ops::Range<u64>,
+    dedup: bool,
+    jobs: usize,
+) -> SweepOutcome {
+    let cases = case_matrix(scenarios, profiles, seeds, dedup);
+    let runs = par_map(&cases, jobs, |_, case| run_cell(case));
+    let mut out = SweepOutcome::default();
+    let mut digest_text = String::new();
+    for (case, run) in cases.iter().zip(runs) {
+        out.runs += 1;
+        match run.result.committed {
+            Some(true) => out.committed += 1,
+            Some(false) => out.aborted += 1,
+            None => {}
+        }
+        digest_text.push_str(&format!("{} {:016x} ok={}\n", case.label(), run.result.digest, run.result.verdict.ok));
+        out.snapshot.merge(&run.result.snapshot);
+        for (name, h) in &run.histograms {
+            out.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        out.findings.extend(run.result.findings.iter().cloned().map(|f| (case.label(), f)));
+        if let Some(v) = run.violation {
+            out.violations.push(v);
+        }
+    }
+    out.digest = fnv64(&digest_text);
     out
+}
+
+/// Runs the scenario × profile × seed matrix through the oracle,
+/// shrinking every violation. Serial: equivalent to [`sweep_jobs`] with
+/// `jobs = 1`.
+pub fn sweep(scenarios: &[String], profiles: &[Profile], seeds: std::ops::Range<u64>, dedup: bool) -> SweepOutcome {
+    sweep_jobs(scenarios, profiles, seeds, dedup, 1)
 }
 
 #[cfg(test)]
@@ -538,6 +636,46 @@ mod tests {
             out.violations.iter().map(|v| format!("{}: {}", v.case.label(), v.reason)).collect::<Vec<_>>()
         );
         assert!(out.committed > 0, "some runs should commit");
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        use axml_obs::render_prometheus;
+        let scenarios: Vec<String> = vec!["fig1".into(), "deep".into()];
+        let serial = sweep_jobs(&scenarios, &[Profile::Mixed, Profile::Storm], 0..3, true, 1);
+        for jobs in [2, 8] {
+            let par = sweep_jobs(&scenarios, &[Profile::Mixed, Profile::Storm], 0..3, true, jobs);
+            assert_eq!(par.runs, serial.runs);
+            assert_eq!(par.committed, serial.committed);
+            assert_eq!(par.aborted, serial.aborted);
+            assert_eq!(par.digest, serial.digest, "jobs={jobs}");
+            assert_eq!(par.snapshot, serial.snapshot, "jobs={jobs}");
+            assert_eq!(par.snapshot.render(), serial.snapshot.render());
+            assert_eq!(par.histograms, serial.histograms, "jobs={jobs}");
+            assert_eq!(render_prometheus(&par.histograms), render_prometheus(&serial.histograms));
+            assert_eq!(par.findings, serial.findings, "jobs={jobs}");
+            assert_eq!(par.violations.len(), serial.violations.len());
+        }
+        assert!(serial.histograms.values().any(|h| h.count() > 0), "traced sweep derives latency samples");
+        assert!(serial.snapshot.get("net.sent") > 0, "merged snapshot aggregates counters");
+    }
+
+    #[test]
+    fn parallel_sweep_reproduces_violations_with_shrunk_reproducers() {
+        // The broken no-dedup variant under duplication: both the serial
+        // and the 8-way sweep must catch the same violating cells, in
+        // the same canonical order, with identical reproducers.
+        let scenarios: Vec<String> = vec!["fig1".into()];
+        let serial = sweep_jobs(&scenarios, &[Profile::Dups], 0..12, false, 1);
+        let par = sweep_jobs(&scenarios, &[Profile::Dups], 0..12, false, 8);
+        assert!(!serial.violations.is_empty(), "no-dedup under dups must violate somewhere in 12 seeds");
+        assert_eq!(par.violations.len(), serial.violations.len());
+        assert_eq!(par.digest, serial.digest);
+        for (a, b) in serial.violations.iter().zip(&par.violations) {
+            assert_eq!(a.case.label(), b.case.label());
+            assert_eq!(a.reason, b.reason);
+            assert_eq!(a.reproducer, b.reproducer);
+        }
     }
 
     #[test]

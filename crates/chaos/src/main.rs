@@ -1,8 +1,8 @@
 //! `axml-chaos` — seeded fault sweeps with an atomicity oracle.
 //!
 //! ```text
-//! axml-chaos sweep [--seeds N] [--scenarios a,b] [--profiles p,q] [--no-dedup]
-//! axml-chaos smoke [--seeds N]
+//! axml-chaos sweep [--seeds N] [--scenarios a,b] [--profiles p,q] [--no-dedup] [--jobs N] [--prom FILE]
+//! axml-chaos smoke [--seeds N] [--jobs N]
 //! axml-chaos shrink-demo
 //! axml-chaos trace (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup]) [--journal FILE]
 //! axml-chaos stats (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup]) [--prom FILE]
@@ -12,7 +12,10 @@
 //! 4 × 4 × 16 = 256 runs) — every run watched by the online protocol
 //! monitor — and exits non-zero on any oracle violation or monitor
 //! finding, printing each violation's shrunk scripted reproducer as JSON
-//! plus the lifecycle trace of the minimal failing run.
+//! plus the lifecycle trace of the minimal failing run. `--jobs N`
+//! shards the cases across N worker threads; the report, sweep digest,
+//! and `--prom` exposition are byte-identical for every jobs value
+//! (cases merge in canonical order, not completion order).
 //! `smoke` is the small CI variant (2 scenarios × storm × 16 seeds).
 //! `shrink-demo` deliberately disables duplicate suppression under the
 //! duplication profile and shows the oracle catching it — it exits
@@ -26,8 +29,8 @@
 //! monitor findings; `--prom` writes the Prometheus text exposition.
 
 use axml_chaos::{
-    builder_for, events_of, plane_for, run_case, run_with_plane_traced, shrink_failure, sweep, CaseConfig, Profile,
-    SweepOutcome, SCENARIOS,
+    builder_for, events_of, plane_for, run_case, run_with_plane_traced, shrink_failure, sweep_jobs, CaseConfig,
+    Profile, SweepOutcome, SCENARIOS,
 };
 use axml_obs::{critical_paths, derive_histograms, percentile_table, render_prometheus};
 use axml_p2p::{FaultPlane, TraceJournal};
@@ -94,6 +97,10 @@ fn report(out: &SweepOutcome) -> bool {
         out.runs - out.committed - out.aborted,
         out.violations.len()
     );
+    println!("digest={:016x}", out.digest);
+    for (label, finding) in &out.findings {
+        println!("FINDING {label}: {finding}");
+    }
     for v in &out.violations {
         println!("VIOLATION {}: {}", v.case.label(), v.reason);
         match &v.reproducer {
@@ -114,6 +121,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("sweep");
     let seeds: u64 = parse_flag(&args, "--seeds").and_then(|s| s.parse().ok()).unwrap_or(16);
+    let jobs: usize = parse_flag(&args, "--jobs").and_then(|s| s.parse().ok()).unwrap_or(1);
     let ok = match cmd {
         "sweep" => {
             let scenarios: Vec<String> = parse_flag(&args, "--scenarios")
@@ -123,11 +131,20 @@ fn main() {
                 .map(|s| s.split(',').filter_map(Profile::parse).collect())
                 .unwrap_or_else(|| Profile::all().to_vec());
             let dedup = !args.iter().any(|a| a == "--no-dedup");
-            report(&sweep(&scenarios, &profiles, 0..seeds, dedup))
+            let out = sweep_jobs(&scenarios, &profiles, 0..seeds, dedup, jobs);
+            let ok = report(&out);
+            if let Some(path) = parse_flag(&args, "--prom") {
+                if let Err(e) = std::fs::write(&path, render_prometheus(&out.histograms)) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("prometheus exposition written to {path}");
+            }
+            ok
         }
         "smoke" => {
             let scenarios = vec!["fig1".to_string(), "fig2".to_string()];
-            report(&sweep(&scenarios, &[Profile::Storm], 0..seeds, true))
+            report(&sweep_jobs(&scenarios, &[Profile::Storm], 0..seeds, true, jobs))
         }
         "shrink-demo" => {
             let mut caught = false;

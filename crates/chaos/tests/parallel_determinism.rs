@@ -1,0 +1,55 @@
+//! Property: the parallel sweep runner is invisible in the output.
+//!
+//! For random small fault matrices (any subset of scenarios and
+//! profiles, any small seed range, dedup on or off), `--jobs 8` must
+//! produce exactly the same sweep digest, merged snapshot, merged
+//! histograms, monitor findings, and violation set as the serial run.
+//! Workers complete in nondeterministic order; the fold in canonical
+//! case order is what makes that invisible, and this test is the
+//! regression tripwire for anyone reordering the merge.
+
+use axml_chaos::{sweep_jobs, Profile, SCENARIOS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_sweep_matches_serial_for_random_matrices(
+        scenario_mask in 1u64..16,
+        profile_mask in 1u64..16,
+        seeds in 1u64..4,
+        dedup in proptest::bool::ANY,
+    ) {
+        let scenarios: Vec<String> = SCENARIOS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| scenario_mask & (1 << i) != 0)
+            .map(|(_, s)| s.to_string())
+            .collect();
+        let profiles: Vec<Profile> = Profile::all()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| profile_mask & (1 << i) != 0)
+            .map(|(_, p)| *p)
+            .collect();
+
+        let serial = sweep_jobs(&scenarios, &profiles, 0..seeds, dedup, 1);
+        let parallel = sweep_jobs(&scenarios, &profiles, 0..seeds, dedup, 8);
+
+        prop_assert_eq!(serial.digest, parallel.digest);
+        prop_assert_eq!(serial.runs, parallel.runs);
+        prop_assert_eq!(serial.committed, parallel.committed);
+        prop_assert_eq!(serial.aborted, parallel.aborted);
+        prop_assert_eq!(&serial.snapshot, &parallel.snapshot);
+        prop_assert_eq!(serial.snapshot.render(), parallel.snapshot.render());
+        prop_assert_eq!(&serial.histograms, &parallel.histograms);
+        prop_assert_eq!(&serial.findings, &parallel.findings);
+        prop_assert_eq!(serial.violations.len(), parallel.violations.len());
+        for (s, p) in serial.violations.iter().zip(parallel.violations.iter()) {
+            prop_assert_eq!(s.case.label(), p.case.label());
+            prop_assert_eq!(&s.reason, &p.reason);
+            prop_assert_eq!(&s.reproducer, &p.reproducer);
+        }
+    }
+}

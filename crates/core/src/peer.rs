@@ -463,6 +463,10 @@ pub struct AxmlPeer {
     /// mapped to its transaction so entries can be pruned once that
     /// transaction finalizes (see [`PeerConfig::dedup_capacity`]).
     seen_deliveries: BTreeMap<(PeerId, u64), Option<TxnId>>,
+    /// Scratch buffer for [`PingMonitor::suspects_into`] on the ping
+    /// tick — reused across ticks so the periodic suspicion scan stops
+    /// allocating.
+    suspect_buf: Vec<PeerId>,
 }
 
 impl AxmlPeer {
@@ -503,6 +507,7 @@ impl AxmlPeer {
             next_delivery: 0,
             outbox: BTreeMap::new(),
             seen_deliveries: BTreeMap::new(),
+            suspect_buf: Vec::new(),
         }
     }
 
@@ -646,23 +651,35 @@ impl AxmlPeer {
     /// backoff; past the budget (or on a synchronous failure) treat the
     /// silence as a detected failure and run the give-up action.
     fn retransmit(&mut self, ctx: &mut Ctx<'_, TxnMsg>, id: u64) {
-        let (to, attempts, msg) = {
-            let Some(pending) = self.outbox.get_mut(&id) else {
+        use std::collections::btree_map::Entry;
+        // One entry lookup decides update-in-place vs give-up removal;
+        // the old shape re-found the key (`remove(&id).expect("checked
+        // above")`) on every give-up.
+        let (to, attempts, txn, live) = {
+            let Entry::Occupied(mut entry) = self.outbox.entry(id) else {
                 return; // acked (or given up) meanwhile
             };
+            let pending = entry.get_mut();
             pending.timer = None; // this very timer is what fired
             pending.attempts += 1;
-            (pending.to, pending.attempts, pending.msg.clone())
+            let (to, attempts) = (pending.to, pending.attempts);
+            let txn = txn_of(&pending.msg);
+            if attempts > self.config.max_retransmits {
+                (to, attempts, txn, Err(entry.remove()))
+            } else {
+                (to, attempts, txn, Ok(pending.msg.clone()))
+            }
         };
-        let txn = txn_of(&msg);
-        if attempts > self.config.max_retransmits {
-            let pending = self.outbox.remove(&id).expect("checked above");
-            self.stats.retransmit_giveups += 1;
-            self.emit(ctx, txn, None, None, EventKind::RetransmitGiveUp { to: to.0, id });
-            self.record_detection(ctx, to, DetectHow::AckTimeout);
-            self.delivery_failed(ctx, pending);
-            return;
-        }
+        let msg = match live {
+            Err(pending) => {
+                self.stats.retransmit_giveups += 1;
+                self.emit(ctx, txn, None, None, EventKind::RetransmitGiveUp { to: to.0, id });
+                self.record_detection(ctx, to, DetectHow::AckTimeout);
+                self.delivery_failed(ctx, pending);
+                return;
+            }
+            Ok(msg) => msg,
+        };
         let envelope = TxnMsg::Reliable { id, attempt: attempts, inner: Box::new(msg) };
         self.stats.retransmits += 1;
         self.emit(ctx, txn, None, None, EventKind::Retransmit { to: to.0, id, attempt: attempts });
@@ -679,9 +696,10 @@ impl AxmlPeer {
                 }
             }
             Err(_) => {
-                let pending = self.outbox.remove(&id).expect("checked above");
-                self.record_detection(ctx, to, DetectHow::SendFailure);
-                self.delivery_failed(ctx, pending);
+                if let Some(pending) = self.outbox.remove(&id) {
+                    self.record_detection(ctx, to, DetectHow::SendFailure);
+                    self.delivery_failed(ctx, pending);
+                }
             }
         }
     }
@@ -2197,9 +2215,15 @@ impl AxmlPeer {
         for peer in dead {
             self.on_child_disconnected(ctx, peer, DetectHow::PingTimeout);
         }
-        for peer in self.monitor.suspects(ctx.now()) {
+        // Reusable buffer (taken, not borrowed: `on_child_disconnected`
+        // needs `&mut self` while we iterate).
+        let mut suspects = std::mem::take(&mut self.suspect_buf);
+        self.monitor.suspects_into(ctx.now(), &mut suspects);
+        for &peer in &suspects {
             self.on_child_disconnected(ctx, peer, DetectHow::PingTimeout);
         }
+        suspects.clear();
+        self.suspect_buf = suspects;
         ctx.set_timer(self.config.ping_interval, TAG_PING);
     }
 }
@@ -2262,12 +2286,16 @@ impl Actor<TxnMsg> for AxmlPeer {
                 let txn = txn_of(&inner);
                 self.emit(ctx, txn, None, None, EventKind::AckSend { to: from.0, id });
                 if self.config.dedup {
-                    if self.seen_deliveries.contains_key(&(from, id)) {
+                    // Single-pass dedup: one insert both tests and
+                    // records. A re-delivery overwrites its own entry
+                    // with the identical transaction — harmless — and
+                    // leaves the set's size untouched, so the peak and
+                    // capacity bookkeeping belong to first sight only.
+                    if self.seen_deliveries.insert((from, id), txn).is_some() {
                         self.stats.dup_suppressed += 1;
                         self.emit(ctx, txn, None, None, EventKind::DedupSuppress { from: from.0, id });
                         return;
                     }
-                    self.seen_deliveries.insert((from, id), txn);
                     self.stats.seen_peak = self.stats.seen_peak.max(self.seen_deliveries.len() as u64);
                     if self.seen_deliveries.len() > self.config.dedup_capacity {
                         self.prune_seen(ctx);

@@ -114,8 +114,25 @@ impl Histogram {
     }
 
     /// Cumulative count of samples ≤ the bound of finite bucket `i`.
+    ///
+    /// One query is inherently O(i); rendering **all** buckets through
+    /// this per-bucket API is how the old Prometheus path went quadratic
+    /// in the bucket count. Full-table consumers should walk
+    /// [`Self::cumulative_counts`] instead — one prefix-sum pass.
     pub fn cumulative(&self, i: usize) -> u64 {
         self.counts.iter().take(i + 1).sum()
+    }
+
+    /// Running cumulative counts over the finite buckets, in bucket
+    /// order: item `i` equals [`Self::cumulative`]`(i)`. A single prefix
+    /// sum, computed lazily — rendering every bucket of every metric is
+    /// linear again. Yields `FINITE_BUCKETS` items even on an empty
+    /// histogram (all zeros).
+    pub fn cumulative_counts(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..FINITE_BUCKETS).scan(0u64, |cum, i| {
+            *cum += self.counts.get(i).copied().unwrap_or(0);
+            Some(*cum)
+        })
     }
 
     /// The embeddable summary (p50/p90/p99 plus the moments).
@@ -188,8 +205,8 @@ pub fn render_prometheus(metrics: &BTreeMap<String, Histogram>) -> String {
         let metric = format!("axml_{}", name.replace(['-', '.', ' '], "_"));
         let _ = writeln!(out, "# HELP {metric} {name} distribution (sim-time ticks)");
         let _ = writeln!(out, "# TYPE {metric} histogram");
-        for i in 0..FINITE_BUCKETS {
-            let _ = writeln!(out, "{metric}_bucket{{le=\"{}\"}} {}", bucket_bound(i), h.cumulative(i));
+        for (i, cum) in h.cumulative_counts().enumerate() {
+            let _ = writeln!(out, "{metric}_bucket{{le=\"{}\"}} {cum}", bucket_bound(i));
         }
         let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count());
         let _ = writeln!(out, "{metric}_sum {}", h.sum());
@@ -262,6 +279,32 @@ mod tests {
         assert_eq!(back, s);
         assert_eq!(back.count, 2);
         assert_eq!(back.p50, 32, "rank 1 → sample 17 → bucket le=32, under the max of 40");
+    }
+
+    #[test]
+    fn prefix_sums_match_per_bucket_cumulative() {
+        // The single-pass prefix sum must pin the exact values the old
+        // per-bucket re-summing produced, including the empty case and a
+        // histogram with an +Inf-bucket sample (which cumulative counts
+        // over finite buckets must exclude).
+        let empty = Histogram::default();
+        assert_eq!(empty.cumulative_counts().collect::<Vec<_>>(), vec![0; FINITE_BUCKETS]);
+        let mut h = Histogram::default();
+        for v in [1, 2, 2, 300, 5_000_000] {
+            h.observe(v);
+        }
+        let sums: Vec<u64> = h.cumulative_counts().collect();
+        assert_eq!(sums.len(), FINITE_BUCKETS);
+        for (i, &cum) in sums.iter().enumerate() {
+            assert_eq!(cum, h.cumulative(i), "bucket {i}");
+        }
+        assert_eq!(sums[0], 1, "le=1 holds the 1");
+        assert_eq!(sums[1], 3, "le=2 adds both 2s");
+        assert_eq!(sums[FINITE_BUCKETS - 1], 4, "the +Inf sample stays out of the finite buckets");
+        assert_eq!(h.count(), 5);
+        // And the percentile table built on the same counts is unchanged
+        // by construction — pin one row's numbers.
+        assert_eq!((h.percentile(50), h.percentile(90), h.percentile(99)), (2, 5_000_000, 5_000_000));
     }
 
     #[test]

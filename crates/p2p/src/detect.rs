@@ -54,7 +54,18 @@ impl PingMonitor {
     /// every ping at precisely the timeout cadence permanently healthy
     /// instead of flapping on the boundary.
     pub fn suspects(&self, now: u64) -> Vec<PeerId> {
-        self.watched.iter().filter(|(_, &last)| now.saturating_sub(last) > self.timeout).map(|(&p, _)| p).collect()
+        let mut out = Vec::new();
+        self.suspects_into(now, &mut out);
+        out
+    }
+
+    /// Like [`Self::suspects`], but reuses `out` (cleared first) instead
+    /// of allocating a fresh `Vec` — the embedding protocol's ping tick
+    /// calls this every interval on every peer, so the allocation is
+    /// pure churn. Same strict-`>` boundary as [`Self::suspects`].
+    pub fn suspects_into(&self, now: u64, out: &mut Vec<PeerId>) {
+        out.clear();
+        out.extend(self.watched.iter().filter(|(_, &last)| now.saturating_sub(last) > self.timeout).map(|(&p, _)| p));
     }
 
     /// Peers currently watched.
@@ -106,6 +117,26 @@ mod tests {
         m.watch(PeerId(1), 0);
         assert!(m.suspects(25).is_empty(), "strictly-greater comparison");
         assert_eq!(m.suspects(26), vec![PeerId(1)]);
+    }
+
+    #[test]
+    fn suspects_into_reuses_buffer_with_identical_boundary() {
+        // The reusable-buffer variant must agree with `suspects` at and
+        // around the strict-`>` timeout boundary, and must clear stale
+        // contents from the buffer it is handed.
+        let mut m = PingMonitor::new(10, 25);
+        m.watch(PeerId(1), 0);
+        m.watch(PeerId(2), 10);
+        let mut buf = vec![PeerId(99)]; // stale garbage to be cleared
+        for now in [24, 25, 26, 35, 36, 1000] {
+            m.suspects_into(now, &mut buf);
+            assert_eq!(buf, m.suspects(now), "now={now}");
+        }
+        assert!(!buf.contains(&PeerId(99)));
+        m.suspects_into(25, &mut buf);
+        assert!(buf.is_empty(), "exact timeout is not yet suspect");
+        m.suspects_into(26, &mut buf);
+        assert_eq!(buf, vec![PeerId(1)], "one tick past the timeout is");
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::ids::PeerId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What to do to one matched message. Delays are concrete so a scripted
 /// replay needs no randomness.
@@ -214,7 +214,10 @@ pub(crate) enum Injected {
 pub(crate) struct FaultRuntime {
     plane: FaultPlane,
     rng: StdRng,
-    sends: HashMap<(PeerId, PeerId, &'static str), u64>,
+    // `BTreeMap`, not `HashMap`: the runtime is part of the seeded
+    // deterministic substrate, and ordered maps keep every walk over it
+    // (present or future) independent of per-process hash seeds.
+    sends: BTreeMap<(PeerId, PeerId, &'static str), u64>,
     consumed: Vec<bool>,
     trace: Vec<ScriptedFault>,
     inert: bool,
@@ -225,7 +228,7 @@ impl FaultRuntime {
         let inert = plane.is_inert();
         let consumed = vec![false; plane.script.len()];
         let rng = StdRng::seed_from_u64(plane.seed);
-        FaultRuntime { plane, rng, sends: HashMap::new(), consumed, trace: Vec::new(), inert }
+        FaultRuntime { plane, rng, sends: BTreeMap::new(), consumed, trace: Vec::new(), inert }
     }
 
     pub(crate) fn plane(&self) -> &FaultPlane {

@@ -15,7 +15,7 @@ use axml_trace::{EventKind, SharedSink, TraceEvent, TraceJournal, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
 /// Messages exchanged between actors.
@@ -160,8 +160,18 @@ pub struct SimState<M> {
     latency: LatencyModel,
     max_events: u64,
     fault: FaultRuntime,
-    link_sent: HashMap<(PeerId, PeerId), u64>,
-    link_delivered: HashMap<(PeerId, PeerId), u64>,
+    /// Peer count; `(from, to)` links index the dense counters below as
+    /// `from * peers + to`. Dense vectors instead of hash maps for two
+    /// reasons at once: the per-send/per-delivery lookup on the hot path
+    /// costs an index instead of a hash, and iteration order (should a
+    /// report ever walk the links) is fixed — never the per-process
+    /// random order a `HashMap` would give.
+    peers: usize,
+    /// Messages sent per link (the link sequence counter).
+    link_sent: Vec<u64>,
+    /// Per link: highest delivered sequence + 1 (0 = nothing delivered
+    /// yet), the out-of-order watermark.
+    link_delivered: Vec<u64>,
     trace: Option<TraceJournal>,
     observer: Option<SharedSink>,
     emitted: u64,
@@ -253,12 +263,9 @@ impl<M: Message> Ctx<'_, M> {
             *self.state.metrics.retransmits_by_kind.entry(kind).or_default() += 1;
         }
         let from = self.me;
-        let link_seq = {
-            let counter = self.state.link_sent.entry((from, to)).or_insert(0);
-            let s = *counter;
-            *counter += 1;
-            s
-        };
+        let link = from.0 as usize * self.state.peers + to.0 as usize;
+        let link_seq = self.state.link_sent[link];
+        self.state.link_sent[link] += 1;
         let now = self.state.now;
         match self.state.fault.on_send(now, from, to, kind) {
             None => {
@@ -380,8 +387,9 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
                 latency: config.latency,
                 max_events: config.max_events,
                 fault: FaultRuntime::new(config.fault),
-                link_sent: HashMap::new(),
-                link_delivered: HashMap::new(),
+                peers: n,
+                link_sent: vec![0; n * n],
+                link_delivered: vec![0; n * n],
                 trace: config.trace.enabled().then(TraceJournal::default),
                 observer: None,
                 emitted: 0,
@@ -465,12 +473,14 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
                     }
                     if !dup {
                         // Out-of-order accounting: a delivery behind a
-                        // later-sent message on the same link.
-                        match self.state.link_delivered.get(&(from, to)) {
-                            Some(&hi) if link_seq < hi => self.state.metrics.out_of_order += 1,
-                            _ => {
-                                self.state.link_delivered.insert((from, to), link_seq);
-                            }
+                        // later-sent message on the same link. The
+                        // watermark stores `highest delivered seq + 1`.
+                        let link = from.0 as usize * self.state.peers + to.0 as usize;
+                        let hi = &mut self.state.link_delivered[link];
+                        if link_seq + 1 < *hi {
+                            self.state.metrics.out_of_order += 1;
+                        } else {
+                            *hi = link_seq + 1;
                         }
                     }
                     self.state.metrics.delivered += 1;
@@ -1042,6 +1052,100 @@ mod tests {
         let mut s = Sim::new(SimConfig::default(), vec![Far]);
         s.schedule_timer(10, PeerId(0), 1);
         s.run_until(1_000_000);
+    }
+
+    #[test]
+    fn non_duplicated_deliveries_never_clone_the_message() {
+        // The fast path must move the message from the send into the
+        // queue and from the queue into the actor: cloning is reserved
+        // for the fault plane's Duplicate action. Pin it with a message
+        // that counts its own clones.
+        use std::cell::Cell;
+        thread_local! {
+            static CLONES: Cell<u64> = const { Cell::new(0) };
+        }
+        #[derive(Debug)]
+        struct Counted(u64);
+        impl Clone for Counted {
+            fn clone(&self) -> Counted {
+                CLONES.with(|c| c.set(c.get() + 1));
+                Counted(self.0)
+            }
+        }
+        impl Message for Counted {
+            fn kind(&self) -> &'static str {
+                "counted"
+            }
+        }
+        struct Sink;
+        impl Actor<Counted> for Sink {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Counted>, _from: PeerId, _msg: Counted) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Counted>, tag: u64) {
+                let _ = ctx.send(PeerId(1), Counted(tag));
+            }
+        }
+
+        CLONES.with(|c| c.set(0));
+        let mut s = Sim::new(SimConfig::default(), vec![Sink, Sink]);
+        for t in 0..50 {
+            s.schedule_timer(t * 2, PeerId(0), t);
+        }
+        s.run();
+        assert_eq!(s.metrics().delivered, 50);
+        assert_eq!(CLONES.with(|c| c.get()), 0, "clean deliveries are clone-free");
+
+        // With a scripted duplicate, exactly the duplicated message is
+        // cloned — once.
+        use crate::fault::{FaultAction, FaultPlane, ScriptedFault};
+        CLONES.with(|c| c.set(0));
+        let mut config = SimConfig::default();
+        config.fault = FaultPlane::scripted(vec![ScriptedFault {
+            from: PeerId(0),
+            to: PeerId(1),
+            kind: "counted".into(),
+            nth: 3,
+            action: FaultAction::Duplicate { extra: 5 },
+        }]);
+        let mut s = Sim::new(config, vec![Sink, Sink]);
+        for t in 0..50 {
+            s.schedule_timer(t * 2, PeerId(0), t);
+        }
+        s.run();
+        assert_eq!(s.metrics().injected_dups, 1);
+        assert_eq!(CLONES.with(|c| c.get()), 1, "one clone per injected duplicate");
+    }
+
+    #[test]
+    fn out_of_order_watermark_matches_reordered_links() {
+        // Dense watermark semantics: only deliveries strictly behind an
+        // already-delivered later send count as out-of-order; duplicates
+        // never do (covered above); a fresh link starts clean.
+        use crate::fault::{FaultAction, FaultPlane, ScriptedFault};
+        let mut config = SimConfig::default();
+        config.latency = LatencyModel { min: 1, max: 1 };
+        config.fault = FaultPlane::scripted(vec![
+            ScriptedFault {
+                from: PeerId(0),
+                to: PeerId(1),
+                kind: "ping".into(),
+                nth: 0,
+                action: FaultAction::Reorder { extra: 10 },
+            },
+            ScriptedFault {
+                from: PeerId(0),
+                to: PeerId(1),
+                kind: "ping".into(),
+                nth: 2,
+                action: FaultAction::Reorder { extra: 10 },
+            },
+        ]);
+        let mut s = Sim::new(config, vec![Echo::default(), Echo::default()]);
+        for t in 0..4 {
+            s.schedule_timer(t * 2, PeerId(0), 1);
+        }
+        s.run();
+        assert_eq!(s.actor(PeerId(1)).pings, 4, "reordered pings still arrive");
+        assert_eq!(s.metrics().out_of_order, 2, "both delayed pings arrive behind later sends");
     }
 
     #[test]
