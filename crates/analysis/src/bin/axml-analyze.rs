@@ -6,6 +6,8 @@
 //! axml-analyze [--all-scenarios] [--scenario NAME] [--demo-broken] [--json]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use axml_analysis::{analyze_all, analyze_broken_fixture, Report};
 use axml_core::scenarios::ScenarioBuilder;
 use std::process::ExitCode;

@@ -6,7 +6,7 @@
 //! | L001 | a peer appears more than once in the list |
 //! | L002 | `parent_of`/`children_of` views are mutually inconsistent |
 //! | L003 | `closest_super_ancestor` disagrees with a reference walk |
-//! | L004 | the paper notation does not round-trip through `parse_notation` |
+//! | L004 | the paper notation does not round-trip through `parse_notation` (live list, or a stored string via [`analyze_notation`]) |
 //! | L005 | the list diverges from the scenario's planned invocation tree |
 
 use crate::diag::Diagnostic;
@@ -116,6 +116,29 @@ pub fn analyze_chain(l: &ActiveList) -> Vec<Diagnostic> {
     out
 }
 
+/// L004 over a *stored* notation string — a claimed rendering shipped in
+/// a message or persisted in a journal, as opposed to one we just
+/// produced ourselves. Sound storage means the string parses and is the
+/// canonical rendering of the list it denotes; anything else cannot be
+/// trusted to identify the active peers.
+pub fn analyze_notation(notation: &str) -> Vec<Diagnostic> {
+    match ActiveList::parse_notation(notation) {
+        Ok(list) if list.to_notation() == notation => Vec::new(),
+        Ok(list) => vec![Diagnostic::error(
+            "L004",
+            notation.to_string(),
+            format!("stored notation is not canonical; it denotes the list rendered as `{}`", list.to_notation()),
+            "store to_notation() output verbatim so renderings compare byte-for-byte",
+        )],
+        Err(e) => vec![Diagnostic::error(
+            "L004",
+            notation.to_string(),
+            format!("stored notation does not parse: {e}"),
+            "re-derive the notation from the live list; do not edit renderings by hand",
+        )],
+    }
+}
+
 /// Compares a concrete list against the invocation tree a scenario plans
 /// to unfold (L005): peers in the list that the scenario never invokes
 /// are orphaned entries; peers invoked under the wrong parent break the
@@ -187,6 +210,23 @@ mod tests {
         // AP9's real ancestor chain has a super AP2; the first-match walk
         // sees the non-super first occurrence, so L003 fires too.
         assert!(rules.contains(&"L003"), "{diags:?}");
+    }
+
+    #[test]
+    fn notation_analysis() {
+        // Canonical renderings are clean.
+        assert!(analyze_notation(&fig2_list().to_notation()).is_empty());
+        assert!(analyze_notation("[AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]").is_empty());
+        // Unbalanced string: parse failure.
+        let diags = analyze_notation("[AP1 → [AP2] || [AP2");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "L004");
+        assert!(diags[0].message.contains("does not parse"), "{diags:?}");
+        // Parseable but non-canonical (stray whitespace).
+        let diags = analyze_notation("[AP1*  →  AP2]");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "L004");
+        assert!(diags[0].message.contains("not canonical"), "{diags:?}");
     }
 
     #[test]

@@ -17,13 +17,15 @@
 //! scenarios (and, with `--demo-broken`, over a deliberately-broken
 //! fixture) and exits nonzero when anything is found.
 
+#![forbid(unsafe_code)]
+
 pub mod chain;
 pub mod compensation;
 pub mod diag;
 pub mod fixture;
 pub mod scenario;
 
-pub use chain::{analyze_chain, analyze_chain_against};
+pub use chain::{analyze_chain, analyze_chain_against, analyze_notation};
 pub use compensation::{analyze_action_roundtrip, analyze_compensation, analyze_effect_log};
 pub use diag::{Diagnostic, Report, Severity};
 pub use scenario::analyze_scenario;
@@ -69,8 +71,10 @@ pub fn analyze_broken_fixture() -> Report {
     report.extend_with_context("scenario", analyze_scenario(&f.builder));
     report.extend_with_context("chain", analyze_chain(&f.chain));
     report.extend_with_context("chain", analyze_chain_against(&f.chain, &f.builder.planned_chain()));
+    report.extend_with_context("chain", analyze_notation(&f.notation));
     report.extend_with_context("log", analyze_effect_log(&f.effects));
     report.extend_with_context("log", analyze_compensation(&f.effects, &f.compensation));
+    report.extend_with_context("log", analyze_compensation(&f.reordered_effects, &f.reordered_compensation));
     report
 }
 
@@ -87,12 +91,12 @@ mod tests {
     }
 
     #[test]
-    fn broken_fixture_trips_many_distinct_rules() {
+    fn broken_fixture_trips_every_rule_in_the_catalogue() {
         let report = analyze_broken_fixture();
         let ids = report.rule_ids();
         for expected in [
-            "C001", "C002", "C003", "C004", "C005", "W001", "W002", "W003", "W004", "W005", "L001", "L002", "L003",
-            "L005",
+            "C001", "C002", "C003", "C004", "C005", "C006", "W001", "W002", "W003", "W004", "W005", "W006", "W007",
+            "L001", "L002", "L003", "L004", "L005",
         ] {
             assert!(ids.contains(&expected), "missing {expected}; fired: {ids:?}");
         }

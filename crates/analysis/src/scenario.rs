@@ -9,6 +9,7 @@
 //! | W004 | a scheduled disconnect is a no-op |
 //! | W005 | a super/replica/handler/fault declaration references nothing in the scenario |
 //! | W006 | a peer's generated document (or an attached handler) does not parse |
+//! | W007 | a handler is shadowed by an earlier catchAll or same-name catch on the same call |
 
 use crate::diag::Diagnostic;
 use axml_core::scenarios::ScenarioBuilder;
@@ -204,6 +205,27 @@ pub fn analyze_scenario(b: &ScenarioBuilder) -> Vec<Diagnostic> {
             let subtree = subtree_of(b, child);
             for (h, handler) in call.handlers.iter().enumerate() {
                 let loc = format!("peer {p}, call to {child}, handler #{h}");
+                // W007: handlers are consulted in declaration order and
+                // the first match wins, so a catch is dead code when an
+                // earlier handler on the same call already takes every
+                // fault it could take — an enclosing catchAll, or a catch
+                // for the same fault name.
+                let shadowed_by = call.handlers[..h]
+                    .iter()
+                    .position(|prev| prev.fault_name.is_none() || prev.fault_name == handler.fault_name);
+                if let Some(j) = shadowed_by {
+                    let what = match &call.handlers[j].fault_name {
+                        None => "the catchAll".to_string(),
+                        Some(n) => format!("the catch for `{n}`"),
+                    };
+                    out.push(Diagnostic::warning(
+                        "W007",
+                        loc,
+                        format!("unreachable: {what} at handler #{j} on the same call matches first"),
+                        "drop the shadowed handler or move it before the broader one",
+                    ));
+                    continue;
+                }
                 if let Some(name) = &handler.fault_name {
                     if !RAISABLE_FAULTS.contains(&name.as_str()) {
                         out.push(Diagnostic::warning(
@@ -319,6 +341,35 @@ mod tests {
         let diags = analyze_scenario(&b);
         let w005 = diags.iter().filter(|d| d.rule == "W005").count();
         assert!(w005 >= 3, "{diags:?}");
+    }
+
+    #[test]
+    fn w007_shadowed_handlers() {
+        // A catchAll declared first swallows every fault; the later named
+        // catch is dead code.
+        let b =
+            ScenarioBuilder::fig1().retry_handler(1, 2, None, 1, 1).retry_handler(1, 2, Some("ExecutionFault"), 1, 1);
+        let diags = analyze_scenario(&b);
+        assert!(diags.iter().any(|d| d.rule == "W007" && d.message.contains("catchAll")), "{diags:?}");
+        // Two catches for the same fault name: the second never fires.
+        let b = ScenarioBuilder::fig1().retry_handler(1, 2, Some("ExecutionFault"), 1, 1).substitute_handler(
+            1,
+            2,
+            Some("ExecutionFault"),
+        );
+        let diags = analyze_scenario(&b);
+        assert!(diags.iter().any(|d| d.rule == "W007" && d.message.contains("ExecutionFault")), "{diags:?}");
+    }
+
+    #[test]
+    fn w007_distinct_catches_with_trailing_catchall_are_clean() {
+        // Distinct named catches, broadest last — every handler reachable.
+        let b = ScenarioBuilder::fig1()
+            .retry_handler(1, 2, Some("ExecutionFault"), 1, 1)
+            .retry_handler(1, 2, Some("PeerUnreachable"), 1, 1)
+            .substitute_handler(1, 2, None);
+        let diags = analyze_scenario(&b);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! `--jobs N`) must be present and equal, proving the parallel runner is
 //! a pure throughput knob.
 
+#![forbid(unsafe_code)]
+
 use axml_bench::BenchReport;
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {

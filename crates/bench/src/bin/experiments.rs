@@ -21,6 +21,8 @@
 //! changes. The `sweep` report records both the serial and the parallel
 //! sweep digest in its params so `bench-check` can prove they agree.
 
+#![forbid(unsafe_code)]
+
 use axml_bench::{
     e10_isolation, e11_scale, e12_sweep, e1_fig1, e2_fig2, e3_compensation, e4_materialization, e5_recovery_cost,
     e6_churn, e7_peer_independent, e8_spheres, e9_extended_chaining, BenchReport,

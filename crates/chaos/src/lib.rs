@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Chaos harness for the transactional AXML protocol.
@@ -28,6 +29,7 @@ use axml_core::peer::PeerConfig;
 use axml_core::scenarios::{Scenario, ScenarioBuilder, ScenarioReport};
 use axml_obs::{derive_histograms, Histogram, Monitor, MonitorFinding};
 use axml_p2p::{CrashEvent, FaultPlane, NetMetrics, Partition, PeerId, ScriptedFault, Snapshot};
+use axml_spec::Conformance;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -196,6 +198,12 @@ pub struct CaseResult {
     /// parallel sweep recombine per-case snapshots into the same merged
     /// registry a serial sweep produces.
     pub snapshot: Snapshot,
+    /// Trace conformance against the executable reference model
+    /// (`axml-spec`): the journal of a traced run replayed against the
+    /// model's permitted transitions. `None` for untraced runs (no
+    /// journal to check); divergences downgrade a clean verdict exactly
+    /// like monitor findings do.
+    pub conformance: Option<axml_spec::Conformance>,
 }
 
 /// The atomicity oracle (see the crate docs for the exact rule).
@@ -307,10 +315,18 @@ fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult,
     s.sim.attach_observer(monitor.clone());
     let report = s.run();
     let findings = monitor.borrow_mut().finish().to_vec();
+    // Traced runs also replay their journal against the executable
+    // reference model (spec rules R01–R10, invariants I2–I5).
+    let conformance = s.trace().map(axml_spec::check_journal);
     let mut verdict = check_atomicity(&s, &report);
     if verdict.ok {
         if let Some(f) = findings.first() {
             verdict = Verdict::violation(format!("online monitor: {f}"));
+        }
+    }
+    if verdict.ok {
+        if let Some(d) = conformance.as_ref().and_then(Conformance::first) {
+            verdict = Verdict::violation(format!("spec conformance: {d}"));
         }
     }
     let digest = run_digest(&s, &report);
@@ -330,6 +346,7 @@ fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult,
         metrics: report.metrics.clone(),
         findings,
         snapshot,
+        conformance,
     };
     (result, dump)
 }
@@ -800,6 +817,54 @@ mod tests {
         assert!(clean.is_empty(), "correct peer must be monitor-clean: {clean:?}");
         let broken = run(true);
         assert!(broken.iter().any(|f| f.rule == "M001"), "forward-order compensation must trigger M001: {broken:?}");
+    }
+
+    #[test]
+    fn spec_conformance_rides_traced_runs() {
+        // Clean traced case: the journal conforms to the reference model
+        // and the verdict stays clean.
+        let case = CaseConfig::new("fig1", Profile::Mixed, 3);
+        let b = builder_for("fig1").expect("known scenario");
+        let plane = plane_for(Profile::Mixed, 3, &b.peers());
+        let (result, _dump) = run_with_plane_traced(&case, plane);
+        let conf = result.conformance.as_ref().expect("traced runs carry a conformance verdict");
+        assert!(conf.is_clean(), "{}", conf.render_text());
+        assert!(conf.events > 0);
+        assert!(result.verdict.ok, "{}", result.verdict.reason);
+        // Untraced runs have no journal to check.
+        assert!(run_case(&case).conformance.is_none());
+    }
+
+    #[test]
+    fn spec_conformance_refutes_forward_order_compensation() {
+        // The same broken-peer recipe as the monitor test above, checked
+        // by replaying the journal against the reference model: M001
+        // surfaces as invariant I2 / rule R08, and the monitor and the
+        // spec must agree on the offending event.
+        let run = |broken: bool| {
+            let mut b = ScenarioBuilder::fig1().fault_at(2).traced();
+            b.seed = 1000;
+            b.durations.insert(2, 60);
+            let mut cfg = PeerConfig::default();
+            cfg.use_alternative_providers = false;
+            cfg.compensate_in_log_order = broken;
+            let monitor = Rc::new(RefCell::new(Monitor::new()));
+            let mut s = b.config(cfg).build();
+            s.sim.attach_observer(monitor.clone());
+            s.run();
+            let findings = monitor.borrow_mut().finish().to_vec();
+            let conformance = axml_spec::check_journal(s.trace().expect("traced run"));
+            (findings, conformance)
+        };
+        let (findings, conf) = run(false);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(conf.is_clean(), "correct peer must conform: {}", conf.render_text());
+        let (findings, conf) = run(true);
+        let m = findings.iter().find(|f| f.rule == "M001").expect("M001 finding");
+        let d = conf.divergences.iter().find(|d| d.invariant == "I2").expect("I2 divergence");
+        assert_eq!((d.seq, d.at, d.peer), (m.seq, m.at, m.peer), "monitor and spec disagree on the offender");
+        assert_eq!(d.rule, "R08");
+        assert!(!d.context.is_empty(), "divergence must carry causal context");
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //! per-transaction critical paths, the latency percentile table, and the
 //! monitor findings; `--prom` writes the Prometheus text exposition.
 
+#![forbid(unsafe_code)]
+
 use axml_chaos::{
     builder_for, events_of, plane_for, run_case, run_with_plane_traced, shrink_failure, sweep_jobs, CaseConfig,
     Profile, SweepOutcome, SCENARIOS,

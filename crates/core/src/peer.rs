@@ -23,6 +23,27 @@
 //! - **disconnection handling via chaining (§3.3)**: scenarios (a)–(d),
 //!   driven by synchronous send failures, keep-alive timeouts, and missed
 //!   sibling stream intervals, using the piggybacked active-peer list.
+//!
+//! # Reference model
+//!
+//! The `axml-spec` crate models this protocol as a small-step transition
+//! system and model-checks its invariants over bounded configurations;
+//! each transition below names the spec rule it refines, and the trace
+//! events this module emits are what `axml-spec conform` replays against
+//! the permitted transitions:
+//!
+//! | Spec rule | Implementation point |
+//! |-----------|----------------------|
+//! | R01 submit | [`AxmlPeer::submit`] |
+//! | R02 serve | `handle_invoke` |
+//! | R03 materialize | `apply_child_items` |
+//! | R04 complete / resolve | `finish_serving`, `complete_serving` |
+//! | R05 fault | `fail_serving` |
+//! | R06 abort-up | `child_failed` → `abort_local` |
+//! | R07 abort-down | `propagate_abort` / `handle_abort` |
+//! | R08 compensate | `abort_local`, `handle_compensate` |
+//! | R09 commit cascade | `handle_commit` |
+//! | R10 crash / presumed abort | `crash_recover` |
 
 use crate::chain::ActiveList;
 use crate::compensate::{compensation_for_effects, CompBundle, CompensatingService};
@@ -762,7 +783,7 @@ impl AxmlPeer {
     // ------------------------------------------------------------------
 
     /// Submits a transaction at this peer: invoke local service `method`.
-    /// Returns the new transaction id.
+    /// Returns the new transaction id. (Spec rule **R01**.)
     pub fn submit(&mut self, ctx: &mut Ctx<'_, TxnMsg>, method: &str, params: Vec<(String, String)>) -> TxnId {
         let txn = TxnId::new(self.id, (self.epoch << 48) | self.next_txn);
         self.next_txn += 1;
@@ -813,6 +834,9 @@ impl AxmlPeer {
     // Serving: wave-based materialization, then execution.
     // ------------------------------------------------------------------
 
+    /// Accepts an `Invoke` and starts serving it. (Spec rule **R02**;
+    /// re-serving after churn re-arms the peer's obligations, which the
+    /// conformance checker models as a frame reset.)
     #[allow(clippy::too_many_arguments)]
     fn handle_invoke(
         &mut self,
@@ -1211,6 +1235,8 @@ impl AxmlPeer {
     }
 
     /// Applies a child's result items to its target, logging effects.
+    /// (Spec rule **R03**: materialization must precede the local
+    /// resolve, and each logged effect is a compensation obligation.)
     fn apply_child_items(
         &mut self,
         ctx: &mut Ctx<'_, TxnMsg>,
@@ -1270,7 +1296,8 @@ impl AxmlPeer {
         }
     }
 
-    /// Runs the service body once every sub-invocation is in.
+    /// Runs the service body once every sub-invocation is in. (Spec rule
+    /// **R04**: a completion at the origin is the commit decision.)
     fn complete_serving(&mut self, ctx: &mut Ctx<'_, TxnMsg>, serving_inv: InvocationId) {
         let Some(serving) = self.servings.get(&serving_inv) else { return };
         let txn = serving.txn;
@@ -1330,7 +1357,9 @@ impl AxmlPeer {
         }
     }
 
-    /// Ships a successful serving's results.
+    /// Ships a successful serving's results. (Spec rule **R04**; after
+    /// the resolve the frame is terminal — invariant I3 forbids any
+    /// further activity under this transaction.)
     fn finish_serving(&mut self, ctx: &mut Ctx<'_, TxnMsg>, serving_inv: InvocationId, items: Vec<Fragment>) {
         let Some(serving) = self.servings.remove(&serving_inv) else { return };
         let txn = serving.txn;
@@ -1497,7 +1526,9 @@ impl AxmlPeer {
     }
 
     /// A child invocation failed (fault message, failed send, or detected
-    /// disconnection): §3.2's recovery decision point.
+    /// disconnection): §3.2's recovery decision point. (Spec rule
+    /// **R06**: if forward recovery is exhausted, the fault continues up
+    /// and the abort cascades down.)
     fn child_failed(&mut self, ctx: &mut Ctx<'_, TxnMsg>, inv: InvocationId, fault: Fault) {
         let Some(mut wc) = self.waiting.remove(&inv) else {
             self.stats.late_messages += 1;
@@ -1634,7 +1665,8 @@ impl AxmlPeer {
     // ------------------------------------------------------------------
 
     /// A serving cannot complete: abort the local context and propagate
-    /// per the nested recovery protocol.
+    /// per the nested recovery protocol. (Spec rule **R05**: the fault
+    /// travels up to the invoker as a `Fault` message.)
     fn fail_serving(&mut self, ctx: &mut Ctx<'_, TxnMsg>, serving_inv: InvocationId, fault: Fault) {
         let Some(serving) = self.servings.remove(&serving_inv) else { return };
         let txn = serving.txn;
@@ -1677,7 +1709,8 @@ impl AxmlPeer {
     }
 
     /// Compensates this peer's own effects from its log and marks the
-    /// context aborted.
+    /// context aborted. (Spec rules **R06**/**R08**: undo runs in
+    /// strictly decreasing log order — invariant I2.)
     fn abort_local(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId) {
         let mut batches = {
             let Some(tc) = self.contexts.get_mut(&txn) else { return };
@@ -1757,6 +1790,8 @@ impl AxmlPeer {
     }
 
     /// Sends abort/compensate messages to every peer this context invoked.
+    /// (Spec rule **R07**; invariant I4 requires each of these aborts to
+    /// land — resolve the target — or be absorbed by churn.)
     fn propagate_abort(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId, skip: Option<PeerId>) {
         let Some(tc) = self.contexts.get(&txn) else { return };
         if self.config.peer_independent {
@@ -1821,6 +1856,8 @@ impl AxmlPeer {
         }
     }
 
+    /// Delivers an `Abort`: abort locally, then continue the downward
+    /// cascade. (Spec rules **R06**/**R07**.)
     fn handle_abort(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId, _from: PeerId) {
         self.stats.aborts_received += 1;
         if !self.contexts.contains_key(&txn) {
@@ -1846,6 +1883,8 @@ impl AxmlPeer {
         self.propagate_abort(ctx, txn, None);
     }
 
+    /// Delivers a `Commit` from the parent and cascades it to invokees.
+    /// (Spec rule **R09**.)
     fn handle_commit(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId) {
         {
             let Some(tc) = self.contexts.get_mut(&txn) else { return };
@@ -1884,7 +1923,7 @@ impl AxmlPeer {
     }
 
     /// Executes a received compensating service — statelessly, as §3.2
-    /// prescribes.
+    /// prescribes. (Spec rule **R08**.)
     fn handle_compensate(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId, service: CompensatingService) {
         let actions: u64 = service.actions.iter().map(|(_, a)| a.len() as u64).sum();
         let cost = self.execute_compensation(&service);
@@ -2112,7 +2151,9 @@ impl AxmlPeer {
     /// context is *presumed aborted*: its own effects are compensated
     /// against the repository, the resolution is journaled (so a second
     /// crash does not re-compensate), and the abort is pushed to the
-    /// parent (upward `Fault`) and the invoked subtree.
+    /// parent (upward `Fault`) and the invoked subtree. (Spec rule
+    /// **R10**: the restart opens a fresh epoch; obligations from the
+    /// crashed epoch are excused, not forgotten.)
     fn crash_recover(&mut self, ctx: &mut Ctx<'_, TxnMsg>) {
         self.stats.crash_recoveries += 1;
         self.servings.clear();

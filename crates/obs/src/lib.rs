@@ -19,6 +19,7 @@
 //! table, and monitor findings; `--prom FILE` writes the Prometheus
 //! exposition.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analytics;

@@ -11,6 +11,8 @@
 //! nonzero when the monitor reports any finding, so CI can gate on a
 //! clean protocol run.
 
+#![forbid(unsafe_code)]
+
 use axml_obs::{critical_paths, derive_histograms, percentile_table, render_prometheus, Monitor};
 use axml_trace::TraceJournal;
 use std::io::Read as _;

@@ -15,6 +15,7 @@
 //! unifying the simulator's `NetMetrics` with per-peer protocol stats,
 //! included in trace dumps so a journal is self-describing.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::{Deserialize, Serialize};

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `axml` — Atomicity for P2P based XML Repositories.
