@@ -28,17 +28,20 @@ use axml_core::context::TxnState;
 use axml_core::peer::PeerConfig;
 use axml_core::scenarios::{Scenario, ScenarioBuilder, ScenarioReport};
 use axml_obs::{derive_histograms, Histogram, Monitor, MonitorFinding};
-use axml_p2p::{CrashEvent, FaultPlane, NetMetrics, Partition, PeerId, ScriptedFault, Snapshot};
+use axml_p2p::{CrashEvent, FaultPlane, NetMetrics, Partition, PeerId, ScriptedFault, Snapshot, StorageFaultPlane};
 use axml_spec::Conformance;
+use axml_store::{WalConfig, WalSink};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 mod parallel;
 pub use parallel::par_map;
 
 /// Scenario names the harness knows how to build.
-pub const SCENARIOS: &[&str] = &["fig1", "fig2", "fig1-abort", "deep"];
+pub const SCENARIOS: &[&str] = &["fig1", "fig2", "fig1-abort", "deep", "fig1-crash"];
 
 /// Builds the named scenario's tree (fault plane and config not yet
 /// applied). Returns `None` for unknown names.
@@ -53,6 +56,16 @@ pub fn builder_for(name: &str) -> Option<ScenarioBuilder> {
         "fig1-abort" => Some(ScenarioBuilder::fig1().fault_at(5)),
         // A four-deep chain: maximal nesting depth per message.
         "deep" => Some(ScenarioBuilder::new(1, &[(1, 2), (2, 3), (3, 4)])),
+        // Fig. 1 with S2 slow and faulty, so the AP3 subtree completes
+        // before the abort arrives and AP3 has real compensation work to
+        // do — then (see [`run_inner`]) AP3 crash-restarts while doing
+        // it. Every peer runs a disk-backed WAL: the restarted peer must
+        // rebuild its mid-compensation state purely from its segments.
+        "fig1-crash" => {
+            let mut b = ScenarioBuilder::fig1().fault_at(2);
+            b.durations.insert(2, 60);
+            Some(b)
+        }
         _ => None,
     }
 }
@@ -69,21 +82,27 @@ pub enum Profile {
     /// Everything: the mixed message faults plus a windowed partition
     /// and a crash-restart, both placed deterministically from the seed.
     Storm,
+    /// Storage faults: every peer runs a disk-backed WAL whose appends
+    /// draw torn writes and sync failures from the seed, plus mixed
+    /// message faults and a seeded crash-restart that leaves a
+    /// partial-segment artifact for recovery to discard.
+    Storage,
 }
 
 impl Profile {
     /// All profiles, in sweep order.
     pub fn all() -> &'static [Profile] {
-        &[Profile::Drops, Profile::Dups, Profile::Mixed, Profile::Storm]
+        &[Profile::Drops, Profile::Dups, Profile::Mixed, Profile::Storm, Profile::Storage]
     }
 
-    /// Parses a profile name (`drops` / `dups` / `mixed` / `storm`).
+    /// Parses a profile name (`drops` / `dups` / `mixed` / `storm` / `storage`).
     pub fn parse(name: &str) -> Option<Profile> {
         match name {
             "drops" => Some(Profile::Drops),
             "dups" => Some(Profile::Dups),
             "mixed" => Some(Profile::Mixed),
             "storm" => Some(Profile::Storm),
+            "storage" => Some(Profile::Storage),
             _ => None,
         }
     }
@@ -95,6 +114,7 @@ impl Profile {
             Profile::Dups => "dups",
             Profile::Mixed => "mixed",
             Profile::Storm => "storm",
+            Profile::Storage => "storage",
         }
     }
 }
@@ -116,6 +136,20 @@ pub fn plane_for(profile: Profile, seed: u64, peers: &[u32]) -> FaultPlane {
             p.partitions.push(Partition { start, end: start + 120, a: vec![PeerId(cut)], b: rest });
             let victim = peers[((seed / 3) % k) as usize];
             p.crashes.push(CrashEvent { at: 15 + (seed * 11) % 80, peer: PeerId(victim) });
+            p
+        }
+        Profile::Storage => {
+            // Mild message faults so the storage plane does the damage:
+            // torn appends and sync failures on every peer's WAL while
+            // the protocol is in flight, plus a seeded crash whose
+            // restart must recover from the segments on disk (including
+            // the partial-segment garbage the crash leaves behind).
+            let mut p = FaultPlane::probabilistic(seed, 0.02, 0.04, 0.04, 0.01);
+            p.storage =
+                StorageFaultPlane { torn_append_prob: 0.04, sync_failure_prob: 0.04, partial_segment_on_crash: true };
+            let k = peers.len() as u64;
+            let victim = peers[((seed / 2) % k) as usize];
+            p.crashes.push(CrashEvent { at: 12 + (seed * 13) % 70, peer: PeerId(victim) });
             p
         }
     }
@@ -182,6 +216,10 @@ pub struct CaseResult {
     /// Deterministic digest of the run: outcome, metrics, final document
     /// state, and the injected-fault trace. Equal digests ⇔ equal runs.
     pub digest: u64,
+    /// Digest of the final document state alone ([`doc_state_digest`]) —
+    /// what a crash-recovered run is diffed against its uncrashed
+    /// reference on.
+    pub doc_digest: u64,
     /// Every per-message fault the plane injected, as a replayable script.
     pub trace: Vec<ScriptedFault>,
     /// The plane the run used.
@@ -255,6 +293,21 @@ fn fnv64(text: &str) -> u64 {
     h
 }
 
+/// Digest over the participants' final document state alone — the part
+/// of a run that crash recovery must reproduce exactly. Two aborted runs
+/// of the same topology agree on this digest iff compensation restored
+/// every document to the same bytes, whatever faults each run saw.
+pub fn doc_state_digest(s: &Scenario) -> u64 {
+    let mut text = String::new();
+    for &p in &s.participants {
+        let actor = s.sim.actor(p);
+        for name in actor.repo.names() {
+            text.push_str(&format!("doc {p} {name} {}\n", actor.repo.get(name).expect("listed").to_xml()));
+        }
+    }
+    fnv64(&text)
+}
+
 /// Deterministic digest of a finished run.
 pub fn run_digest(s: &Scenario, report: &ScenarioReport) -> u64 {
     let mut text = String::new();
@@ -293,21 +346,71 @@ pub struct TraceDump {
     pub histograms: BTreeMap<String, Histogram>,
 }
 
+/// Scratch WAL directories for one run's disk-backed sinks, removed on
+/// drop so sweeps leave nothing behind in the temp dir. The paths are
+/// process-unique (pid + counter) and never enter digests, snapshots, or
+/// traces, so runs stay byte-identical regardless of where they land.
+struct WalDirs {
+    base: PathBuf,
+}
+
+impl Drop for WalDirs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.base);
+    }
+}
+
+static WAL_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// Gives every participant a disk-backed [`WalSink`] (one directory per
+/// peer) drawing storage faults from `storage` with a per-peer seed
+/// derived only from `(seed, peer)` — never from thread or path — so a
+/// parallel sweep injects the exact same storage faults as a serial one.
+fn attach_wal_sinks(s: &mut Scenario, storage: &StorageFaultPlane, seed: u64) -> WalDirs {
+    let base = std::env::temp_dir().join(format!(
+        "axml-chaos-wal-{}-{}",
+        std::process::id(),
+        WAL_RUN.fetch_add(1, Ordering::Relaxed)
+    ));
+    for &p in &s.participants {
+        let config = WalConfig::new(base.join(format!("peer-{}", p.0)));
+        let peer_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(u64::from(p.0));
+        let sink = WalSink::with_faults(config, storage.clone(), peer_seed).expect("scratch WAL directory is writable");
+        s.sim.actor_mut(p).set_durability_sink(Box::new(sink));
+    }
+    WalDirs { base }
+}
+
 fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult, Option<TraceDump>) {
     let mut b = builder_for(&case.scenario).expect("known scenario");
     let mut cfg = PeerConfig::default();
     cfg.dedup = case.dedup;
-    if case.scenario == "fig1-abort" {
+    if case.scenario == "fig1-abort" || case.scenario == "fig1-crash" {
         // Keep the abort path an abort path: with no replica around,
         // provider re-lookup would just re-invoke the faulty peer.
         cfg.use_alternative_providers = false;
+    }
+    // The effective plane is the given one plus whatever faults the
+    // scenario itself defines; `CaseResult::plane` keeps the original so
+    // trace replays and the shrinker stay faithful (re-running through
+    // here re-adds the scenario's own faults).
+    let mut effective = plane.clone();
+    if case.scenario == "fig1-crash" {
+        // The scenario's defining crash: AP3 dies while compensating its
+        // completed subtree and must restart from its WAL segments.
+        effective.crashes.push(CrashEvent { at: 70, peer: PeerId(3) });
     }
     // Decouple latency jitter from the fault seed but vary both per case.
     b.seed = 1000 + case.seed;
     if traced {
         b = b.traced();
     }
-    let mut s = b.config(cfg).fault_plane(plane.clone()).build();
+    let mut s = b.config(cfg).fault_plane(effective.clone()).build();
+    // Disk-backed durability whenever storage faults are in play or the
+    // scenario is about crash-restart-from-disk; everything else keeps
+    // the in-memory sink (perfectly durable storage, pre-WAL behavior).
+    let _wal_dirs = (!effective.storage.is_inert() || case.scenario == "fig1-crash")
+        .then(|| attach_wal_sinks(&mut s, &effective.storage, case.seed));
     // The online protocol monitor observes every run (traced or not);
     // observation never perturbs the seeded schedule, so digests are
     // unaffected.
@@ -341,6 +444,7 @@ fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult,
         committed: report.outcome.as_ref().map(|o| o.committed),
         verdict,
         digest,
+        doc_digest: doc_state_digest(&s),
         trace: s.sim.fault_trace().to_vec(),
         plane,
         metrics: report.metrics.clone(),
@@ -646,7 +750,7 @@ mod tests {
     fn small_sweep_with_delivery_layer_has_zero_violations() {
         let scenarios: Vec<String> = SCENARIOS.iter().map(|s| s.to_string()).collect();
         let out = sweep(&scenarios, Profile::all(), 0..3, true);
-        assert_eq!(out.runs, 48);
+        assert_eq!(out.runs, 75);
         assert!(
             out.violations.is_empty(),
             "violations: {:?}",
@@ -658,10 +762,15 @@ mod tests {
     #[test]
     fn parallel_sweep_is_byte_identical_to_serial() {
         use axml_obs::render_prometheus;
-        let scenarios: Vec<String> = vec!["fig1".into(), "deep".into()];
-        let serial = sweep_jobs(&scenarios, &[Profile::Mixed, Profile::Storm], 0..3, true, 1);
+        // `fig1-crash` and `Storage` put the disk-backed WAL (tempdir
+        // scratch space, seeded storage faults) under the byte-identity
+        // bar too: paths and thread placement must never leak into
+        // digests, snapshots, or histograms.
+        let scenarios: Vec<String> = vec!["fig1".into(), "deep".into(), "fig1-crash".into()];
+        let profiles = [Profile::Mixed, Profile::Storm, Profile::Storage];
+        let serial = sweep_jobs(&scenarios, &profiles, 0..3, true, 1);
         for jobs in [2, 8] {
-            let par = sweep_jobs(&scenarios, &[Profile::Mixed, Profile::Storm], 0..3, true, jobs);
+            let par = sweep_jobs(&scenarios, &profiles, 0..3, true, jobs);
             assert_eq!(par.runs, serial.runs);
             assert_eq!(par.committed, serial.committed);
             assert_eq!(par.aborted, serial.aborted);
@@ -675,6 +784,53 @@ mod tests {
         }
         assert!(serial.histograms.values().any(|h| h.count() > 0), "traced sweep derives latency samples");
         assert!(serial.snapshot.get("net.sent") > 0, "merged snapshot aggregates counters");
+    }
+
+    #[test]
+    fn crash_restart_rebuilds_state_from_wal_segments() {
+        // fig1-crash with no message faults at all: AP3 dies while
+        // compensating its completed subtree, and its restart rebuilds
+        // the mid-compensation state purely from its on-disk segments
+        // (`set_durability_sink` replaced the in-memory sink before the
+        // run, and `crash_recover` reloads the journal from the sink's
+        // recovery scan — there is no in-memory clone path left). The
+        // oracle, the online monitor, and the spec gate must all pass,
+        // and every participant's document must equal the baseline.
+        let mut recovered_somewhere = false;
+        for seed in 0..4 {
+            let case = CaseConfig::new("fig1-crash", Profile::Drops, seed);
+            let plane = FaultPlane::probabilistic(case.seed, 0.0, 0.0, 0.0, 0.0);
+            let (result, _dump) = run_with_plane_traced(&case, plane);
+            assert!(result.verdict.ok, "seed {seed}: {}", result.verdict.reason);
+            assert_eq!(result.committed, Some(false), "seed {seed}: fig1-crash aborts");
+            assert!(result.conformance.expect("traced").is_clean());
+            assert_eq!(result.snapshot.get("peer.3.crash_recoveries"), 1, "seed {seed}: AP3 crash-restarted");
+            if result.snapshot.get("wal.recovery_entries") > 0 {
+                recovered_somewhere = true;
+            }
+        }
+        assert!(recovered_somewhere, "at least one seed must recover journal entries from disk");
+    }
+
+    #[test]
+    fn storage_profile_sweep_is_clean_and_exercises_the_wal() {
+        // The storage fault profile — torn appends, sync failures, crash
+        // garbage — swept under the full gate: zero atomicity
+        // violations, zero monitor findings, zero conformance breaks,
+        // while the `wal.*` counters prove the faults actually fired and
+        // recovery actually ran.
+        let scenarios: Vec<String> = vec!["fig1".into(), "fig1-crash".into()];
+        let out = sweep(&scenarios, &[Profile::Storage], 0..4, true);
+        assert_eq!(out.runs, 8);
+        assert!(
+            out.violations.is_empty(),
+            "violations: {:?}",
+            out.violations.iter().map(|v| format!("{}: {}", v.case.label(), v.reason)).collect::<Vec<_>>()
+        );
+        assert!(out.findings.is_empty(), "monitor findings: {:?}", out.findings);
+        assert!(out.snapshot.get("wal.bytes_appended") > 0, "WAL appends happened");
+        assert!(out.snapshot.get("wal.recovery_entries") > 0, "crash recovery replayed disk entries");
+        assert!(out.snapshot.get("wal.append_faults") > 0, "storage faults fired somewhere in the sweep");
     }
 
     #[test]

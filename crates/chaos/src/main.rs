@@ -3,13 +3,14 @@
 //! ```text
 //! axml-chaos sweep [--seeds N] [--scenarios a,b] [--profiles p,q] [--no-dedup] [--jobs N] [--prom FILE]
 //! axml-chaos smoke [--seeds N] [--jobs N]
+//! axml-chaos store-smoke [--seeds N]
 //! axml-chaos shrink-demo
 //! axml-chaos trace (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup]) [--journal FILE]
 //! axml-chaos stats (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup]) [--prom FILE]
 //! ```
 //!
 //! `sweep` runs the full scenario × profile × seed matrix (default
-//! 4 × 4 × 16 = 256 runs) — every run watched by the online protocol
+//! 5 × 5 × 16 = 400 runs) — every run watched by the online protocol
 //! monitor — and exits non-zero on any oracle violation or monitor
 //! finding, printing each violation's shrunk scripted reproducer as JSON
 //! plus the lifecycle trace of the minimal failing run. `--jobs N`
@@ -17,6 +18,14 @@
 //! and `--prom` exposition are byte-identical for every jobs value
 //! (cases merge in canonical order, not completion order).
 //! `smoke` is the small CI variant (2 scenarios × storm × 16 seeds).
+//! `store-smoke` is the durability CI check: per seed it runs the
+//! traced `fig1-crash` case under the `storage` fault profile — every
+//! peer on a disk-backed WAL, torn appends and sync failures in flight,
+//! a mid-compensation kill+restart recovering from the segments — and
+//! diffs the recovered run's final document state digest against an
+//! uncrashed, fault-free reference of the same abort. It exits non-zero
+//! on any digest mismatch, oracle violation, or if recovery never
+//! actually replayed entries from disk.
 //! `shrink-demo` deliberately disables duplicate suppression under the
 //! duplication profile and shows the oracle catching it — it exits
 //! non-zero if the broken variant is NOT caught.
@@ -31,8 +40,8 @@
 #![forbid(unsafe_code)]
 
 use axml_chaos::{
-    builder_for, events_of, plane_for, run_case, run_with_plane_traced, shrink_failure, sweep_jobs, CaseConfig,
-    Profile, SweepOutcome, SCENARIOS,
+    builder_for, events_of, plane_for, run_case, run_with_plane, run_with_plane_traced, shrink_failure, sweep_jobs,
+    CaseConfig, Profile, SweepOutcome, SCENARIOS,
 };
 use axml_obs::{critical_paths, derive_histograms, percentile_table, render_prometheus};
 use axml_p2p::{FaultPlane, TraceJournal};
@@ -148,6 +157,55 @@ fn main() {
             let scenarios = vec!["fig1".to_string(), "fig2".to_string()];
             report(&sweep_jobs(&scenarios, &[Profile::Storm], 0..seeds, true, jobs))
         }
+        "store-smoke" => {
+            // The crashed side: fig1-crash (AP3 killed mid-compensation,
+            // restart from its WAL segments) under the storage fault
+            // profile, traced so the spec conformance gate rides along.
+            // The reference side: the same abort, fault-free and
+            // uncrashed. Both end at the pre-transaction baseline, so
+            // their final-document digests must be identical.
+            let mut ok = true;
+            for seed in 0..seeds.max(1) {
+                let case = CaseConfig::new("fig1-crash", Profile::Storage, seed);
+                let b = builder_for("fig1-crash").expect("known scenario");
+                let plane = plane_for(Profile::Storage, seed, &b.peers());
+                let (crashed, _dump) = run_with_plane_traced(&case, plane);
+                let ref_case = CaseConfig::new("fig1-abort", Profile::Storage, seed);
+                let reference = run_with_plane(&ref_case, FaultPlane::probabilistic(seed, 0.0, 0.0, 0.0, 0.0));
+                let recovered = crashed.snapshot.get("wal.recovery_entries");
+                println!(
+                    "seed {seed}: crashed docs={:016x} reference docs={:016x} wal.recovery_entries={recovered} \
+                     wal.torn_tails_discarded={} wal.append_faults={}",
+                    crashed.doc_digest,
+                    reference.doc_digest,
+                    crashed.snapshot.get("wal.torn_tails_discarded"),
+                    crashed.snapshot.get("wal.append_faults"),
+                );
+                if !crashed.verdict.ok {
+                    println!("  VIOLATION: {}", crashed.verdict.reason);
+                    ok = false;
+                }
+                if crashed.committed != Some(false) || reference.committed != Some(false) {
+                    println!(
+                        "  FAIL: both runs must abort (crashed={:?} reference={:?})",
+                        crashed.committed, reference.committed
+                    );
+                    ok = false;
+                }
+                if recovered == 0 {
+                    println!("  FAIL: restart never replayed WAL entries from disk");
+                    ok = false;
+                }
+                if crashed.doc_digest != reference.doc_digest {
+                    println!("  FAIL: recovered document state diverges from the uncrashed reference");
+                    ok = false;
+                }
+            }
+            if ok {
+                println!("store-smoke: recovered state matches the uncrashed reference on every seed");
+            }
+            ok
+        }
         "shrink-demo" => {
             let mut caught = false;
             for seed in 0..64 {
@@ -231,7 +289,7 @@ fn main() {
             result.findings.is_empty()
         }
         other => {
-            eprintln!("unknown command `{other}` (expected sweep | smoke | shrink-demo | trace | stats)");
+            eprintln!("unknown command `{other}` (expected sweep | smoke | store-smoke | shrink-demo | trace | stats)");
             false
         }
     };

@@ -146,8 +146,17 @@ pub fn journal_of(tc: &TransactionContext) -> Vec<JournalEntry> {
 
 /// Rebuilds contexts from a journal (one peer's entries, any number of
 /// transactions interleaved).
+///
+/// Replay is **idempotent**: an exact duplicate of an already-seen entry
+/// is skipped, so replaying the same journal twice — or a journal whose
+/// tail entry was doubled by a torn-write retry — yields identical
+/// contexts. Exact-match dedup is sound because distinct events always
+/// differ in some field: re-begins carry a later `at`, invocations have
+/// unique ids, and repeated effects on the same document differ in their
+/// recorded old values.
 pub fn replay(entries: &[JournalEntry]) -> Result<Vec<TransactionContext>, JournalError> {
     let mut contexts: Vec<TransactionContext> = Vec::new();
+    let mut seen: Vec<&JournalEntry> = Vec::new();
     // Last match, not first: a transaction whose context resolved and was
     // later legitimately re-begun (forward recovery re-invokes an aborted
     // participant) journals a second `Begin`, and entries after it belong
@@ -156,6 +165,10 @@ pub fn replay(entries: &[JournalEntry]) -> Result<Vec<TransactionContext>, Journ
         contexts.iter().rposition(|c| c.txn == txn)
     };
     for e in entries {
+        if seen.contains(&e) {
+            continue;
+        }
+        seen.push(e);
         match e {
             JournalEntry::Begin { txn, parent, chain, at } => {
                 contexts.push(TransactionContext::new(*txn, *parent, chain.clone(), *at));
@@ -202,6 +215,89 @@ pub fn decode(text: &str) -> Result<Vec<JournalEntry>, JournalError> {
         out.push(serde_json::from_str(line).map_err(|source| JournalError::Decode { line: i + 1, source })?);
     }
     Ok(out)
+}
+
+/// Counters describing a durability sink's stable-storage activity.
+/// Surfaced through the metrics snapshot as `wal.*`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Segments closed because the size threshold was reached.
+    pub segments_rotated: u64,
+    /// Payload + frame-header bytes durably appended.
+    pub bytes_appended: u64,
+    /// Entries recovered from stable storage at the last crash-restart.
+    pub recovery_entries: u64,
+    /// Torn tails (truncated/corrupt final frames) discarded at recovery.
+    pub torn_tails_discarded: u64,
+    /// Appends that reported a storage fault to the caller.
+    pub append_faults: u64,
+}
+
+/// Stable storage for a peer's journal.
+///
+/// The peer writes every [`JournalEntry`] through its sink *before*
+/// letting the entry's consequences escape (effects visible, messages
+/// sent). A sink may refuse an append (storage fault); the caller must
+/// then roll back whatever the entry was about to make durable. On
+/// crash-restart the sink is the **sole** source of surviving entries —
+/// the peer rebuilds its contexts from what the sink returns, nothing
+/// else.
+pub trait DurabilitySink: fmt::Debug + Send {
+    /// Appends one entry. Returns `false` on a storage fault: the entry
+    /// is not durable and its consequences must not escape.
+    fn append(&mut self, entry: &JournalEntry) -> bool;
+
+    /// Appends a decision record or cross-peer obligation, forcing it
+    /// through transient storage faults (bounded deterministic retry,
+    /// then a fault-free write). Decision records must never be lost:
+    /// a dropped `Resolved` would re-compensate on the next crash, a
+    /// dropped `RemoteInvoked` would orphan a child subtree.
+    fn append_forced(&mut self, entry: &JournalEntry);
+
+    /// Simulates a crash followed by a restart: volatile state (buffers,
+    /// open writers) is dropped and the entries surviving on stable
+    /// storage are recovered and returned, oldest first.
+    fn crash_restart(&mut self) -> Vec<JournalEntry>;
+
+    /// Activity counters.
+    fn stats(&self) -> WalStats;
+}
+
+/// The default sink: perfectly durable in-memory storage. Keeps the
+/// pre-WAL behavior (and determinism) — every append succeeds, and a
+/// crash-restart returns everything ever appended.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    entries: Vec<JournalEntry>,
+    stats: WalStats,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DurabilitySink for MemorySink {
+    fn append(&mut self, entry: &JournalEntry) -> bool {
+        self.stats.bytes_appended += serde_json::to_string(entry).map(|s| s.len() as u64).unwrap_or(0);
+        self.entries.push(entry.clone());
+        true
+    }
+
+    fn append_forced(&mut self, entry: &JournalEntry) {
+        self.append(entry);
+    }
+
+    fn crash_restart(&mut self) -> Vec<JournalEntry> {
+        self.stats.recovery_entries = self.entries.len() as u64;
+        self.entries.clone()
+    }
+
+    fn stats(&self) -> WalStats {
+        self.stats
+    }
 }
 
 /// The outcome of crash recovery at one peer.
@@ -343,6 +439,57 @@ mod tests {
         let err = decode(&mixed).unwrap_err();
         let JournalError::Decode { line, .. } = err else { panic!() };
         assert!(line > 1);
+    }
+
+    #[test]
+    fn replay_is_idempotent_under_double_replay() {
+        // Replaying the whole journal twice (as a recovery retry after a
+        // crash-during-recovery would) must yield the same contexts as
+        // replaying it once.
+        for state in [None, Some(TxnState::Committed), Some(TxnState::Aborted)] {
+            let (tc, _repo) = sample_context(state);
+            let journal = journal_of(&tc);
+            let once = replay(&journal).unwrap();
+            let mut doubled = journal.clone();
+            doubled.extend(journal.clone());
+            let twice = replay(&doubled).unwrap();
+            assert_eq!(once, twice, "state={state:?}");
+            assert_eq!(twice.len(), 1);
+            assert_eq!(twice[0], tc);
+        }
+    }
+
+    #[test]
+    fn replay_tolerates_duplicated_tail_entry() {
+        // A torn-write retry re-appends the frame it could not confirm,
+        // so the journal may carry the same tail entry twice in a row.
+        let (tc, _repo) = sample_context(None);
+        let journal = journal_of(&tc);
+        for cut in 1..=journal.len() {
+            let mut dup = journal[..cut].to_vec();
+            dup.push(journal[cut - 1].clone());
+            let rebuilt = replay(&dup).unwrap();
+            let clean = replay(&journal[..cut]).unwrap();
+            assert_eq!(rebuilt, clean, "duplicated entry #{cut} must be a no-op");
+        }
+    }
+
+    #[test]
+    fn replay_dedup_keeps_legitimate_rebegin() {
+        // A re-begun transaction journals a second Begin with a later
+        // `at`; that is NOT a duplicate and must open a new incarnation.
+        let txn = TxnId::new(PeerId(3), 0);
+        let chain = ActiveList::new(PeerId(1), true);
+        let entries = vec![
+            JournalEntry::Begin { txn, parent: None, chain: chain.clone(), at: 7 },
+            JournalEntry::Resolved { txn, committed: false, at: 9 },
+            JournalEntry::Begin { txn, parent: None, chain, at: 20 },
+        ];
+        let rebuilt = replay(&entries).unwrap();
+        assert_eq!(rebuilt.len(), 2);
+        assert_eq!(rebuilt[0].state, TxnState::Aborted);
+        assert_eq!(rebuilt[1].state, TxnState::Active);
+        assert_eq!(rebuilt[1].created_at, 20);
     }
 
     #[test]

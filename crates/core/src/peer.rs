@@ -48,7 +48,7 @@
 use crate::chain::ActiveList;
 use crate::compensate::{compensation_for_effects, CompBundle, CompensatingService};
 use crate::context::{TransactionContext, TxnOutcome, TxnState};
-use crate::durability::{self, JournalEntry};
+use crate::durability::{self, DurabilitySink, JournalEntry, MemorySink, WalStats};
 use crate::ids::{InvocationId, TxnId};
 use crate::isolation::ConflictTable;
 use crate::messages::TxnMsg;
@@ -266,6 +266,8 @@ pub struct PeerStats {
     pub dup_suppressed: u64,
     /// High-water mark of the dedup set (entries, before pruning).
     pub seen_peak: u64,
+    /// Journal appends refused by the durability sink (storage faults).
+    pub storage_faults: u64,
     /// Crash-restarts this peer recovered from.
     pub crash_recoveries: u64,
     /// In-doubt contexts presumed aborted during crash recovery.
@@ -302,6 +304,7 @@ impl PeerStats {
         s.set(format!("peer.{p}.retransmit_giveups"), self.retransmit_giveups);
         s.set(format!("peer.{p}.dup_suppressed"), self.dup_suppressed);
         s.set(format!("peer.{p}.seen_peak"), self.seen_peak);
+        s.set(format!("peer.{p}.storage_faults"), self.storage_faults);
         s.set(format!("peer.{p}.crash_recoveries"), self.crash_recoveries);
         s.set(format!("peer.{p}.presumed_aborts"), self.presumed_aborts);
         s.set(format!("peer.{p}.detections"), self.detections.len() as u64);
@@ -469,10 +472,15 @@ pub struct AxmlPeer {
     /// result was dropped in flight), a chain notice lets us re-offer the
     /// work to an ancestor — scenario (c)'s reuse.
     completed_results: BTreeMap<TxnId, (String, Vec<Fragment>, CompBundle)>,
-    /// The durability journal: every context state change, appended as it
-    /// happens. Survives crash-restarts (it models stable storage) and
-    /// seeds [`Self::on_crash_restart`]'s replay.
+    /// In-memory mirror of what the durability sink holds, for the
+    /// [`Self::journal`] accessor and diagnostics. Only entries the sink
+    /// durably acknowledged land here; after a crash-restart it is reset
+    /// to exactly what the sink recovered from stable storage.
     journal: Vec<JournalEntry>,
+    /// Stable storage for the journal. Every entry goes through the sink
+    /// before its consequences escape; on crash-restart the sink is the
+    /// sole source of surviving entries.
+    sink: Box<dyn DurabilitySink>,
     /// Crash-restart epoch (the simulator incarnation at last restart).
     /// Namespaces invocation/transaction/delivery counters so a restarted
     /// peer never reuses an id that may still be live in the network.
@@ -524,6 +532,7 @@ impl AxmlPeer {
             prefill_store: BTreeMap::new(),
             completed_results: BTreeMap::new(),
             journal: Vec::new(),
+            sink: Box::new(MemorySink::new()),
             epoch: 0,
             next_delivery: 0,
             outbox: BTreeMap::new(),
@@ -547,9 +556,26 @@ impl AxmlPeer {
         self.servings.is_empty() && self.waiting.is_empty() && self.outbox.is_empty()
     }
 
-    /// The durability journal accumulated so far (stable storage).
+    /// The durable journal accumulated so far (the entries the sink has
+    /// acknowledged; after a restart, what it recovered).
     pub fn journal(&self) -> &[JournalEntry] {
         &self.journal
+    }
+
+    /// Replaces the durability sink (e.g. with an on-disk WAL). Entries
+    /// already journaled are carried over so the new sink holds the full
+    /// durable history; normally called right after construction, before
+    /// the peer runs.
+    pub fn set_durability_sink(&mut self, mut sink: Box<dyn DurabilitySink>) {
+        for e in &self.journal {
+            sink.append_forced(e);
+        }
+        self.sink = sink;
+    }
+
+    /// The durability sink's activity counters (`wal.*`).
+    pub fn wal_stats(&self) -> WalStats {
+        self.sink.stats()
     }
 
     /// Peers currently being kept alive by this peer's failure detector
@@ -591,24 +617,49 @@ impl AxmlPeer {
         }
     }
 
-    /// Appends to the durability journal, mirroring the write into the
-    /// trace as a [`EventKind::LogAppend`] event — every stable-storage
-    /// transition is visible in the run's causal record.
-    fn journal_append(&mut self, ctx: &mut Ctx<'_, TxnMsg>, entry: JournalEntry) {
+    fn journal_entry_label(entry: &JournalEntry) -> (TxnId, String) {
+        match entry {
+            JournalEntry::Begin { txn, .. } => (*txn, "begin".to_string()),
+            JournalEntry::Local { txn, op_label, effects, .. } => {
+                (*txn, format!("local {op_label} effects={}", effects.len()))
+            }
+            JournalEntry::RemoteInvoked { txn, inv, method, .. } => (*txn, format!("remote-invoked {inv} {method}")),
+            JournalEntry::RemoteCompleted { txn, inv, .. } => (*txn, format!("remote-completed {inv}")),
+            JournalEntry::Resolved { txn, committed, .. } => {
+                (*txn, format!("resolved {}", if *committed { "commit" } else { "abort" }))
+            }
+        }
+    }
+
+    /// Appends to the durability journal through the sink, mirroring a
+    /// durable write into the trace as a [`EventKind::LogAppend`] event —
+    /// every stable-storage transition is visible in the run's causal
+    /// record. Returns `false` on a storage fault: the entry is NOT
+    /// durable (nothing is traced or mirrored) and the caller must roll
+    /// back whatever the entry was about to make durable.
+    #[must_use]
+    fn journal_append(&mut self, ctx: &mut Ctx<'_, TxnMsg>, entry: JournalEntry) -> bool {
+        if !self.sink.append(&entry) {
+            self.stats.storage_faults += 1;
+            return false;
+        }
         if ctx.tracing() {
-            let (txn, label) = match &entry {
-                JournalEntry::Begin { txn, .. } => (*txn, "begin".to_string()),
-                JournalEntry::Local { txn, op_label, effects, .. } => {
-                    (*txn, format!("local {op_label} effects={}", effects.len()))
-                }
-                JournalEntry::RemoteInvoked { txn, inv, method, .. } => {
-                    (*txn, format!("remote-invoked {inv} {method}"))
-                }
-                JournalEntry::RemoteCompleted { txn, inv, .. } => (*txn, format!("remote-completed {inv}")),
-                JournalEntry::Resolved { txn, committed, .. } => {
-                    (*txn, format!("resolved {}", if *committed { "commit" } else { "abort" }))
-                }
-            };
+            let (txn, label) = Self::journal_entry_label(&entry);
+            ctx.emit(Some(txn.to_string()), None, None, EventKind::LogAppend { entry: label });
+        }
+        self.journal.push(entry);
+        true
+    }
+
+    /// Appends a decision record or cross-peer obligation, forcing it
+    /// through transient storage faults (the sink retries until the write
+    /// is durable). Used wherever losing the entry would break atomicity
+    /// rather than merely fail one serving: `Resolved` decisions,
+    /// `RemoteInvoked` obligations, tombstones, recovery records.
+    fn journal_append_forced(&mut self, ctx: &mut Ctx<'_, TxnMsg>, entry: JournalEntry) {
+        self.sink.append_forced(&entry);
+        if ctx.tracing() {
+            let (txn, label) = Self::journal_entry_label(&entry);
             ctx.emit(Some(txn.to_string()), None, None, EventKind::LogAppend { entry: label });
         }
         self.journal.push(entry);
@@ -789,7 +840,7 @@ impl AxmlPeer {
         self.next_txn += 1;
         let chain = ActiveList::new(self.id, self.config.is_super);
         let tc = TransactionContext::new(txn, None, chain.clone(), ctx.now());
-        self.journal_append(ctx, JournalEntry::Begin { txn, parent: None, chain, at: ctx.now() });
+        self.journal_append_forced(ctx, JournalEntry::Begin { txn, parent: None, chain, at: ctx.now() });
         self.contexts.insert(txn, tc);
         let inv = self.alloc_inv();
         self.emit(ctx, Some(txn), Some(inv), None, EventKind::Submit { method: method.to_string() });
@@ -867,10 +918,20 @@ impl AxmlPeer {
         }
         if !self.contexts.contains_key(&txn) {
             let tc = TransactionContext::new(txn, Some((from, inv)), chain.clone(), ctx.now());
-            self.journal_append(
+            // The context must be durable before we take on the serving:
+            // a crash after effects but before a recoverable Begin could
+            // never be compensated. On a storage fault, refuse the work —
+            // the invoker treats it like any other fault (retry,
+            // alternative provider, or abort).
+            let begun = self.journal_append(
                 ctx,
                 JournalEntry::Begin { txn, parent: Some((from, inv)), chain: chain.clone(), at: ctx.now() },
             );
+            if !begun {
+                let fault = Fault::new("StorageFault", format!("journal append failed at {}", self.id));
+                let _ = self.send_reliable(ctx, from, TxnMsg::Fault { txn, inv, fault });
+                return;
+            }
             self.contexts.insert(txn, tc);
         }
         let tc = self.contexts.get_mut(&txn).expect("inserted above");
@@ -1139,7 +1200,10 @@ impl AxmlPeer {
             tc.record_remote(peer, inv, call.method.clone());
         }
         if self.contexts.contains_key(&txn) {
-            self.journal_append(
+            // A durable record of the outgoing invocation must exist
+            // before the Invoke leaves: a crash between send and append
+            // would orphan the child subtree (it would never be aborted).
+            self.journal_append_forced(
                 ctx,
                 JournalEntry::RemoteInvoked { txn, child: peer, inv, method: call.method.clone() },
             );
@@ -1272,7 +1336,7 @@ impl AxmlPeer {
                         EventKind::Materialize { doc: doc.clone(), items: items.len() as u64 },
                     );
                     if !effects.is_empty() {
-                        self.journal_append(
+                        let logged = self.journal_append(
                             ctx,
                             JournalEntry::Local {
                                 txn,
@@ -1281,6 +1345,19 @@ impl AxmlPeer {
                                 effects: effects.clone(),
                             },
                         );
+                        if !logged {
+                            // Effect barrier: the effects may not outlive
+                            // an unlogged (uncompensatable) record. Undo
+                            // them and fail the serving — same shape as
+                            // an isolation-conflict rollback.
+                            if let Some(document) = self.repo.get_mut(&doc) {
+                                let inverse = compensation_for_effects(&effects);
+                                let _ = crate::compensate::apply_compensation(document, &inverse);
+                            }
+                            let fault = Fault::new("StorageFault", format!("journal append failed at {}", self.id));
+                            self.fail_serving(ctx, serving_inv, fault);
+                            return;
+                        }
                     }
                     if let Some(tc) = self.contexts.get_mut(&txn) {
                         tc.record_local(doc, format!("materialize {method}"), effects);
@@ -1337,7 +1414,7 @@ impl AxmlPeer {
                 if let Some(doc) = doc {
                     if self.contexts.contains_key(&txn) {
                         if !resp.effects.is_empty() {
-                            self.journal_append(
+                            let logged = self.journal_append(
                                 ctx,
                                 JournalEntry::Local {
                                     txn,
@@ -1346,6 +1423,19 @@ impl AxmlPeer {
                                     effects: resp.effects.clone(),
                                 },
                             );
+                            if !logged {
+                                // Effect barrier (see apply_child_items):
+                                // undo the just-applied effects and fail
+                                // the serving through the normal §3.2
+                                // abort path.
+                                if let Some(document) = self.repo.get_mut(&doc) {
+                                    let inverse = compensation_for_effects(&resp.effects);
+                                    let _ = crate::compensate::apply_compensation(document, &inverse);
+                                }
+                                let fault = Fault::new("StorageFault", format!("journal append failed at {}", self.id));
+                                self.fail_serving(ctx, serving_inv, fault);
+                                return;
+                            }
                         }
                         if let Some(tc) = self.contexts.get_mut(&txn) {
                             tc.record_local(doc, method.clone(), resp.effects.clone());
@@ -1406,7 +1496,7 @@ impl AxmlPeer {
                     resolved = true;
                 }
                 if resolved {
-                    self.journal_append(ctx, JournalEntry::Resolved { txn, committed: true, at: ctx.now() });
+                    self.journal_append_forced(ctx, JournalEntry::Resolved { txn, committed: true, at: ctx.now() });
                     self.emit(ctx, Some(txn), Some(serving.inv), None, EventKind::Resolve { committed: true });
                     self.prune_seen(ctx);
                 }
@@ -1507,7 +1597,7 @@ impl AxmlPeer {
         };
         self.unwatch(from);
         if self.contexts.contains_key(&txn) {
-            self.journal_append(ctx, JournalEntry::RemoteCompleted { txn, inv, comp: comp.clone() });
+            self.journal_append_forced(ctx, JournalEntry::RemoteCompleted { txn, inv, comp: comp.clone() });
         }
         if let Some(tc) = self.contexts.get_mut(&txn) {
             tc.complete_remote(inv, comp);
@@ -1631,7 +1721,7 @@ impl AxmlPeer {
             }
         }
         if self.contexts.contains_key(&txn) {
-            self.journal_append(
+            self.journal_append_forced(
                 ctx,
                 JournalEntry::RemoteInvoked { txn, child: to_peer, inv, method: to_method.clone() },
             );
@@ -1721,7 +1811,7 @@ impl AxmlPeer {
             tc.resolve(TxnState::Aborted, ctx.now());
             batches
         };
-        self.journal_append(ctx, JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
+        self.journal_append_forced(ctx, JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
         self.emit(ctx, Some(txn), None, None, EventKind::Resolve { committed: false });
         self.prune_seen(ctx);
         self.completed_results.remove(&txn);
@@ -1867,8 +1957,11 @@ impl AxmlPeer {
             // the transaction.
             let mut t = TransactionContext::new(txn, None, ActiveList::new(txn.origin, false), ctx.now());
             t.resolve(TxnState::Aborted, ctx.now());
-            self.journal_append(ctx, JournalEntry::Begin { txn, parent: None, chain: t.chain.clone(), at: ctx.now() });
-            self.journal_append(ctx, JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
+            self.journal_append_forced(
+                ctx,
+                JournalEntry::Begin { txn, parent: None, chain: t.chain.clone(), at: ctx.now() },
+            );
+            self.journal_append_forced(ctx, JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
             // The tombstone is a terminal decision: emit it, so abort
             // reachability is visible to the online monitor even when the
             // Abort overtook the Invoke.
@@ -1893,7 +1986,7 @@ impl AxmlPeer {
             }
             tc.resolve(TxnState::Committed, ctx.now());
         }
-        self.journal_append(ctx, JournalEntry::Resolved { txn, committed: true, at: ctx.now() });
+        self.journal_append_forced(ctx, JournalEntry::Resolved { txn, committed: true, at: ctx.now() });
         self.emit(ctx, Some(txn), None, None, EventKind::Resolve { committed: true });
         self.prune_seen(ctx);
         let invoked = self.contexts.get(&txn).map(|tc| tc.invoked_peers()).unwrap_or_default();
@@ -1935,7 +2028,10 @@ impl AxmlPeer {
         // transaction (replica-targeted compensation).
         if !self.contexts.contains_key(&txn) {
             let t = TransactionContext::new(txn, None, ActiveList::new(txn.origin, false), ctx.now());
-            self.journal_append(ctx, JournalEntry::Begin { txn, parent: None, chain: t.chain.clone(), at: ctx.now() });
+            self.journal_append_forced(
+                ctx,
+                JournalEntry::Begin { txn, parent: None, chain: t.chain.clone(), at: ctx.now() },
+            );
             self.contexts.insert(txn, t);
         }
         let resolved = {
@@ -1948,7 +2044,7 @@ impl AxmlPeer {
             }
         };
         if resolved {
-            self.journal_append(ctx, JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
+            self.journal_append_forced(ctx, JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
             self.emit(ctx, Some(txn), None, None, EventKind::Resolve { committed: false });
             self.prune_seen(ctx);
         }
@@ -2027,11 +2123,11 @@ impl AxmlPeer {
         self.prefill_store.entry(txn).or_default().push((method.clone(), items));
         let orphan_inv = self.alloc_inv();
         if self.contexts.contains_key(&txn) {
-            self.journal_append(
+            self.journal_append_forced(
                 ctx,
                 JournalEntry::RemoteInvoked { txn, child: from, inv: orphan_inv, method: method.clone() },
             );
-            self.journal_append(ctx, JournalEntry::RemoteCompleted { txn, inv: orphan_inv, comp: comp.clone() });
+            self.journal_append_forced(ctx, JournalEntry::RemoteCompleted { txn, inv: orphan_inv, comp: comp.clone() });
         }
         if let Some(tc) = self.contexts.get_mut(&txn) {
             tc.record_orphan_comp(from, orphan_inv, method, comp);
@@ -2177,16 +2273,20 @@ impl AxmlPeer {
         self.next_txn = 0;
         self.next_delivery = 0;
         self.next_tag = TAG_PAYLOAD_BASE;
-        // Stable storage: rebuild contexts from the journal. A re-begun
-        // transaction yields two contexts for one txn; the map insert
-        // order keeps the latest incarnation.
+        // Stable storage: the sink (not any in-memory copy) decides what
+        // survived the crash — with an on-disk WAL this scans the segment
+        // files, discards a torn tail, and returns the clean prefix. The
+        // mirror is reset to exactly that, then contexts are replayed
+        // from it. A re-begun transaction yields two contexts for one
+        // txn; the map insert order keeps the latest incarnation.
+        self.journal = self.sink.crash_restart();
         let mut contexts = durability::replay(&self.journal).unwrap_or_default();
         let outcome = durability::recover_in_doubt(&mut contexts, &mut self.repo, ctx.now());
         self.stats.presumed_aborts += outcome.presumed_aborted.len() as u64;
         self.emit(ctx, None, None, None, EventKind::Restart { presumed_aborts: outcome.presumed_aborted.len() as u64 });
         self.contexts = contexts.into_iter().map(|t| (t.txn, t)).collect();
         for txn in &outcome.presumed_aborted {
-            self.journal_append(ctx, JournalEntry::Resolved { txn: *txn, committed: false, at: ctx.now() });
+            self.journal_append_forced(ctx, JournalEntry::Resolved { txn: *txn, committed: false, at: ctx.now() });
         }
         for txn in outcome.presumed_aborted {
             let parent = self.contexts.get(&txn).and_then(|t| t.parent);
@@ -2210,6 +2310,17 @@ impl AxmlPeer {
             // Invoked peers (and collected compensations) are in the
             // replayed log: push the abort down the tree.
             self.propagate_abort(ctx, txn, None);
+        }
+        // Contexts that were already aborted on disk may have died with
+        // abort propagation still in flight: the crash killed the retry
+        // timers, and a partitioned child might not have heard yet.
+        // Presumed abort makes re-sending safe (children absorb repeats
+        // via tombstones), so re-establish the obligation for every
+        // recovered aborted context with remote children in its log.
+        for txn in outcome.already_terminal {
+            if self.contexts.get(&txn).is_some_and(|t| t.state == TxnState::Aborted) {
+                self.propagate_abort(ctx, txn, None);
+            }
         }
     }
 

@@ -6,6 +6,7 @@
 //! counts — replaying the same seeded scenario yields byte-identical
 //! percentile tables and Prometheus expositions.
 
+use axml_trace::Snapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -215,9 +216,52 @@ pub fn render_prometheus(metrics: &BTreeMap<String, Histogram>) -> String {
     out
 }
 
+/// Renders a counter registry [`Snapshot`] in the Prometheus text
+/// exposition format: one family per entry, `axml_` prefix, dots and
+/// dashes mapped to underscores. Plain registry entries (`net.sent`,
+/// `wal.bytes_appended`, …) are monotone and render as `counter`s;
+/// `*_peak` names are high-water marks ([`Snapshot::merge`] takes their
+/// max, not their sum), so they render as `gauge`s.
+pub fn render_snapshot_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let metric = format!("axml_{}", name.replace(['-', '.', ' '], "_"));
+        let kind = if name.ends_with("_peak") { "gauge" } else { "counter" };
+        let _ = writeln!(out, "# HELP {metric} {name}");
+        let _ = writeln!(out, "# TYPE {metric} {kind}");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_counters_render_as_prometheus_counters() {
+        // The four WAL counters the Snapshot registry exports must come
+        // out as well-formed counter families; peak names stay gauges.
+        let mut s = Snapshot::default();
+        s.add("wal.segments_rotated", 3);
+        s.add("wal.bytes_appended", 4096);
+        s.add("wal.recovery_entries", 17);
+        s.add("wal.torn_tails_discarded", 1);
+        s.add("peer.3.seen_peak", 9);
+        assert_eq!(s.get("wal.bytes_appended"), 4096);
+        let text = render_snapshot_prometheus(&s);
+        for (metric, v) in [
+            ("axml_wal_segments_rotated", 3),
+            ("axml_wal_bytes_appended", 4096),
+            ("axml_wal_recovery_entries", 17),
+            ("axml_wal_torn_tails_discarded", 1),
+        ] {
+            assert!(text.contains(&format!("# TYPE {metric} counter")), "{text}");
+            assert!(text.contains(&format!("{metric} {v}\n")), "{text}");
+        }
+        assert!(text.contains("# TYPE axml_peer_3_seen_peak gauge"), "{text}");
+        assert!(text.contains("axml_peer_3_seen_peak 9\n"), "{text}");
+    }
 
     #[test]
     fn buckets_are_log_spaced() {

@@ -27,5 +27,8 @@ pub mod hist;
 pub mod monitor;
 
 pub use analytics::{critical_paths, derive_histograms};
-pub use hist::{bucket_bound, percentile_table, render_prometheus, Histogram, HistogramSummary, FINITE_BUCKETS};
+pub use hist::{
+    bucket_bound, percentile_table, render_prometheus, render_snapshot_prometheus, Histogram, HistogramSummary,
+    FINITE_BUCKETS,
+};
 pub use monitor::{Monitor, MonitorFinding};

@@ -111,8 +111,48 @@ pub struct CrashEvent {
     pub peer: PeerId,
 }
 
+/// Storage (WAL) fault knobs, applied by a durability sink that holds a
+/// copy of this plane. Unlike the network knobs these never act on
+/// messages: they decide the fate of journal *appends* and what garbage a
+/// crash leaves on disk.
+///
+/// All faults are **prospective** — an append either becomes durable and
+/// is acknowledged, or fails and is reported before any consequence
+/// escapes. Durable acknowledged entries are never retroactively lost
+/// (that would break the atomicity oracle: an applied-but-unlogged effect
+/// can never be compensated).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageFaultPlane {
+    /// Per-append probability of a torn write: a prefix of the frame's
+    /// bytes reaches the segment, the append reports failure, and the
+    /// writer heals (truncates the torn bytes) before its next append. A
+    /// crash before the heal leaves the torn frame for recovery's
+    /// torn-tail rule to discard.
+    pub torn_append_prob: f64,
+    /// Per-append probability of a sync failure: nothing reaches the
+    /// segment and the append reports failure (clean rollback).
+    pub sync_failure_prob: f64,
+    /// On crash, append a short burst of seeded garbage bytes to the tail
+    /// segment — the partial-segment artifact recovery must discard.
+    pub partial_segment_on_crash: bool,
+}
+
+impl Default for StorageFaultPlane {
+    fn default() -> Self {
+        StorageFaultPlane { torn_append_prob: 0.0, sync_failure_prob: 0.0, partial_segment_on_crash: false }
+    }
+}
+
+impl StorageFaultPlane {
+    /// True if this plane can never inject anything.
+    pub fn is_inert(&self) -> bool {
+        self.torn_append_prob == 0.0 && self.sync_failure_prob == 0.0 && !self.partial_segment_on_crash
+    }
+}
+
 /// The full fault schedule for one simulation run: probabilistic knobs,
-/// scripted per-message faults, partitions, and crash-restarts.
+/// scripted per-message faults, partitions, crash-restarts, and storage
+/// faults.
 ///
 /// The default plane is inert (all probabilities zero, no script) so
 /// existing simulations are byte-for-byte unaffected.
@@ -140,6 +180,9 @@ pub struct FaultPlane {
     pub crashes: Vec<CrashEvent>,
     /// Scripted per-message faults (each consumed at most once).
     pub script: Vec<ScriptedFault>,
+    /// Storage (WAL) fault knobs, consumed by the durability sinks the
+    /// harness attaches to each peer — the network runtime ignores them.
+    pub storage: StorageFaultPlane,
 }
 
 impl Default for FaultPlane {
@@ -156,6 +199,7 @@ impl Default for FaultPlane {
             partitions: Vec::new(),
             crashes: Vec::new(),
             script: Vec::new(),
+            storage: StorageFaultPlane::default(),
         }
     }
 }
@@ -189,6 +233,7 @@ impl FaultPlane {
             && self.partitions.is_empty()
             && self.crashes.is_empty()
             && self.script.is_empty()
+            && self.storage.is_inert()
     }
 }
 
@@ -372,6 +417,20 @@ mod tests {
             assert_eq!(replay.on_send(0, from, to, kind), *expected, "send {i}");
         }
         assert_eq!(replay.trace(), rt.trace());
+    }
+
+    #[test]
+    fn storage_plane_activates_and_roundtrips() {
+        let mut plane = FaultPlane::default();
+        assert!(plane.storage.is_inert());
+        assert!(plane.is_inert());
+        plane.storage.torn_append_prob = 0.1;
+        assert!(!plane.is_inert(), "a storage-faulting plane is not inert");
+        plane.storage.sync_failure_prob = 0.2;
+        plane.storage.partial_segment_on_crash = true;
+        let text = serde_json::to_string(&plane).expect("serialize");
+        let back: FaultPlane = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(back, plane);
     }
 
     #[test]

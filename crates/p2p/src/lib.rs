@@ -44,7 +44,7 @@ pub mod sim;
 pub use churn::{ChurnEvent, ChurnSchedule};
 pub use detect::PingMonitor;
 pub use directory::Directory;
-pub use fault::{CrashEvent, FaultAction, FaultPlane, Partition, ScriptedFault};
+pub use fault::{CrashEvent, FaultAction, FaultPlane, Partition, ScriptedFault, StorageFaultPlane};
 pub use ids::{PeerId, TimerId};
 pub use metrics::NetMetrics;
 pub use sim::{Actor, Ctx, LatencyModel, Message, SendError, Sim, SimConfig};

@@ -1,0 +1,340 @@
+use super::*;
+use axml_core::chain::ActiveList;
+use axml_core::ids::{InvocationId, TxnId};
+use axml_p2p::PeerId;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh per-test temp directory (removed by `TempDir::drop`).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new() -> TempDir {
+        let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("axml-store-test-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn entry(i: u64) -> JournalEntry {
+    let txn = TxnId::new(PeerId(1), i);
+    match i % 3 {
+        0 => JournalEntry::Begin { txn, parent: None, chain: ActiveList::new(PeerId(1), true), at: i },
+        1 => JournalEntry::RemoteInvoked {
+            txn,
+            child: PeerId(2),
+            inv: InvocationId::new(PeerId(1), i),
+            method: format!("S{i}"),
+        },
+        _ => JournalEntry::Resolved { txn, committed: i.is_multiple_of(2), at: i },
+    }
+}
+
+#[test]
+fn torn_commit_record_presumes_abort_and_compensates() {
+    // End-to-end presumed-abort recovery through a torn tail: a peer
+    // journals Begin + Local effects, then crashes while writing the
+    // commit record — the frame tears, so the decision was never
+    // acknowledged. Recovery discards the torn tail, replay finds the
+    // context in doubt, and presumed abort compensates the logged
+    // effects, restoring the document to its baseline.
+    use axml_core::context::TxnState;
+    use axml_core::durability::{recover_in_doubt, replay};
+    use axml_doc::Repository;
+    use axml_query::{Locator, UpdateAction};
+    use axml_xml::Fragment;
+
+    let tmp = TempDir::new();
+    let mut repo = Repository::new();
+    repo.put_xml("d1", "<d><slot>initial</slot></d>").unwrap();
+    let baseline = repo.get("d1").unwrap().to_xml();
+    let action = UpdateAction::replace(Locator::parse("d/slot").unwrap(), vec![Fragment::elem_text("slot", "written")]);
+    let report = action.apply(repo.get_mut("d1").unwrap()).unwrap();
+    assert_ne!(repo.get("d1").unwrap().to_xml(), baseline, "the update really landed");
+
+    let txn = TxnId::new(PeerId(1), 0);
+    let mut sink = WalSink::create(WalConfig::new(tmp.path())).unwrap();
+    assert!(sink.append(&JournalEntry::Begin { txn, parent: None, chain: ActiveList::new(PeerId(1), true), at: 1 }));
+    assert!(sink.append(&JournalEntry::Local {
+        txn,
+        doc: "d1".into(),
+        op_label: "replace".into(),
+        effects: report.effects,
+    }));
+    // The commit decision tears mid-write and the peer dies before the
+    // heal: the torn frame stays on disk, but it was never acknowledged.
+    sink.faults = StorageFaultPlane { torn_append_prob: 1.0, sync_failure_prob: 0.0, partial_segment_on_crash: false };
+    assert!(!sink.append(&JournalEntry::Resolved { txn, committed: true, at: 2 }));
+    let entries = sink.crash_restart();
+    assert_eq!(sink.stats().torn_tails_discarded, 1, "the torn commit record is a discarded crash artifact");
+    assert_eq!(entries.len(), 2, "Begin + Local survive; the unacknowledged decision does not");
+
+    let mut contexts = replay(&entries).unwrap();
+    assert_eq!(contexts.len(), 1);
+    assert_eq!(contexts[0].state, TxnState::Active, "no decision on disk: the context is in doubt");
+    let outcome = recover_in_doubt(&mut contexts, &mut repo, 99);
+    assert_eq!(outcome.presumed_aborted, vec![txn]);
+    assert_eq!(contexts[0].state, TxnState::Aborted);
+    assert_eq!(repo.get("d1").unwrap().to_xml(), baseline, "compensation undid the logged effects");
+}
+
+#[test]
+fn append_then_crash_restart_round_trips() {
+    let tmp = TempDir::new();
+    let mut sink = WalSink::create(WalConfig::new(tmp.path())).unwrap();
+    let entries: Vec<JournalEntry> = (0..20).map(entry).collect();
+    for e in &entries {
+        assert!(sink.append(e), "fault-free append succeeds");
+    }
+    assert!(sink.stats().bytes_appended > 0);
+    let recovered = sink.crash_restart();
+    assert_eq!(recovered, entries);
+    assert_eq!(sink.stats().recovery_entries, 20);
+    assert_eq!(sink.stats().torn_tails_discarded, 0);
+}
+
+#[test]
+fn recovery_survives_sink_reopen() {
+    // A brand-new sink over the same directory (a true process restart)
+    // sees exactly what the dead one acknowledged.
+    let tmp = TempDir::new();
+    let entries: Vec<JournalEntry> = (0..7).map(entry).collect();
+    {
+        let mut sink = WalSink::create(WalConfig::new(tmp.path())).unwrap();
+        for e in &entries {
+            assert!(sink.append(e));
+        }
+        // Dropped without any clean shutdown.
+    }
+    let mut sink = WalSink::create(WalConfig::new(tmp.path())).unwrap();
+    assert_eq!(sink.crash_restart(), entries);
+}
+
+#[test]
+fn segments_rotate_at_threshold_and_recover_in_order() {
+    let tmp = TempDir::new();
+    let mut config = WalConfig::new(tmp.path());
+    config.segment_bytes = 256; // tiny: force many rotations
+    let mut sink = WalSink::create(config).unwrap();
+    let entries: Vec<JournalEntry> = (0..40).map(entry).collect();
+    for e in &entries {
+        assert!(sink.append(e));
+    }
+    assert!(sink.stats().segments_rotated >= 2, "rotated {}", sink.stats().segments_rotated);
+    let segs = segment_indices(tmp.path()).unwrap();
+    assert!(segs.len() >= 3, "{segs:?}");
+    assert_eq!(sink.crash_restart(), entries, "recovery stitches segments in order");
+}
+
+#[test]
+fn torn_tail_in_final_segment_is_discarded_and_truncated() {
+    let tmp = TempDir::new();
+    let mut sink = WalSink::create(WalConfig::new(tmp.path())).unwrap();
+    let entries: Vec<JournalEntry> = (0..5).map(entry).collect();
+    for e in &entries {
+        assert!(sink.append(e));
+    }
+    drop(sink);
+    // Tear the tail: append half of a valid frame.
+    let frame = encode_frame(&entry(99));
+    let path = segment_path(tmp.path(), 0);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let clean_len = bytes.len() as u64;
+    bytes.extend_from_slice(&frame[..frame.len() / 2]);
+    std::fs::write(&path, &bytes).unwrap();
+    let recovered = recover_dir(tmp.path()).unwrap();
+    assert_eq!(recovered.entries, entries);
+    assert_eq!(recovered.torn_tails_discarded, 1);
+    assert_eq!(recovered.last_segment_len, clean_len);
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len, "segment truncated to high water");
+    // Idempotent: a second scan finds nothing torn.
+    let again = recover_dir(tmp.path()).unwrap();
+    assert_eq!(again.entries, entries);
+    assert_eq!(again.torn_tails_discarded, 0);
+}
+
+#[test]
+fn corrupt_frame_in_sealed_segment_is_a_hard_error() {
+    let tmp = TempDir::new();
+    let mut config = WalConfig::new(tmp.path());
+    config.segment_bytes = 200;
+    let mut sink = WalSink::create(config).unwrap();
+    for i in 0..30 {
+        assert!(sink.append(&entry(i)));
+    }
+    drop(sink);
+    let segs = segment_indices(tmp.path()).unwrap();
+    assert!(segs.len() >= 2);
+    // Flip one payload byte in the FIRST (sealed) segment.
+    let path = segment_path(tmp.path(), segs[0]);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let idx = FRAME_HEADER + 2;
+    bytes[idx] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = recover_dir(tmp.path()).unwrap_err();
+    assert!(matches!(err, WalError::CorruptInterior { segment, .. } if segment == segs[0]), "{err}");
+}
+
+#[test]
+fn sync_failure_rolls_back_cleanly() {
+    let tmp = TempDir::new();
+    let faults = StorageFaultPlane { sync_failure_prob: 1.0, ..StorageFaultPlane::default() };
+    let mut sink = WalSink::with_faults(WalConfig::new(tmp.path()), faults, 7).unwrap();
+    assert!(!sink.append(&entry(0)), "every append faults");
+    assert!(!sink.append(&entry(1)));
+    assert_eq!(sink.stats().append_faults, 2);
+    assert_eq!(sink.stats().bytes_appended, 0);
+    assert_eq!(sink.crash_restart(), Vec::new(), "nothing became durable");
+}
+
+#[test]
+fn torn_append_reports_failure_and_heals_on_next_append() {
+    let tmp = TempDir::new();
+    // Deterministic: first append tears, later draws depend on the seed;
+    // prob 1.0 makes every faulting append tear.
+    let faults = StorageFaultPlane { torn_append_prob: 1.0, ..StorageFaultPlane::default() };
+    let mut sink = WalSink::with_faults(WalConfig::new(tmp.path()), faults, 3).unwrap();
+    assert!(!sink.append(&entry(0)), "torn append reports failure");
+    let seg = segment_path(tmp.path(), 0);
+    assert!(std::fs::metadata(&seg).unwrap().len() > 0, "torn bytes are on disk");
+    // The forced path heals the torn bytes and lands the entry.
+    sink.append_forced(&entry(1));
+    let recovered = sink.crash_restart();
+    assert_eq!(recovered, vec![entry(1)], "only the acknowledged entry survives");
+}
+
+#[test]
+fn torn_append_then_crash_leaves_tail_for_recovery_to_discard() {
+    let tmp = TempDir::new();
+    let mut sink = WalSink::create(WalConfig::new(tmp.path())).unwrap();
+    assert!(sink.append(&entry(0)));
+    // Switch on tearing for the next append only.
+    sink.faults.torn_append_prob = 1.0;
+    assert!(!sink.append(&entry(1)));
+    sink.faults.torn_append_prob = 0.0;
+    // Crash before any heal: the torn frame is still on disk.
+    let recovered = sink.crash_restart();
+    assert_eq!(recovered, vec![entry(0)]);
+    assert_eq!(sink.stats().torn_tails_discarded, 1);
+    // The sink keeps working after the restart.
+    assert!(sink.append(&entry(2)));
+    assert_eq!(sink.crash_restart(), vec![entry(0), entry(2)]);
+}
+
+#[test]
+fn partial_segment_garbage_on_crash_is_discarded() {
+    let tmp = TempDir::new();
+    let faults = StorageFaultPlane { partial_segment_on_crash: true, ..StorageFaultPlane::default() };
+    let mut sink = WalSink::with_faults(WalConfig::new(tmp.path()), faults, 11).unwrap();
+    let entries: Vec<JournalEntry> = (0..6).map(entry).collect();
+    for e in &entries {
+        assert!(sink.append(e));
+    }
+    let recovered = sink.crash_restart();
+    assert_eq!(recovered, entries, "garbage tail discarded, clean prefix kept");
+    assert_eq!(sink.stats().torn_tails_discarded, 1);
+}
+
+#[test]
+fn append_forced_lands_under_full_fault_storm() {
+    let tmp = TempDir::new();
+    let faults = StorageFaultPlane { torn_append_prob: 0.7, sync_failure_prob: 0.7, partial_segment_on_crash: true };
+    let mut sink = WalSink::with_faults(WalConfig::new(tmp.path()), faults, 5).unwrap();
+    let entries: Vec<JournalEntry> = (0..12).map(entry).collect();
+    for e in &entries {
+        sink.append_forced(e);
+    }
+    assert_eq!(sink.crash_restart(), entries, "forced appends are never lost");
+}
+
+#[test]
+fn frame_codec_round_trips() {
+    for i in 0..9 {
+        let e = entry(i);
+        let frame = encode_frame(&e);
+        match scan_segment(&frame) {
+            SegmentScan::Clean(v) => assert_eq!(v, vec![e]),
+            SegmentScan::Torn { .. } => panic!("clean frame scanned as torn"),
+        }
+    }
+}
+
+#[test]
+fn empty_directory_recovers_empty() {
+    let tmp = TempDir::new();
+    let recovered = recover_dir(tmp.path()).unwrap();
+    assert!(recovered.entries.is_empty());
+    assert_eq!(recovered.last_segment, 0);
+}
+
+proptest! {
+    /// Satellite: arbitrary entry sequences → frames → truncate the file
+    /// at an arbitrary byte → recovery equals the longest clean prefix.
+    #[test]
+    fn truncation_recovers_longest_clean_prefix(
+        picks in prop::collection::vec(0u64..50, 1..12),
+        cut_seed in 0u64..10_000,
+    ) {
+        let tmp = TempDir::new();
+        let mut sink = WalSink::create(WalConfig::new(tmp.path())).unwrap();
+        let entries: Vec<JournalEntry> = picks.iter().map(|&i| entry(i)).collect();
+        let mut boundaries = vec![0u64]; // cumulative frame end offsets
+        for e in &entries {
+            prop_assert!(sink.append(e));
+            boundaries.push(boundaries.last().unwrap() + encode_frame(e).len() as u64);
+        }
+        drop(sink);
+        let path = segment_path(tmp.path(), 0);
+        let total = std::fs::metadata(&path).unwrap().len();
+        prop_assert_eq!(total, *boundaries.last().unwrap());
+        let cut = cut_seed % (total + 1);
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(cut).unwrap();
+        drop(file);
+        // Longest clean prefix: every frame wholly before the cut.
+        let survivors = boundaries.iter().skip(1).filter(|&&end| end <= cut).count();
+        let recovered = recover_dir(tmp.path()).unwrap();
+        prop_assert_eq!(&recovered.entries[..], &entries[..survivors]);
+        let expect_torn = u64::from(boundaries[survivors] != cut);
+        prop_assert_eq!(recovered.torn_tails_discarded, expect_torn);
+    }
+
+    /// Satellite: corrupting a byte inside the final frame drops exactly
+    /// that frame.
+    #[test]
+    fn tail_corruption_drops_only_the_tail_frame(
+        picks in prop::collection::vec(0u64..50, 2..10),
+        flip_seed in 0u64..10_000,
+    ) {
+        let tmp = TempDir::new();
+        let mut sink = WalSink::create(WalConfig::new(tmp.path())).unwrap();
+        let entries: Vec<JournalEntry> = picks.iter().map(|&i| entry(i)).collect();
+        for e in &entries {
+            prop_assert!(sink.append(e));
+        }
+        drop(sink);
+        let path = segment_path(tmp.path(), 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last_len = encode_frame(entries.last().unwrap()).len() as u64;
+        let last_start = bytes.len() as u64 - last_len;
+        let flip = last_start + flip_seed % last_len;
+        bytes[flip as usize] ^= 0x55;
+        std::fs::write(&path, &bytes).unwrap();
+        let recovered = recover_dir(tmp.path()).unwrap();
+        prop_assert_eq!(&recovered.entries[..], &entries[..entries.len() - 1]);
+        prop_assert_eq!(recovered.torn_tails_discarded, 1);
+    }
+}
