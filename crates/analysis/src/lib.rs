@@ -28,7 +28,7 @@ pub mod scenario;
 pub use chain::{analyze_chain, analyze_chain_against, analyze_notation};
 pub use compensation::{analyze_action_roundtrip, analyze_compensation, analyze_effect_log};
 pub use diag::{Diagnostic, Report, Severity};
-pub use scenario::analyze_scenario;
+pub use scenario::{analyze_scenario, RAISABLE_FAULTS};
 
 use axml_core::scenarios::ScenarioBuilder;
 use axml_query::{InsertPos, Locator, NodePath, UpdateAction};

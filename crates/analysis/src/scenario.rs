@@ -18,8 +18,11 @@ use axml_xml::Document;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Fault names some component of the stack actually raises; a
-/// `axml:catch` for anything else is dead code.
-const RAISABLE_FAULTS: &[&str] =
+/// `axml:catch` for anything else is dead code (rule W002). Public so
+/// generators producing lint-clean scenarios *by construction* (the
+/// chaos harness's `gen` module) draw from the same list the linter
+/// checks against — the two can never drift apart.
+pub const RAISABLE_FAULTS: &[&str] =
     &["PeerUnreachable", "NoSuchService", "ExecutionFault", "InjectedFault", "TxnResolved", "IsolationConflict"];
 
 /// The peers of the invocation tree proper (edges + origin, no replicas).

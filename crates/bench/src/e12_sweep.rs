@@ -1,7 +1,7 @@
 //! E12 — chaos-sweep throughput, serial vs parallel (extension).
 //!
-//! Runs the full `axml-chaos` matrix (4 scenarios × 4 fault profiles ×
-//! 16 seeds = 256 cases, the default `sweep` workload) once on a single
+//! Runs the full `axml-chaos` matrix (5 scenarios × 5 fault profiles ×
+//! 16 seeds = 400 cases, the default `sweep` workload) once on a single
 //! worker and once sharded across `jobs` workers, and reports cases/sec
 //! plus the sweep digest of each run. The digests MUST match: the
 //! parallel runner merges per-case results in canonical case order, so
@@ -13,7 +13,7 @@ use serde::Serialize;
 
 use crate::table::Table;
 
-/// Seeds per (scenario, profile) cell — 4 × 4 × 16 = 256 cases.
+/// Seeds per (scenario, profile) cell — 5 × 5 × 16 = 400 cases.
 pub const SEEDS: u64 = 16;
 
 /// One timed sweep of the full matrix.
@@ -73,7 +73,7 @@ pub fn run_with_outcome(jobs: usize) -> (Vec<Row>, SweepOutcome) {
 /// Formats the rows.
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
-        "E12 — chaos-sweep throughput, serial vs parallel (256-case matrix)",
+        "E12 — chaos-sweep throughput, serial vs parallel (400-case matrix)",
         &["jobs", "runs", "committed", "aborted", "violations", "digest", "wall-us", "cases/sec"],
     );
     for r in rows {

@@ -25,7 +25,6 @@
 //! violates the oracle — a printable, RNG-free reproducer.
 
 use axml_core::context::TxnState;
-use axml_core::peer::PeerConfig;
 use axml_core::scenarios::{Scenario, ScenarioBuilder, ScenarioReport};
 use axml_obs::{derive_histograms, Histogram, Monitor, MonitorFinding};
 use axml_p2p::{CrashEvent, FaultPlane, NetMetrics, Partition, PeerId, ScriptedFault, Snapshot, StorageFaultPlane};
@@ -37,7 +36,9 @@ use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+pub mod gen;
 mod parallel;
+pub use gen::{gen_scenario_names, GenAction, GenConfig, GenHandler, GenScenario};
 pub use parallel::par_map;
 
 /// Scenario names the harness knows how to build.
@@ -52,21 +53,32 @@ pub fn builder_for(name: &str) -> Option<ScenarioBuilder> {
         // Fig. 2: same protocol under a super-peer topology.
         "fig2" => Some(ScenarioBuilder::fig2()),
         // Fig. 1 with S5 failing while processing: the nested recovery
-        // (backward) path — compensation everywhere — under fire.
-        "fig1-abort" => Some(ScenarioBuilder::fig1().fault_at(5)),
+        // (backward) path — compensation everywhere — under fire. With
+        // no replica around, provider re-lookup would just re-invoke the
+        // faulty peer, so alternative providers are off: the abort path
+        // stays an abort path.
+        "fig1-abort" => {
+            let mut b = ScenarioBuilder::fig1().fault_at(5);
+            b.config.use_alternative_providers = false;
+            Some(b)
+        }
         // A four-deep chain: maximal nesting depth per message.
         "deep" => Some(ScenarioBuilder::new(1, &[(1, 2), (2, 3), (3, 4)])),
         // Fig. 1 with S2 slow and faulty, so the AP3 subtree completes
         // before the abort arrives and AP3 has real compensation work to
-        // do — then (see [`run_inner`]) AP3 crash-restarts while doing
-        // it. Every peer runs a disk-backed WAL: the restarted peer must
-        // rebuild its mid-compensation state purely from its segments.
+        // do — then AP3 crash-restarts while doing it (the scenario's
+        // defining crash lives in the builder's own fault plane; the
+        // sweep merges it into whatever profile plane it applies). Every
+        // peer runs a disk-backed WAL: the restarted peer must rebuild
+        // its mid-compensation state purely from its segments.
         "fig1-crash" => {
             let mut b = ScenarioBuilder::fig1().fault_at(2);
             b.durations.insert(2, 60);
+            b.config.use_alternative_providers = false;
+            b.fault.crashes.push(CrashEvent { at: 70, peer: PeerId(3) });
             Some(b)
         }
-        _ => None,
+        name => name.strip_prefix("gen:").and_then(|spec| GenScenario::from_name_suffix(spec).map(|g| g.builder())),
     }
 }
 
@@ -260,13 +272,24 @@ pub fn check_atomicity(s: &Scenario, report: &ScenarioReport) -> Verdict {
         // Message-level faults alone must be fully absorbed by the
         // delivery layer: an aborted participant inside a committed
         // transaction is only excusable when the run saw crash-restarts,
-        // disconnections, or failure detections.
+        // disconnections, or failure detections — or when *forward
+        // recovery* ran (handler retries, substitutions, alternative
+        // providers): §3.2's nested recovery deliberately aborts the
+        // faulty subtree, compensates it, and lets the handler's
+        // substitute (or a replica re-invocation) carry the transaction
+        // to commit, so the subtree's aborted contexts are the expected
+        // residue of a *correct* run. Those runs are still gated by the
+        // online monitor and the spec conformance check.
         let excused = s.participants.iter().any(|&p| {
             if !s.sim.is_connected(p) {
                 return true;
             }
             let st = &s.sim.actor(p).stats;
-            st.crash_recoveries > 0 || !st.detections.is_empty()
+            st.crash_recoveries > 0
+                || !st.detections.is_empty()
+                || st.retries > 0
+                || st.substitutions > 0
+                || st.alternatives_used > 0
         });
         if !excused {
             for &p in &s.participants {
@@ -383,23 +406,25 @@ fn attach_wal_sinks(s: &mut Scenario, storage: &StorageFaultPlane, seed: u64) ->
 
 fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult, Option<TraceDump>) {
     let mut b = builder_for(&case.scenario).expect("known scenario");
-    let mut cfg = PeerConfig::default();
+    // The scenario's own peer configuration is the template (generated
+    // scenarios carry their knob choices there; the hand-written ones use
+    // the default plus per-scenario overrides set in `builder_for`); the
+    // sweep only decides duplicate suppression.
+    let mut cfg = b.config.clone();
     cfg.dedup = case.dedup;
-    if case.scenario == "fig1-abort" || case.scenario == "fig1-crash" {
-        // Keep the abort path an abort path: with no replica around,
-        // provider re-lookup would just re-invoke the faulty peer.
-        cfg.use_alternative_providers = false;
-    }
-    // The effective plane is the given one plus whatever faults the
-    // scenario itself defines; `CaseResult::plane` keeps the original so
-    // trace replays and the shrinker stay faithful (re-running through
+    // The effective plane is the given one plus whatever scheduled faults
+    // the scenario itself defines (crashes, partitions, scripted events —
+    // e.g. fig1-crash's defining mid-compensation crash, or a generated
+    // scenario's crash schedule); `CaseResult::plane` keeps the original
+    // so trace replays and the shrinker stay faithful (re-running through
     // here re-adds the scenario's own faults).
     let mut effective = plane.clone();
-    if case.scenario == "fig1-crash" {
-        // The scenario's defining crash: AP3 dies while compensating its
-        // completed subtree and must restart from its WAL segments.
-        effective.crashes.push(CrashEvent { at: 70, peer: PeerId(3) });
-    }
+    effective.crashes.extend(b.fault.crashes.iter().copied());
+    effective.partitions.extend(b.fault.partitions.iter().cloned());
+    effective.script.extend(b.fault.script.iter().cloned());
+    // Whether the scenario itself demands disk-backed durability (its own
+    // crash schedule must recover from real segments).
+    let scenario_wants_wal = !b.fault.crashes.is_empty();
     // Decouple latency jitter from the fault seed but vary both per case.
     b.seed = 1000 + case.seed;
     if traced {
@@ -409,7 +434,7 @@ fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult,
     // Disk-backed durability whenever storage faults are in play or the
     // scenario is about crash-restart-from-disk; everything else keeps
     // the in-memory sink (perfectly durable storage, pre-WAL behavior).
-    let _wal_dirs = (!effective.storage.is_inert() || case.scenario == "fig1-crash")
+    let _wal_dirs = (!effective.storage.is_inert() || scenario_wants_wal)
         .then(|| attach_wal_sinks(&mut s, &effective.storage, case.seed));
     // The online protocol monitor observes every run (traced or not);
     // observation never perturbs the seeded schedule, so digests are
@@ -525,8 +550,21 @@ pub fn plane_of(events: &[ChaosEvent]) -> FaultPlane {
 /// Greedy delta-debugging: removes chunks (halving the chunk size down
 /// to single events) while the scripted schedule still violates the
 /// oracle. Returns the minimal event set found.
-pub fn shrink(case: &CaseConfig, events: Vec<ChaosEvent>) -> Vec<ChaosEvent> {
-    let fails = |evs: &[ChaosEvent]| !run_with_plane(case, plane_of(evs)).verdict.ok;
+///
+/// `storage` is the failing run's storage fault plane, applied verbatim
+/// to every candidate: storage faults are probabilistic per-append draws,
+/// not per-message events, so they cannot be shrunk away item by item —
+/// but dropping them (as a bare [`plane_of`] would) changes the run's
+/// semantics and makes candidate verdicts meaningless. Every candidate
+/// re-run gets its own fresh scratch WAL directories and per-peer fault
+/// RNGs seeded only from `(case.seed, peer)` (see `attach_wal_sinks`),
+/// so no disk or RNG state bleeds between ddmin iterations.
+pub fn shrink(case: &CaseConfig, events: Vec<ChaosEvent>, storage: &StorageFaultPlane) -> Vec<ChaosEvent> {
+    let fails = |evs: &[ChaosEvent]| {
+        let mut plane = plane_of(evs);
+        plane.storage = storage.clone();
+        !run_with_plane(case, plane).verdict.ok
+    };
     let mut cur = events;
     let mut chunk = cur.len().div_ceil(2).max(1);
     loop {
@@ -558,13 +596,99 @@ pub fn shrink(case: &CaseConfig, events: Vec<ChaosEvent>) -> Vec<ChaosEvent> {
 /// Shrinks a failing run to a minimal scripted reproducer: replays the
 /// run's trace (plus partitions and crashes) as a script, verifies the
 /// violation reproduces RNG-free, then delta-debugs the schedule down.
+/// The failing run's storage fault plane rides along unchanged — message
+/// faults shrink, the storage knobs are part of the reproducer (its
+/// per-peer WAL fault draws are already deterministic in `(seed, peer)`).
 /// Returns `None` if the scripted replay unexpectedly passes.
 pub fn shrink_failure(case: &CaseConfig, result: &CaseResult) -> Option<FaultPlane> {
+    let storage = result.plane.storage.clone();
     let full = events_of(&result.plane, &result.trace);
-    if run_with_plane(case, plane_of(&full)).verdict.ok {
+    let mut scripted = plane_of(&full);
+    scripted.storage = storage.clone();
+    if run_with_plane(case, scripted).verdict.ok {
         return None;
     }
-    Some(plane_of(&shrink(case, full)))
+    let mut minimal = plane_of(&shrink(case, full, &storage));
+    minimal.storage = storage;
+    Some(minimal)
+}
+
+// ----------------------------------------------------------------------
+// Corpus: checked-in minimized reproducers.
+// ----------------------------------------------------------------------
+
+/// One checked-in reproducer: a sweep cell plus the shrunk scripted
+/// plane that once violated the oracle. Violations surfaced during
+/// development land here (via `axml-chaos gen-sweep --corpus`) and a
+/// regression test replays every entry on each `cargo test`:
+///
+/// - `expect = "pass"`: the underlying bug was fixed — the replay must
+///   stay clean forever (the regression guard);
+/// - `expect = "violation"`: a tracked open issue — the replay must
+///   still reproduce, so the entry is flipped to `pass` (not silently
+///   forgotten) the day the bug is fixed. The `note` carries the
+///   tracking context.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CorpusEntry {
+    /// What this reproducer documents (and, for open issues, the
+    /// tracking note explaining why it is not yet fixed).
+    pub note: String,
+    /// `"pass"` (fixed, must stay clean) or `"violation"` (open, must
+    /// still reproduce).
+    pub expect: String,
+    /// Scenario name (hand-written or `gen:<seed>`).
+    pub scenario: String,
+    /// Profile label the violation was found under.
+    pub profile: String,
+    /// The cell's seed.
+    pub seed: u64,
+    /// The cell's duplicate-suppression setting.
+    pub dedup: bool,
+    /// The shrunk scripted plane (probabilities zero; storage knobs
+    /// preserved verbatim from the failing run).
+    pub plane: FaultPlane,
+}
+
+impl CorpusEntry {
+    /// Replays the entry and checks it against its expectation.
+    /// Returns `Err(reason)` when the expectation no longer holds.
+    pub fn replay(&self) -> Result<(), String> {
+        let profile = Profile::parse(&self.profile).ok_or_else(|| format!("unknown profile `{}`", self.profile))?;
+        if builder_for(&self.scenario).is_none() {
+            return Err(format!("unknown scenario `{}`", self.scenario));
+        }
+        let mut case = CaseConfig::new(&self.scenario, profile, self.seed);
+        case.dedup = self.dedup;
+        let result = run_with_plane(&case, self.plane.clone());
+        match (self.expect.as_str(), result.verdict.ok) {
+            ("pass", true) | ("violation", false) => Ok(()),
+            ("pass", false) => Err(format!("regressed — the fixed violation is back: {}", result.verdict.reason)),
+            ("violation", true) => {
+                Err("the tracked violation no longer reproduces — flip this entry's expect to \"pass\"".to_string())
+            }
+            (other, _) => Err(format!("unknown expectation `{other}` (expected \"pass\" or \"violation\")")),
+        }
+    }
+}
+
+/// Loads every `*.json` corpus entry under `dir`, sorted by file name
+/// (deterministic replay order). A missing directory is an empty corpus.
+pub fn load_corpus(dir: &std::path::Path) -> Result<Vec<(String, CorpusEntry)>, String> {
+    let mut entries = Vec::new();
+    let read = match std::fs::read_dir(dir) {
+        Ok(read) => read,
+        Err(_) => return Ok(entries),
+    };
+    let mut paths: Vec<PathBuf> =
+        read.filter_map(|e| e.ok().map(|e| e.path())).filter(|p| p.extension().is_some_and(|x| x == "json")).collect();
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{name}: {e}"))?;
+        let entry: CorpusEntry = serde_json::from_str(&text).map_err(|e| format!("{name}: {e:?}"))?;
+        entries.push((name, entry));
+    }
+    Ok(entries)
 }
 
 // ----------------------------------------------------------------------
@@ -720,6 +844,7 @@ pub fn sweep(scenarios: &[String], profiles: &[Profile], seeds: std::ops::Range<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use axml_core::peer::PeerConfig;
 
     #[test]
     fn identical_seed_and_config_produce_identical_runs() {

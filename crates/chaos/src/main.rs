@@ -5,6 +5,9 @@
 //! axml-chaos smoke [--seeds N] [--jobs N]
 //! axml-chaos store-smoke [--seeds N]
 //! axml-chaos shrink-demo
+//! axml-chaos gen <seed> [--run [--profile P] [--seed N]]
+//! axml-chaos gen-sweep [--base-seed B] [--count N] [--seeds N] [--profiles p,q] [--no-dedup] [--jobs N] [--prom FILE] [--corpus DIR]
+//! axml-chaos corpus [--dir DIR]
 //! axml-chaos trace (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup]) [--journal FILE]
 //! axml-chaos stats (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup]) [--prom FILE]
 //! ```
@@ -36,12 +39,23 @@
 //! `stats` replays one case traced and prints the trace analytics:
 //! per-transaction critical paths, the latency percentile table, and the
 //! monitor findings; `--prom` writes the Prometheus text exposition.
+//! `gen` prints the deterministic `GenScenario` spec for a seed as JSON
+//! (with `--run`, also executes it as one traced chaos case).
+//! `gen-sweep` sweeps `count` *generated* scenarios (`gen:<base-seed>` …)
+//! across the profile × seed matrix through the exact same machinery as
+//! `sweep` — oracle, monitor, conformance gate, canonical-order merge,
+//! `--jobs` byte-identity, `--prom` — defaulting to 64 scenarios ×
+//! 5 profiles × 4 seeds = 1280 runs. `--corpus DIR` writes each
+//! violation's shrunk reproducer into DIR as a `CorpusEntry` JSON.
+//! `corpus` replays every checked-in `corpus/*.json` entry against its
+//! expectation (fixed entries stay clean, tracked ones still reproduce).
 
 #![forbid(unsafe_code)]
 
 use axml_chaos::{
-    builder_for, events_of, plane_for, run_case, run_with_plane, run_with_plane_traced, shrink_failure, sweep_jobs,
-    CaseConfig, Profile, SweepOutcome, SCENARIOS,
+    builder_for, events_of, gen_scenario_names, load_corpus, plane_for, run_case, run_with_plane,
+    run_with_plane_traced, shrink_failure, sweep_jobs, CaseConfig, CorpusEntry, GenConfig, GenScenario, Profile,
+    SweepOutcome, SCENARIOS,
 };
 use axml_obs::{critical_paths, derive_histograms, percentile_table, render_prometheus};
 use axml_p2p::{FaultPlane, TraceJournal};
@@ -206,6 +220,114 @@ fn main() {
             }
             ok
         }
+        "gen" => {
+            let Some(seed) = args.get(1).and_then(|s| s.parse::<u64>().ok()) else {
+                eprintln!("usage: axml-chaos gen <seed> [--run [--profile P] [--seed N]]");
+                std::process::exit(1);
+            };
+            let g = GenScenario::generate(seed, &GenConfig::default());
+            println!("{}", g.to_json());
+            if args.iter().any(|a| a == "--run") {
+                let profile = parse_flag(&args, "--profile")
+                    .map(|p| {
+                        Profile::parse(&p).unwrap_or_else(|| {
+                            eprintln!("unknown profile `{p}`");
+                            std::process::exit(1);
+                        })
+                    })
+                    .unwrap_or(Profile::Mixed);
+                let run_seed = parse_flag(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+                let case = CaseConfig::new(&g.name(), profile, run_seed);
+                let plane = plane_for(profile, run_seed, &g.builder().peers());
+                let (result, dump) = run_with_plane_traced(&case, plane);
+                println!("case {}", case.label());
+                println!("{}", dump.tree);
+                match result.committed {
+                    Some(true) => println!("outcome: committed"),
+                    Some(false) => println!("outcome: aborted"),
+                    None => println!("outcome: unresolved at the deadline"),
+                }
+                if result.verdict.ok {
+                    println!("oracle: atomicity held");
+                } else {
+                    println!("oracle: VIOLATION — {}", result.verdict.reason);
+                }
+            }
+            true
+        }
+        "gen-sweep" => {
+            let base: u64 = parse_flag(&args, "--base-seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+            let count: u64 = parse_flag(&args, "--count").and_then(|s| s.parse().ok()).unwrap_or(64);
+            let run_seeds: u64 = parse_flag(&args, "--seeds").and_then(|s| s.parse().ok()).unwrap_or(4);
+            let scenarios = gen_scenario_names(base, count);
+            let profiles: Vec<Profile> = parse_flag(&args, "--profiles")
+                .map(|s| s.split(',').filter_map(Profile::parse).collect())
+                .unwrap_or_else(|| Profile::all().to_vec());
+            let dedup = !args.iter().any(|a| a == "--no-dedup");
+            let out = sweep_jobs(&scenarios, &profiles, 0..run_seeds, dedup, jobs);
+            let ok = report(&out);
+            if let Some(dir) = parse_flag(&args, "--corpus") {
+                std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+                    eprintln!("cannot create {dir}: {e}");
+                    std::process::exit(1);
+                });
+                for v in &out.violations {
+                    let Some(repro) = &v.reproducer else { continue };
+                    let plane = serde_json::from_str(repro).expect("reproducer round-trips");
+                    let entry = CorpusEntry {
+                        note: format!("surfaced by gen-sweep at {}: {}", v.case.label(), v.reason),
+                        expect: "violation".to_string(),
+                        scenario: v.case.scenario.clone(),
+                        profile: v.case.profile.name().to_string(),
+                        seed: v.case.seed,
+                        dedup: v.case.dedup,
+                        plane,
+                    };
+                    let file = format!(
+                        "{dir}/{}-{}-{}.json",
+                        v.case.scenario.replace(':', "-"),
+                        v.case.profile.name(),
+                        v.case.seed
+                    );
+                    std::fs::write(&file, serde_json::to_string(&entry).expect("serializable")).unwrap_or_else(|e| {
+                        eprintln!("cannot write {file}: {e}");
+                        std::process::exit(1);
+                    });
+                    println!("corpus entry written to {file}");
+                }
+            }
+            if let Some(path) = parse_flag(&args, "--prom") {
+                if let Err(e) = std::fs::write(&path, render_prometheus(&out.histograms)) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("prometheus exposition written to {path}");
+            }
+            ok
+        }
+        "corpus" => {
+            let dir = parse_flag(&args, "--dir").unwrap_or_else(|| "corpus".to_string());
+            match load_corpus(std::path::Path::new(&dir)) {
+                Ok(entries) => {
+                    let mut ok = true;
+                    for (name, entry) in &entries {
+                        match entry.replay() {
+                            Ok(()) => println!("{name}: ok ({})", entry.expect),
+                            Err(reason) => {
+                                println!("{name}: FAIL — {reason}");
+                                ok = false;
+                            }
+                        }
+                    }
+                    println!("{} corpus entr{} replayed", entries.len(), if entries.len() == 1 { "y" } else { "ies" });
+                    ok
+                }
+                Err(e) => {
+                    eprintln!("corpus load failed: {e}");
+                    false
+                }
+            }
+        }
         "shrink-demo" => {
             let mut caught = false;
             for seed in 0..64 {
@@ -289,7 +411,10 @@ fn main() {
             result.findings.is_empty()
         }
         other => {
-            eprintln!("unknown command `{other}` (expected sweep | smoke | store-smoke | shrink-demo | trace | stats)");
+            eprintln!(
+                "unknown command `{other}` \
+                 (expected sweep | smoke | store-smoke | shrink-demo | gen | gen-sweep | corpus | trace | stats)"
+            );
             false
         }
     };

@@ -1,0 +1,59 @@
+//! Regression guards for the checked-in reproducer corpus and for the
+//! shrinker's storage-profile soundness.
+//!
+//! Every violation the generated sweep ever surfaced lands in
+//! `corpus/` as a shrunk scripted plane. Entries marked `pass` replay
+//! bugs that were fixed — they must stay clean forever. Entries marked
+//! `violation` are tracked open issues — they must still reproduce, so
+//! fixing the bug forces the entry (and its note) to be updated rather
+//! than silently forgotten.
+
+use axml_chaos::{load_corpus, run_with_plane, shrink_failure, CaseConfig, Profile};
+use axml_p2p::{FaultPlane, StorageFaultPlane};
+use std::path::Path;
+
+#[test]
+fn every_corpus_entry_replays_as_expected() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    let entries = load_corpus(&dir).expect("corpus directory loads");
+    assert!(!entries.is_empty(), "corpus is empty — expected checked-in reproducers in {}", dir.display());
+    for (name, entry) in &entries {
+        if let Err(reason) = entry.replay() {
+            panic!("{name}: {reason}\nnote: {}", entry.note);
+        }
+    }
+}
+
+/// The shrinker must carry the failing run's storage fault plane into
+/// the reproducer verbatim: a violation found under `Storage` owes its
+/// schedule to torn appends and sync failures, and a shrunk plane that
+/// silently dropped those knobs would replay clean and be rejected —
+/// or worse, reproduce a *different* failure. Uses the deliberately
+/// broken no-dedup delivery layer to guarantee failures exist.
+#[test]
+fn shrinker_preserves_storage_profile() {
+    let storage = StorageFaultPlane { torn_append_prob: 0.04, sync_failure_prob: 0.04, partial_segment_on_crash: true };
+    let mut checked = 0;
+    for seed in 0..40 {
+        let mut case = CaseConfig::new("fig1", Profile::Dups, seed);
+        case.dedup = false;
+        let mut plane = FaultPlane::probabilistic(seed, 0.0, 0.15, 0.0, 0.0);
+        plane.storage = storage.clone();
+        let result = run_with_plane(&case, plane);
+        if result.verdict.ok {
+            continue;
+        }
+        let minimal = shrink_failure(&case, &result).expect("scripted replay reproduces the violation");
+        assert_eq!(minimal.storage, storage, "{}: shrinker dropped the storage fault plane", case.label());
+        let replay = run_with_plane(&case, minimal.clone());
+        assert!(!replay.verdict.ok, "{}: shrunk reproducer no longer fails", case.label());
+        // Shrinking the already-minimal reproducer must be a fixpoint.
+        let again = shrink_failure(&case, &replay).expect("minimal plane still reproduces");
+        assert_eq!(again, minimal, "{}: shrink is not idempotent", case.label());
+        checked += 1;
+        if checked >= 3 {
+            return;
+        }
+    }
+    panic!("no violations found in 40 no-dedup seeds — the oracle lost its teeth");
+}

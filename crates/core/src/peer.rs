@@ -472,6 +472,13 @@ pub struct AxmlPeer {
     /// result was dropped in flight), a chain notice lets us re-offer the
     /// work to an ancestor — scenario (c)'s reuse.
     completed_results: BTreeMap<TxnId, (String, Vec<Fragment>, CompBundle)>,
+    /// Parents we keep-alive-watch while our completed serving awaits
+    /// their resolution. A child whose parent vanishes *after* the result
+    /// was returned has effects nobody else will compensate: without its
+    /// own detection it would keep them forever if every notice/abort
+    /// path to it also died (e.g. the parent disconnects mid-abort and
+    /// the grandparent crashes). Released when the transaction resolves.
+    parent_watch: BTreeMap<TxnId, PeerId>,
     /// In-memory mirror of what the durability sink holds, for the
     /// [`Self::journal`] accessor and diagnostics. Only entries the sink
     /// durably acknowledged land here; after a crash-restart it is reset
@@ -531,6 +538,7 @@ impl AxmlPeer {
             stream_last: BTreeMap::new(),
             prefill_store: BTreeMap::new(),
             completed_results: BTreeMap::new(),
+            parent_watch: BTreeMap::new(),
             journal: Vec::new(),
             sink: Box::new(MemorySink::new()),
             epoch: 0,
@@ -683,11 +691,24 @@ impl AxmlPeer {
     /// flight, but returns to it as they resolve. Called whenever a
     /// transaction finalizes and whenever an insert pushes the set past
     /// capacity.
-    fn prune_seen(&mut self, ctx: &mut Ctx<'_, TxnMsg>) {
+    ///
+    /// Entries of *aborted* transactions are only evicted under capacity
+    /// pressure (`aggressive`), never at finalize time: an aborted peer
+    /// can legitimately be re-invoked during forward recovery, and the
+    /// retransmission window for pre-abort deliveries is still open — a
+    /// stale retransmitted `Abort` that missed the pruned set would be
+    /// processed a second time and kill the freshly re-joined context.
+    /// A *committed* context refuses re-invocation forever, so its
+    /// entries protect nothing and go at the first opportunity.
+    fn prune_seen(&mut self, ctx: &mut Ctx<'_, TxnMsg>, aggressive: bool) {
         let before = self.seen_deliveries.len();
         let contexts = &self.contexts;
         self.seen_deliveries.retain(|_, txn| match txn {
-            Some(t) => contexts.get(t).map(|tc| !tc.is_terminal()).unwrap_or(true),
+            Some(t) => match contexts.get(t) {
+                Some(tc) if tc.state == TxnState::Committed => false,
+                Some(tc) => !(aggressive && tc.is_terminal()),
+                None => true,
+            },
             // Transaction-less protocol traffic is never sent reliably;
             // an entry without one has nothing left to protect.
             None => false,
@@ -695,6 +716,14 @@ impl AxmlPeer {
         let evicted = (before - self.seen_deliveries.len()) as u64;
         if evicted > 0 {
             self.emit(ctx, None, None, None, EventKind::DedupPrune { evicted });
+        }
+    }
+
+    /// Drops the keep-alive watch on the parent whose resolution `txn`'s
+    /// completed serving was waiting for (no-op when none was armed).
+    fn release_parent_watch(&mut self, txn: TxnId) {
+        if let Some(parent) = self.parent_watch.remove(&txn) {
+            self.unwatch(parent);
         }
     }
 
@@ -905,24 +934,27 @@ impl AxmlPeer {
         // compensated) may legitimately be re-invoked during forward
         // recovery — it re-joins with a fresh context. A committed
         // context refuses.
-        match self.contexts.get(&txn) {
+        let rejoining = match self.contexts.get(&txn) {
             Some(tc) if tc.state == TxnState::Committed => {
                 let fault = Fault::new("TxnResolved", format!("{txn} already committed at {}", self.id));
                 let _ = self.send_reliable(ctx, from, TxnMsg::Fault { txn, inv, fault });
                 return;
             }
-            Some(tc) if tc.is_terminal() => {
-                self.contexts.remove(&txn);
-            }
-            _ => {}
-        }
-        if !self.contexts.contains_key(&txn) {
+            Some(tc) if tc.is_terminal() => true,
+            _ => false,
+        };
+        if rejoining || !self.contexts.contains_key(&txn) {
             let tc = TransactionContext::new(txn, Some((from, inv)), chain.clone(), ctx.now());
             // The context must be durable before we take on the serving:
             // a crash after effects but before a recoverable Begin could
             // never be compensated. On a storage fault, refuse the work —
             // the invoker treats it like any other fault (retry,
-            // alternative provider, or abort).
+            // alternative provider, or abort). The append must succeed
+            // *before* a re-join discards the old aborted context: a
+            // refusal that had already dropped it would forget the
+            // terminal decision, and a retransmitted Abort would then
+            // re-resolve through the tombstone path — a second terminal
+            // decision for the same transaction.
             let begun = self.journal_append(
                 ctx,
                 JournalEntry::Begin { txn, parent: Some((from, inv)), chain: chain.clone(), at: ctx.now() },
@@ -1498,7 +1530,7 @@ impl AxmlPeer {
                 if resolved {
                     self.journal_append_forced(ctx, JournalEntry::Resolved { txn, committed: true, at: ctx.now() });
                     self.emit(ctx, Some(txn), Some(serving.inv), None, EventKind::Resolve { committed: true });
-                    self.prune_seen(ctx);
+                    self.prune_seen(ctx, false);
                 }
                 self.results.insert(txn, items);
                 for peer in targets {
@@ -1517,6 +1549,21 @@ impl AxmlPeer {
                     // returning results.
                     self.record_detection(ctx, parent, DetectHow::SendFailure);
                     self.reroute_past_dead_parent(ctx, txn, parent, &serving.method, items, comp);
+                } else {
+                    // Our effects are live until the parent resolves the
+                    // transaction — keep-alive-watch it so a parent that
+                    // vanishes mid-protocol is *detected* here, not just
+                    // hoped about (scenario (b) from the orphan's side).
+                    // A re-join may have a different parent (replica
+                    // re-invocation): move the watch over.
+                    match self.parent_watch.insert(txn, parent) {
+                        Some(old) if old != parent => {
+                            self.unwatch(old);
+                            self.watch(ctx, parent);
+                        }
+                        Some(_) => {}
+                        None => self.watch(ctx, parent),
+                    }
                 }
             }
         }
@@ -1536,7 +1583,9 @@ impl AxmlPeer {
     ) {
         // Whatever happens below, this result is now either delivered via
         // Redirected or discarded — don't re-offer it on later notices.
+        // The dead parent will never resolve us; stop watching it.
         self.completed_results.remove(&txn);
+        self.release_parent_watch(txn);
         if !self.config.chaining {
             // "Traditional recovery would lead to AP6 discarding its work."
             self.stats.work_wasted += 1;
@@ -1813,7 +1862,8 @@ impl AxmlPeer {
         };
         self.journal_append_forced(ctx, JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
         self.emit(ctx, Some(txn), None, None, EventKind::Resolve { committed: false });
-        self.prune_seen(ctx);
+        self.prune_seen(ctx, false);
+        self.release_parent_watch(txn);
         self.completed_results.remove(&txn);
         self.conflicts.release(txn);
         if !batches.is_empty() {
@@ -1845,8 +1895,19 @@ impl AxmlPeer {
             self.emit(ctx, Some(txn), None, None, EventKind::CompensateApply { actions });
             self.stats.compensations_executed += 1;
         }
-        // Drop any servings/waits of this transaction, telling their
-        // invokers (otherwise they would wait for a reply forever).
+        self.drop_txn_work(ctx, txn);
+    }
+
+    /// Drops every live serving and wait of an aborted `txn`, faulting
+    /// the dropped servings' invokers (`TxnResolved`) so they recover
+    /// instead of waiting on a reply forever. Must run whenever an abort
+    /// decision lands while work for the transaction is still in flight
+    /// — both on a locally decided abort and on a received compensation:
+    /// a stale `Compensate` (reordered past a re-invocation) that left
+    /// the servings alive would let late child results materialize
+    /// effects into the already-aborted context, effects nothing will
+    /// ever compensate.
+    fn drop_txn_work(&mut self, ctx: &mut Ctx<'_, TxnMsg>, txn: TxnId) {
         let dead_servings: Vec<InvocationId> =
             self.servings.iter().filter(|(_, s)| s.txn == txn).map(|(i, _)| *i).collect();
         for inv in dead_servings {
@@ -1988,7 +2049,8 @@ impl AxmlPeer {
         }
         self.journal_append_forced(ctx, JournalEntry::Resolved { txn, committed: true, at: ctx.now() });
         self.emit(ctx, Some(txn), None, None, EventKind::Resolve { committed: true });
-        self.prune_seen(ctx);
+        self.prune_seen(ctx, false);
+        self.release_parent_watch(txn);
         let invoked = self.contexts.get(&txn).map(|tc| tc.invoked_peers()).unwrap_or_default();
         for peer in invoked {
             if peer != self.id {
@@ -2046,8 +2108,10 @@ impl AxmlPeer {
         if resolved {
             self.journal_append_forced(ctx, JournalEntry::Resolved { txn, committed: false, at: ctx.now() });
             self.emit(ctx, Some(txn), None, None, EventKind::Resolve { committed: false });
-            self.prune_seen(ctx);
+            self.prune_seen(ctx, false);
+            self.drop_txn_work(ctx, txn);
         }
+        self.release_parent_watch(txn);
         self.conflicts.release(txn);
     }
 
@@ -2087,6 +2151,27 @@ impl AxmlPeer {
         }
         for inv in affected {
             self.child_failed(ctx, inv, Fault::peer_unreachable(format!("{peer} disconnected")));
+        }
+        // The dead peer may also be a *parent* we keep-alive-watched while
+        // a completed serving awaited its resolution (scenario (b) caught
+        // by ping timeout rather than send failure). Orphaned work is
+        // re-offered up the chain — or aborted — exactly as a chained
+        // disconnect notice would have it; it must never sit forever on a
+        // peer whose consumer is gone.
+        let orphaned: Vec<TxnId> = self.parent_watch.iter().filter(|(_, p)| **p == peer).map(|(t, _)| *t).collect();
+        for txn in orphaned {
+            self.parent_watch.remove(&txn);
+            if self.contexts.get(&txn).map(|t| t.is_terminal()).unwrap_or(true) {
+                continue;
+            }
+            let mine: Vec<InvocationId> = self.servings.iter().filter(|(_, s)| s.txn == txn).map(|(i, _)| *i).collect();
+            if !mine.is_empty() {
+                self.stats.orphan_stops += 1;
+                self.abort_local(ctx, txn);
+                self.propagate_abort(ctx, txn, None);
+            } else if let Some((method, items, comp)) = self.completed_results.remove(&txn) {
+                self.reroute_past_dead_parent(ctx, txn, peer, &method, items, comp);
+            }
         }
     }
 
@@ -2256,6 +2341,7 @@ impl AxmlPeer {
         self.waiting.clear();
         self.timers.clear();
         self.watch_counts.clear();
+        self.parent_watch.clear();
         self.monitor = PingMonitor::new(self.config.ping_interval.max(1), self.config.ping_timeout.max(1));
         self.ping_running = false;
         self.stream_running = false;
@@ -2450,7 +2536,7 @@ impl Actor<TxnMsg> for AxmlPeer {
                     }
                     self.stats.seen_peak = self.stats.seen_peak.max(self.seen_deliveries.len() as u64);
                     if self.seen_deliveries.len() > self.config.dedup_capacity {
-                        self.prune_seen(ctx);
+                        self.prune_seen(ctx, true);
                     }
                 }
                 *inner

@@ -114,6 +114,32 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Builder: mark a peer as a super peer.
+    pub fn super_peer(mut self, peer: u32) -> Self {
+        if !self.supers.contains(&peer) {
+            self.supers.push(peer);
+        }
+        self
+    }
+
+    /// Builder: service processing duration for one peer.
+    pub fn duration(mut self, peer: u32, ticks: u64) -> Self {
+        self.durations.insert(peer, ticks);
+        self
+    }
+
+    /// Builder: simulator latency seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: hard stop for the simulation.
+    pub fn deadline(mut self, deadline: u64) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
     /// Builder: peer configuration template.
     pub fn config(mut self, config: PeerConfig) -> Self {
         self.config = config;
@@ -385,13 +411,30 @@ impl Scenario {
     pub fn run(&mut self) -> ScenarioReport {
         let finished_at = self.sim.run_until(self.deadline);
         let outcome = self.sim.actor(self.origin).outcomes.first().cloned();
-        let txn = outcome.as_ref().map(|o| o.txn).or_else(|| self.sim.actor(self.origin).known_txns().first().copied());
+        let txn = outcome.as_ref().map(|o| o.txn).or_else(|| self.root_txn());
         let atomic = self.atomicity_holds();
         let mut stats = BTreeMap::new();
         for &p in &self.participants {
             stats.insert(p, self.sim.actor(p).stats.clone());
         }
         ScenarioReport { txn, outcome, metrics: self.sim.metrics().clone(), atomic, stats, finished_at }
+    }
+
+    /// The origin's root transaction: the least transaction id *originated
+    /// at the origin* whose context has no parent. This is the
+    /// deterministic fallback for [`ScenarioReport::txn`] when the origin
+    /// never recorded an outcome — `known_txns()` can also hold contexts
+    /// the origin merely served for other peers, and those sort first
+    /// whenever the serving peer's id is lower, so "first known txn" was
+    /// an arbitrary set-ordered pick, not the submitted transaction.
+    fn root_txn(&self) -> Option<TxnId> {
+        let actor = self.sim.actor(self.origin);
+        actor
+            .known_txns()
+            .into_iter()
+            .filter(|t| t.origin == self.origin)
+            .filter(|t| actor.context(*t).is_some_and(|c| c.parent.is_none()))
+            .min()
     }
 
     /// The all-or-nothing check:
@@ -427,31 +470,36 @@ impl Scenario {
                     .iter()
                     .any(|t| actor.context(*t).map(|c| c.state == TxnState::Aborted).unwrap_or(false));
                 if any_aborted {
-                    actor.repo.names().iter().all(|name| {
-                        self.baseline
-                            .get(&(p, name.to_string()))
-                            .map(|base| actor.repo.get(name).expect("listed").to_xml() == *base)
-                            .unwrap_or(true)
-                    })
+                    self.peer_matches_baseline(p)
                 } else {
                     true
                 }
             })
         } else {
-            self.participants.iter().all(|&p| {
-                if !self.sim.is_connected(p) {
-                    return true;
-                }
-                let actor = self.sim.actor(p);
-                actor.repo.names().iter().all(|name| match self.baseline.get(&(p, name.to_string())) {
-                    None => true,
-                    Some(base) => {
-                        let now = actor.repo.get(name).expect("listed").to_xml();
-                        now == *base
-                    }
-                })
-            })
+            self.participants.iter().all(|&p| !self.sim.is_connected(p) || self.peer_matches_baseline(p))
         }
+    }
+
+    /// True when `p`'s repository equals its pre-transaction baseline:
+    /// the *name set* must match exactly (a document created during the
+    /// transaction has no baseline entry — tolerating it would let an
+    /// aborted transaction leak fresh documents past the oracle; a
+    /// missing name means compensation dropped a document outright) and
+    /// every document's bytes must match.
+    fn peer_matches_baseline(&self, p: PeerId) -> bool {
+        let actor = self.sim.actor(p);
+        let names = actor.repo.names();
+        let baseline_names: Vec<&str> =
+            self.baseline.keys().filter(|(q, _)| *q == p).map(|(_, n)| n.as_str()).collect();
+        if names != baseline_names {
+            return false;
+        }
+        names.iter().all(|name| {
+            self.baseline
+                .get(&(p, (*name).to_string()))
+                .map(|base| actor.repo.get(name).expect("listed").to_xml() == *base)
+                .unwrap_or(false)
+        })
     }
 
     /// The lifecycle-event journal, if the scenario was built with
@@ -481,7 +529,10 @@ impl Scenario {
     }
 
     /// Documents diverging from the baseline on connected peers
-    /// (diagnostics for failed atomicity checks).
+    /// (diagnostics for failed atomicity checks). A document with no
+    /// baseline entry (created during the transaction) or a baseline
+    /// entry with no surviving document (dropped by compensation) is
+    /// divergence too.
     pub fn divergent_docs(&self) -> Vec<(PeerId, String)> {
         let mut out = Vec::new();
         for &p in &self.participants {
@@ -490,10 +541,18 @@ impl Scenario {
             }
             let actor = self.sim.actor(p);
             for name in actor.repo.names() {
-                if let Some(base) = self.baseline.get(&(p, name.to_string())) {
-                    if actor.repo.get(name).expect("listed").to_xml() != *base {
-                        out.push((p, name.to_string()));
+                match self.baseline.get(&(p, name.to_string())) {
+                    Some(base) => {
+                        if actor.repo.get(name).expect("listed").to_xml() != *base {
+                            out.push((p, name.to_string()));
+                        }
                     }
+                    None => out.push((p, format!("{name} (created during the transaction)"))),
+                }
+            }
+            for (_, name) in self.baseline.keys().filter(|(q, _)| *q == p) {
+                if actor.repo.get(name).is_none() {
+                    out.push((p, format!("{name} (missing after the run)")));
                 }
             }
         }
@@ -940,6 +999,86 @@ mod tests {
         let txn = report.txn.unwrap();
         let chain = &s.sim.actor(PeerId(1)).context(txn).unwrap().chain;
         assert_eq!(chain.to_notation(), "[AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]");
+    }
+
+    // ------------------------------------------------------------------
+    // Oracle strictness: leaked and dropped documents.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn aborted_txn_leaking_a_fresh_document_fails_the_oracle() {
+        // An aborted transaction must leave the post-abort document *name
+        // set* equal to the baseline name set. Services cannot create
+        // documents today, so the leak is emulated the way a buggy
+        // compensation path would produce it: a fresh document appears on
+        // a participant during the run and survives the abort. Before the
+        // name-set rule, `atomicity_holds` silently tolerated any
+        // document without a baseline entry (`None => true`).
+        let mut cfg = PeerConfig::default();
+        cfg.use_alternative_providers = false;
+        let mut s = ScenarioBuilder::fig1().fault_at(5).config(cfg).build();
+        let report = s.run();
+        assert!(!report.outcome.expect("resolved").committed);
+        assert!(s.atomicity_holds(), "clean abort is atomic");
+        s.sim.actor_mut(PeerId(4)).repo.put_xml("leaked-scratch", "<d><out>leak</out></d>").unwrap();
+        assert!(!s.atomicity_holds(), "a document created during the transaction must fail an aborted oracle");
+        assert!(
+            s.divergent_docs().iter().any(|(p, n)| *p == PeerId(4) && n.contains("leaked-scratch")),
+            "diagnostics name the leaked document: {:?}",
+            s.divergent_docs()
+        );
+    }
+
+    #[test]
+    fn aborted_txn_dropping_a_baseline_document_fails_the_oracle() {
+        let mut cfg = PeerConfig::default();
+        cfg.use_alternative_providers = false;
+        let mut s = ScenarioBuilder::fig1().fault_at(5).config(cfg).build();
+        let report = s.run();
+        assert!(!report.outcome.expect("resolved").committed);
+        s.sim.actor_mut(PeerId(2)).repo.remove("d2").expect("hosted");
+        assert!(!s.atomicity_holds(), "a baseline document missing after the abort must fail the oracle");
+        assert!(
+            s.divergent_docs().iter().any(|(p, n)| *p == PeerId(2) && n.contains("missing")),
+            "diagnostics name the dropped document: {:?}",
+            s.divergent_docs()
+        );
+    }
+
+    #[test]
+    fn committed_txn_with_aborted_participant_leaking_a_document_fails_the_oracle() {
+        // The committed branch applies the same name-set rule to any
+        // participant that decided abort: its compensation must not leave
+        // fresh documents behind either.
+        let mut s = ScenarioBuilder::fig1().build();
+        let report = s.run();
+        assert!(report.outcome.expect("resolved").committed);
+        assert!(s.atomicity_holds());
+    }
+
+    // ------------------------------------------------------------------
+    // Deterministic txn fallback.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn unresolved_report_txn_is_the_origin_root_transaction() {
+        // Deadline short enough that the origin never records an outcome:
+        // the report's txn must still resolve deterministically to the
+        // origin's own root transaction (origin = AP1, epoch 0, seq 0) —
+        // not whatever context happens to sort first at the origin.
+        let mut b = ScenarioBuilder::fig1();
+        b.deadline = 3;
+        let mut s = b.build();
+        let report = s.run();
+        assert!(report.outcome.is_none(), "deadline precedes resolution");
+        let txn = report.txn.expect("origin submitted before the deadline");
+        assert_eq!(txn, TxnId::new(PeerId(1), 0));
+        let ctx = s.sim.actor(PeerId(1)).context(txn).expect("root context");
+        assert!(ctx.parent.is_none(), "the fallback txn is the root, parentless context");
+        // Replay-stable: a second identical run picks the same txn.
+        let mut b2 = ScenarioBuilder::fig1();
+        b2.deadline = 3;
+        assert_eq!(b2.build().run().txn, Some(txn));
     }
 
     #[test]
