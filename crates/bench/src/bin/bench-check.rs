@@ -9,10 +9,11 @@
 //! per report. Exits non-zero if any file fails to parse or fewer than
 //! `N` reports are found (default 1) — the CI bench-smoke gate.
 //!
-//! The `sweep` report gets one extra check: its `digest_serial` and
-//! `digest_parallel` params (the chaos-matrix digest with `--jobs 1` and
-//! `--jobs N`) must be present and equal, proving the parallel runner is
-//! a pure throughput knob.
+//! The `sweep` and `profile` reports get one extra check: their
+//! `digest_serial` and `digest_parallel` params (the chaos-matrix digest
+//! and the observability-plane digest with `--jobs 1` and `--jobs N`)
+//! must be present and equal, proving the parallel runner — and the
+//! sampler/profiler riding it — is a pure throughput knob.
 
 #![forbid(unsafe_code)]
 
@@ -69,17 +70,18 @@ fn main() {
                         );
                     }
                 }
-                if r.experiment == "sweep" {
+                if r.experiment == "sweep" || r.experiment == "profile" {
+                    let kind = &r.experiment;
                     match (r.params.get("digest_serial"), r.params.get("digest_parallel")) {
                         (Some(s), Some(p)) if s == p => {
-                            println!("  sweep digests agree: serial == parallel == {s}");
+                            println!("  {kind} digests agree: serial == parallel == {s}");
                         }
                         (Some(s), Some(p)) => {
-                            eprintln!("{name}: INVALID — sweep digest mismatch: serial={s} parallel={p}");
+                            eprintln!("{name}: INVALID — {kind} digest mismatch: serial={s} parallel={p}");
                             ok = false;
                         }
                         _ => {
-                            eprintln!("{name}: INVALID — sweep report is missing digest_serial/digest_parallel");
+                            eprintln!("{name}: INVALID — {kind} report is missing digest_serial/digest_parallel");
                             ok = false;
                         }
                     }

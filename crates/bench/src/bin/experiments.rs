@@ -1,7 +1,7 @@
 //! Regenerates every experiment table (DESIGN.md §5 / EXPERIMENTS.md).
 //!
 //! ```text
-//! experiments [e1|e2|…|e12|sweep|all] [--json] [--jobs N]
+//! experiments [e1|e2|…|e13|sweep|profile|all] [--json] [--jobs N]
 //! ```
 //!
 //! With `--json`, rows are additionally emitted as JSON lines (one array
@@ -19,13 +19,15 @@
 //! sim and results merge in canonical case order, so the rows, digests,
 //! and reports are byte-identical for every jobs value; only wall time
 //! changes. The `sweep` report records both the serial and the parallel
-//! sweep digest in its params so `bench-check` can prove they agree.
+//! sweep digest in its params so `bench-check` can prove they agree;
+//! the E13/`profile` report does the same for the observability plane
+//! (phase-histogram exposition + gauge-series JSON digests).
 
 #![forbid(unsafe_code)]
 
 use axml_bench::{
-    e10_isolation, e11_scale, e12_sweep, e1_fig1, e2_fig2, e3_compensation, e4_materialization, e5_recovery_cost,
-    e6_churn, e7_peer_independent, e8_spheres, e9_extended_chaining, BenchReport,
+    e10_isolation, e11_scale, e12_sweep, e13_profile, e1_fig1, e2_fig2, e3_compensation, e4_materialization,
+    e5_recovery_cost, e6_churn, e7_peer_independent, e8_spheres, e9_extended_chaining, BenchReport,
 };
 use axml_obs::{render_prometheus, Histogram};
 use std::collections::BTreeMap;
@@ -134,6 +136,40 @@ fn main() {
         report.histograms = Some(outcome.histograms.iter().map(|(k, v)| (k.clone(), v.summary())).collect());
         if let Err(e) = std::fs::write("BENCH_sweep.prom", render_prometheus(&outcome.histograms)) {
             eprintln!("cannot write BENCH_sweep.prom: {e}");
+        }
+        if let Err(e) = std::fs::write(report.file_name(), report.to_json() + "\n") {
+            eprintln!("cannot write {}: {e}", report.file_name());
+        }
+        println!();
+    }
+
+    // E13 / `profile` is hand-rolled for the same reason: its report
+    // carries the serial and parallel observability-plane digests (phase
+    // exposition + gauge-series JSON) so `bench-check` can prove the
+    // sampler and profiler are jobs-invariant. The parallel run's phase
+    // distributions land in `BENCH_profile.prom` and its merged gauge
+    // series in `BENCH_profile.series`.
+    if want("e13") || want("profile") {
+        let t0 = std::time::Instant::now();
+        let (rows, outcome) = e13_profile::run_with_outcome(jobs);
+        let wall_time_us = t0.elapsed().as_micros() as u64;
+        e13_profile::table(&rows).print();
+        let rows_json = serde_json::to_string(&rows).expect("serializable");
+        if json {
+            println!("{rows_json}");
+        }
+        let mut report = BenchReport::from_run("profile", &[], rows.len(), &rows_json, wall_time_us);
+        report.params.insert("jobs".into(), jobs.to_string());
+        report.params.insert("digest_serial".into(), rows[0].obs_digest.clone());
+        report.params.insert("digest_parallel".into(), rows[1].obs_digest.clone());
+        report.params.insert("txns".into(), rows[1].txns.to_string());
+        report.params.insert("series_points".into(), rows[1].series_points.to_string());
+        report.histograms = Some(outcome.phase_histograms.iter().map(|(k, v)| (k.clone(), v.summary())).collect());
+        if let Err(e) = std::fs::write("BENCH_profile.prom", render_prometheus(&outcome.phase_histograms)) {
+            eprintln!("cannot write BENCH_profile.prom: {e}");
+        }
+        if let Err(e) = std::fs::write("BENCH_profile.series", outcome.series.to_json()) {
+            eprintln!("cannot write BENCH_profile.series: {e}");
         }
         if let Err(e) = std::fs::write(report.file_name(), report.to_json() + "\n") {
             eprintln!("cannot write {}: {e}", report.file_name());

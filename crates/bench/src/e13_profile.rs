@@ -1,0 +1,118 @@
+//! E13 — phase-profile and gauge-series determinism, serial vs parallel
+//! (extension).
+//!
+//! Runs the full chaos matrix traced (every run sampling the per-peer
+//! gauge series and feeding the phase profiler), once on a single worker
+//! and once sharded across `jobs` workers, and digests the merged
+//! observability plane of each run: the phase-histogram Prometheus
+//! exposition concatenated with the gauge-series JSON. The two digests
+//! MUST match — sampling and profiling are pure observers folded in
+//! canonical case order, so worker count can never show up in the
+//! series, the phase percentiles, or their renderings. `bench-check`
+//! fails the report if they differ.
+
+use axml_chaos::{sweep_jobs, Profile, SweepOutcome, SCENARIOS};
+use axml_obs::render_prometheus;
+use serde::Serialize;
+
+use crate::report::fnv64;
+use crate::table::Table;
+
+/// Seeds per (scenario, profile) cell — 5 × 5 × 4 = 100 cases (the
+/// profile plane rides every traced run, so a quarter of the E12 matrix
+/// already exercises every scenario × profile pair).
+pub const SEEDS: u64 = 4;
+
+/// One timed, traced sweep of the matrix with its observability digest.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Worker threads the sweep was sharded across.
+    pub jobs: usize,
+    /// Cases run (scenario × profile × seed).
+    pub runs: usize,
+    /// Transactions the phase profiler attributed (txn_total samples).
+    pub txns: u64,
+    /// (metric, peer, boundary) points in the merged gauge series.
+    pub series_points: usize,
+    /// FNV-1a over the phase exposition + series JSON renderings.
+    pub obs_digest: String,
+    /// Wall-clock time for the whole matrix, microseconds.
+    pub wall_us: u64,
+}
+
+/// The digested rendering: phase-histogram exposition, then series JSON.
+pub fn obs_rendering(out: &SweepOutcome) -> String {
+    format!("{}{}", render_prometheus(&out.phase_histograms), out.series.to_json())
+}
+
+fn timed(jobs: usize) -> (Row, SweepOutcome) {
+    let scenarios: Vec<String> = SCENARIOS.iter().map(|s| s.to_string()).collect();
+    let t0 = std::time::Instant::now();
+    let out = sweep_jobs(&scenarios, Profile::all(), 0..SEEDS, true, jobs);
+    let wall_us = t0.elapsed().as_micros() as u64;
+    let row = Row {
+        jobs,
+        runs: out.runs,
+        txns: out.phase_histograms.get("txn_total").map_or(0, |h| h.count()),
+        series_points: out.series.points(),
+        obs_digest: format!("{:016x}", fnv64(&obs_rendering(&out))),
+        wall_us,
+    };
+    (row, out)
+}
+
+/// Runs the matrix serially, then sharded across `jobs` workers.
+pub fn run(jobs: usize) -> Vec<Row> {
+    run_with_outcome(jobs).0
+}
+
+/// Like [`run`], but also hands back the parallel run's merged outcome
+/// for the `BENCH_profile.prom` / series artifacts.
+pub fn run_with_outcome(jobs: usize) -> (Vec<Row>, SweepOutcome) {
+    let (serial, _) = timed(1);
+    let (parallel, out) = timed(jobs.max(1));
+    (vec![serial, parallel], out)
+}
+
+/// Formats the rows.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "E13 — phase-profile + gauge-series determinism, serial vs parallel (100-case traced matrix)",
+        &["jobs", "runs", "txns", "series-points", "obs-digest", "wall-us"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.jobs.to_string(),
+            r.runs.to_string(),
+            r.txns.to_string(),
+            r.series_points.to_string(),
+            r.obs_digest.clone(),
+            r.wall_us.to_string(),
+        ]);
+    }
+    t.with_note(
+        "expected shape: identical obs-digests (and identical txns/series-points) on every row — \
+         the sampler and profiler are pure observers merged in canonical case order, so the whole \
+         observability plane is byte-identical for every jobs value",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_observability_planes_are_byte_identical() {
+        let (rows, out) = run_with_outcome(4);
+        assert_eq!(rows.len(), 2);
+        let (s, p) = (&rows[0], &rows[1]);
+        assert_eq!(s.jobs, 1);
+        assert_eq!(p.jobs, 4);
+        assert_eq!(s.runs, SCENARIOS.len() * Profile::all().len() * SEEDS as usize);
+        assert_eq!(s.obs_digest, p.obs_digest, "jobs never shows in the observability plane");
+        assert_eq!((s.runs, s.txns, s.series_points), (p.runs, p.txns, p.series_points));
+        assert!(s.txns > 0, "the profiler attributed transactions");
+        assert!(s.series_points > 0, "the sampler recorded gauge points");
+        assert_eq!(fnv64(&obs_rendering(&out)), u64::from_str_radix(&p.obs_digest, 16).unwrap());
+    }
+}

@@ -13,6 +13,7 @@
 pub mod e10_isolation;
 pub mod e11_scale;
 pub mod e12_sweep;
+pub mod e13_profile;
 pub mod e1_fig1;
 pub mod e2_fig2;
 pub mod e3_compensation;

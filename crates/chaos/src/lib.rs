@@ -26,7 +26,10 @@
 
 use axml_core::context::TxnState;
 use axml_core::scenarios::{Scenario, ScenarioBuilder, ScenarioReport};
-use axml_obs::{derive_histograms, Histogram, Monitor, MonitorFinding};
+use axml_obs::{
+    derive_histograms, FlightRecorder, Histogram, Monitor, MonitorFinding, ProfileReport, SeriesRegistry,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 use axml_p2p::{CrashEvent, FaultPlane, NetMetrics, Partition, PeerId, ScriptedFault, Snapshot, StorageFaultPlane};
 use axml_spec::Conformance;
 use axml_store::{WalConfig, WalSink};
@@ -43,6 +46,14 @@ pub use parallel::par_map;
 
 /// Scenario names the harness knows how to build.
 pub const SCENARIOS: &[&str] = &["fig1", "fig2", "fig1-abort", "deep", "fig1-crash"];
+
+/// Gauge-sampling window width (sim-time ticks) for traced runs. Every
+/// traced run samples each peer's gauges (outbox depth, in-flight
+/// contexts, dedup-set size, retransmit timers, WAL bytes/segments) at
+/// multiples of this interval; the resulting `Gauge` events fold into
+/// the sweep's [`SeriesRegistry`]. Sampling is observation-only — it
+/// never perturbs the seeded event schedule or the run digest.
+pub const SAMPLE_INTERVAL: u64 = 25;
 
 /// Builds the named scenario's tree (fault plane and config not yet
 /// applied). Returns `None` for unknown names.
@@ -254,6 +265,13 @@ pub struct CaseResult {
     /// journal to check); divergences downgrade a clean verdict exactly
     /// like monitor findings do.
     pub conformance: Option<axml_spec::Conformance>,
+    /// The flight recorder's rendered dump — the last ≤64 trace events
+    /// per peer at the moment the run ended. Present exactly when the
+    /// verdict is a violation (oracle, monitor, or conformance), so
+    /// every failure ships with its immediate event context. The
+    /// recorder rides every run, traced or not, as a sim observer;
+    /// recording never perturbs the seeded schedule or the digest.
+    pub flight: Option<String>,
 }
 
 /// The atomicity oracle (see the crate docs for the exact rule).
@@ -367,6 +385,15 @@ pub struct TraceDump {
     /// per-case histograms merge into sweep-level distributions by plain
     /// counter addition, independent of merge order.
     pub histograms: BTreeMap<String, Histogram>,
+    /// The sampled gauge series folded from the journal's `Gauge`
+    /// events ([`SeriesRegistry::from_journal`]). Pointwise-additive,
+    /// so per-case registries aggregate order-free across a sweep.
+    pub series: SeriesRegistry,
+    /// Phase-width histograms from the per-transaction profiler
+    /// (`phase_<name>` plus `txn_total`; see
+    /// [`ProfileReport::phase_histograms`]) — same fixed bucket layout
+    /// as the latency histograms, merged the same way.
+    pub phase_histograms: BTreeMap<String, Histogram>,
 }
 
 /// Scratch WAL directories for one run's disk-backed sinks, removed on
@@ -428,7 +455,10 @@ fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult,
     // Decouple latency jitter from the fault seed but vary both per case.
     b.seed = 1000 + case.seed;
     if traced {
-        b = b.traced();
+        // Traced runs also sample the time-series plane: per-peer
+        // gauges at fixed window boundaries, folded into the journal as
+        // `Gauge` events.
+        b = b.traced().sampled(SAMPLE_INTERVAL);
     }
     let mut s = b.config(cfg).fault_plane(effective.clone()).build();
     // Disk-backed durability whenever storage faults are in play or the
@@ -441,6 +471,10 @@ fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult,
     // unaffected.
     let monitor = Rc::new(RefCell::new(Monitor::new()));
     s.sim.attach_observer(monitor.clone());
+    // The flight recorder keeps each peer's last events so a violation
+    // ships with its immediate context even on untraced runs.
+    let recorder = Rc::new(RefCell::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)));
+    s.sim.attach_observer(recorder.clone());
     let report = s.run();
     let findings = monitor.borrow_mut().finish().to_vec();
     // Traced runs also replay their journal against the executable
@@ -464,7 +498,10 @@ fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult,
         tree: j.render_tree(),
         snapshot: snapshot.render(),
         histograms: derive_histograms(j),
+        series: SeriesRegistry::from_journal(j),
+        phase_histograms: ProfileReport::from_journal(j).phase_histograms(),
     });
+    let flight = (!verdict.ok).then(|| recorder.borrow().dump());
     let result = CaseResult {
         committed: report.outcome.as_ref().map(|o| o.committed),
         verdict,
@@ -476,6 +513,7 @@ fn run_inner(case: &CaseConfig, plane: FaultPlane, traced: bool) -> (CaseResult,
         findings,
         snapshot,
         conformance,
+        flight,
     };
     (result, dump)
 }
@@ -647,19 +685,40 @@ pub struct CorpusEntry {
     /// The shrunk scripted plane (probabilities zero; storage knobs
     /// preserved verbatim from the failing run).
     pub plane: FaultPlane,
+    /// Flight-recorder dump captured when the violation was surfaced —
+    /// the last events per peer of the shrunk failing run. Optional
+    /// (and absent keys read as `None`), so entries checked in before
+    /// the recorder existed still parse.
+    pub flight: Option<String>,
 }
 
 impl CorpusEntry {
     /// Replays the entry and checks it against its expectation.
     /// Returns `Err(reason)` when the expectation no longer holds.
     pub fn replay(&self) -> Result<(), String> {
-        let profile = Profile::parse(&self.profile).ok_or_else(|| format!("unknown profile `{}`", self.profile))?;
+        self.replay_with_flight().0
+    }
+
+    /// Like [`Self::replay`], but also hands back the replay's
+    /// flight-recorder dump when the run violated — a fresh last-events
+    /// context for diagnosis, independent of the (possibly stale)
+    /// recorded [`Self::flight`].
+    pub fn replay_with_flight(&self) -> (Result<(), String>, Option<String>) {
+        let profile = match Profile::parse(&self.profile) {
+            Some(p) => p,
+            None => return (Err(format!("unknown profile `{}`", self.profile)), None),
+        };
         if builder_for(&self.scenario).is_none() {
-            return Err(format!("unknown scenario `{}`", self.scenario));
+            return (Err(format!("unknown scenario `{}`", self.scenario)), None);
         }
         let mut case = CaseConfig::new(&self.scenario, profile, self.seed);
         case.dedup = self.dedup;
         let result = run_with_plane(&case, self.plane.clone());
+        let flight = result.flight.clone();
+        (self.check_expectation(&result), flight)
+    }
+
+    fn check_expectation(&self, result: &CaseResult) -> Result<(), String> {
         match (self.expect.as_str(), result.verdict.ok) {
             ("pass", true) | ("violation", false) => Ok(()),
             ("pass", false) => Err(format!("regressed — the fixed violation is back: {}", result.verdict.reason)),
@@ -709,6 +768,10 @@ pub struct Violation {
     pub reproducer: Option<String>,
     /// Lifecycle trace of the shrunk reproducer's run.
     pub trace: Option<TraceDump>,
+    /// Flight-recorder dump of the shrunk reproducer's run (falls back
+    /// to the original failing run's dump when shrinking failed), so
+    /// the violation always carries its last-events context.
+    pub flight: Option<String>,
 }
 
 /// A sweep's aggregate outcome. Every aggregate is merged in canonical
@@ -739,6 +802,13 @@ pub struct SweepOutcome {
     /// Every monitor finding across the sweep as `(case label, finding)`,
     /// in canonical case order.
     pub findings: Vec<(String, MonitorFinding)>,
+    /// All per-case gauge series aggregated pointwise
+    /// ([`SeriesRegistry::absorb`] — commutative, so worker count never
+    /// shows in the aggregate).
+    pub series: SeriesRegistry,
+    /// All per-case phase histograms merged (`phase_<name>` +
+    /// `txn_total`, fixed bucket layout).
+    pub phase_histograms: BTreeMap<String, Histogram>,
 }
 
 /// What one worker hands back for one sweep cell: the traced case run
@@ -747,6 +817,8 @@ pub struct SweepOutcome {
 struct CaseRun {
     result: CaseResult,
     histograms: BTreeMap<String, Histogram>,
+    series: SeriesRegistry,
+    phase_histograms: BTreeMap<String, Histogram>,
     violation: Option<Violation>,
 }
 
@@ -759,19 +831,25 @@ fn run_cell(case: &CaseConfig) -> CaseRun {
     let (result, dump) = run_with_plane_traced(case, plane);
     let violation = (!result.verdict.ok).then(|| {
         // Replay the shrunk schedule traced: the violation ships with
-        // the exact lifecycle story of a minimal failing run, not just
-        // the schedule.
-        let (reproducer, trace) = match shrink_failure(case, &result) {
+        // the exact lifecycle story of a minimal failing run — and that
+        // run's flight-recorder dump — not just the schedule.
+        let (reproducer, trace, flight) = match shrink_failure(case, &result) {
             Some(plane) => {
-                let (_, dump) = run_with_plane_traced(case, plane.clone());
+                let (repro_result, dump) = run_with_plane_traced(case, plane.clone());
                 let json = serde_json::to_string(&plane).unwrap_or_else(|_| "<unserializable>".into());
-                (Some(json), Some(dump))
+                (Some(json), Some(dump), repro_result.flight)
             }
-            None => (None, None),
+            None => (None, None, result.flight.clone()),
         };
-        Violation { case: case.clone(), reason: result.verdict.reason.clone(), reproducer, trace }
+        Violation { case: case.clone(), reason: result.verdict.reason.clone(), reproducer, trace, flight }
     });
-    CaseRun { result, histograms: dump.histograms, violation }
+    CaseRun {
+        result,
+        histograms: dump.histograms,
+        series: dump.series,
+        phase_histograms: dump.phase_histograms,
+        violation,
+    }
 }
 
 /// The canonical case list of a sweep matrix: scenario-major, then
@@ -824,6 +902,10 @@ pub fn sweep_jobs(
         out.snapshot.merge(&run.result.snapshot);
         for (name, h) in &run.histograms {
             out.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        out.series.absorb(&run.series);
+        for (name, h) in &run.phase_histograms {
+            out.phase_histograms.entry(name.clone()).or_default().merge(h);
         }
         out.findings.extend(run.result.findings.iter().cloned().map(|f| (case.label(), f)));
         if let Some(v) = run.violation {
@@ -904,10 +986,19 @@ mod tests {
             assert_eq!(par.snapshot.render(), serial.snapshot.render());
             assert_eq!(par.histograms, serial.histograms, "jobs={jobs}");
             assert_eq!(render_prometheus(&par.histograms), render_prometheus(&serial.histograms));
+            assert_eq!(par.series, serial.series, "jobs={jobs}: gauge series merge is order-free");
+            assert_eq!(par.series.to_json(), serial.series.to_json());
+            assert_eq!(par.phase_histograms, serial.phase_histograms, "jobs={jobs}");
             assert_eq!(par.findings, serial.findings, "jobs={jobs}");
             assert_eq!(par.violations.len(), serial.violations.len());
         }
         assert!(serial.histograms.values().any(|h| h.count() > 0), "traced sweep derives latency samples");
+        assert!(!serial.series.is_empty(), "traced sweep samples gauge series");
+        assert!(serial.series.series.contains_key("outbox_depth"), "peer gauges reach the series plane");
+        assert!(
+            serial.phase_histograms.get("txn_total").is_some_and(|h| h.count() > 0),
+            "phase profiler derives transaction totals"
+        );
         assert!(serial.snapshot.get("net.sent") > 0, "merged snapshot aggregates counters");
     }
 
@@ -1006,6 +1097,50 @@ mod tests {
         assert_eq!(back, repro);
         assert_eq!(back.drop_prob, 0.0);
         assert_eq!(back.dup_prob, 0.0);
+    }
+
+    #[test]
+    fn violations_carry_a_flight_recorder_dump() {
+        // A clean run ships no dump; a violating run (broken no-dedup
+        // under duplication) ships the bounded per-peer event ring, and
+        // the dump survives the corpus round trip: a `CorpusEntry` built
+        // from the violation embeds it, serializes it, and a replay via
+        // `replay_with_flight` regenerates an equivalent one.
+        let clean = run_case(&CaseConfig::new("fig1", Profile::Drops, 0));
+        assert!(clean.verdict.ok);
+        assert!(clean.flight.is_none(), "clean runs carry no flight dump");
+
+        let mut caught = None;
+        for seed in 0..40 {
+            let mut case = CaseConfig::new("fig1", Profile::Dups, seed);
+            case.dedup = false;
+            let result = run_case(&case);
+            if !result.verdict.ok {
+                caught = Some((case, result));
+                break;
+            }
+        }
+        let (case, result) = caught.expect("oracle never caught the broken variant in 40 seeds");
+        let flight = result.flight.as_ref().expect("violations carry a flight dump");
+        assert!(flight.starts_with("flight recorder: last <="), "dump has the header: {flight}");
+        assert!(flight.contains("-- AP"), "dump has per-peer sections: {flight}");
+
+        let entry = CorpusEntry {
+            note: "test".into(),
+            expect: "violation".into(),
+            scenario: case.scenario.clone(),
+            profile: case.profile.name().to_string(),
+            seed: case.seed,
+            dedup: case.dedup,
+            plane: result.plane.clone(),
+            flight: result.flight.clone(),
+        };
+        let text = serde_json::to_string(&entry).expect("serializable");
+        let back: CorpusEntry = serde_json::from_str(&text).expect("round-trips");
+        assert_eq!(back.flight, entry.flight, "flight dump survives the corpus round trip");
+        let (verdict, replay_flight) = back.replay_with_flight();
+        assert!(verdict.is_ok(), "entry still reproduces: {verdict:?}");
+        assert_eq!(replay_flight, entry.flight, "a deterministic replay regenerates the same dump");
     }
 
     #[test]

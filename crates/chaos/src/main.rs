@@ -1,13 +1,13 @@
 //! `axml-chaos` — seeded fault sweeps with an atomicity oracle.
 //!
 //! ```text
-//! axml-chaos sweep [--seeds N] [--scenarios a,b] [--profiles p,q] [--no-dedup] [--jobs N] [--prom FILE]
+//! axml-chaos sweep [--seeds N] [--scenarios a,b] [--profiles p,q] [--no-dedup] [--jobs N] [--prom FILE] [--series FILE]
 //! axml-chaos smoke [--seeds N] [--jobs N]
 //! axml-chaos store-smoke [--seeds N]
 //! axml-chaos shrink-demo
 //! axml-chaos gen <seed> [--run [--profile P] [--seed N]]
-//! axml-chaos gen-sweep [--base-seed B] [--count N] [--seeds N] [--profiles p,q] [--no-dedup] [--jobs N] [--prom FILE] [--corpus DIR]
-//! axml-chaos corpus [--dir DIR]
+//! axml-chaos gen-sweep [--base-seed B] [--count N] [--seeds N] [--profiles p,q] [--no-dedup] [--jobs N] [--prom FILE] [--series FILE] [--corpus DIR]
+//! axml-chaos corpus [--dir DIR] [--flight DIR]
 //! axml-chaos trace (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup]) [--journal FILE]
 //! axml-chaos stats (--demo | <scenario> [--profile P] [--seed N] [--script FILE] [--no-dedup]) [--prom FILE]
 //! ```
@@ -48,7 +48,16 @@
 //! 5 profiles × 4 seeds = 1280 runs. `--corpus DIR` writes each
 //! violation's shrunk reproducer into DIR as a `CorpusEntry` JSON.
 //! `corpus` replays every checked-in `corpus/*.json` entry against its
-//! expectation (fixed entries stay clean, tracked ones still reproduce).
+//! expectation (fixed entries stay clean, tracked ones still reproduce);
+//! `--flight DIR` writes the flight-recorder dump of each replay that
+//! still violates into DIR next to the entry name.
+//!
+//! Every run in every mode carries the bounded per-peer flight recorder;
+//! on a violation its dump (the last events each peer saw before the
+//! oracle fired) is printed with the shrunk reproducer and embedded in
+//! `--corpus` entries. `--series FILE` on `sweep`/`gen-sweep` writes the
+//! merged gauge series (sampled every `SAMPLE_INTERVAL` ticks on every
+//! traced run) as JSON lines — byte-identical across `--jobs` values.
 
 #![forbid(unsafe_code)]
 
@@ -138,8 +147,26 @@ fn report(out: &SweepOutcome) -> bool {
                 println!("    {line}");
             }
         }
+        if let Some(flight) = &v.flight {
+            println!("  flight recorder at the violation:");
+            for line in flight.lines() {
+                println!("    {line}");
+            }
+        }
     }
     out.violations.is_empty()
+}
+
+/// Shared `--series FILE` handling for `sweep` / `gen-sweep`: writes the
+/// merged gauge series as JSON lines (byte-identical for every `--jobs`).
+fn write_series(args: &[String], out: &SweepOutcome) {
+    if let Some(path) = parse_flag(args, "--series") {
+        if let Err(e) = std::fs::write(&path, out.series.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("gauge series written to {path}");
+    }
 }
 
 fn main() {
@@ -165,6 +192,7 @@ fn main() {
                 }
                 println!("prometheus exposition written to {path}");
             }
+            write_series(&args, &out);
             ok
         }
         "smoke" => {
@@ -282,6 +310,7 @@ fn main() {
                         seed: v.case.seed,
                         dedup: v.case.dedup,
                         plane,
+                        flight: v.flight.clone(),
                     };
                     let file = format!(
                         "{dir}/{}-{}-{}.json",
@@ -303,20 +332,38 @@ fn main() {
                 }
                 println!("prometheus exposition written to {path}");
             }
+            write_series(&args, &out);
             ok
         }
         "corpus" => {
             let dir = parse_flag(&args, "--dir").unwrap_or_else(|| "corpus".to_string());
+            let flight_dir = parse_flag(&args, "--flight");
+            if let Some(fd) = &flight_dir {
+                std::fs::create_dir_all(fd).unwrap_or_else(|e| {
+                    eprintln!("cannot create {fd}: {e}");
+                    std::process::exit(1);
+                });
+            }
             match load_corpus(std::path::Path::new(&dir)) {
                 Ok(entries) => {
                     let mut ok = true;
                     for (name, entry) in &entries {
-                        match entry.replay() {
+                        let (verdict, flight) = entry.replay_with_flight();
+                        match verdict {
                             Ok(()) => println!("{name}: ok ({})", entry.expect),
                             Err(reason) => {
                                 println!("{name}: FAIL — {reason}");
                                 ok = false;
                             }
+                        }
+                        if let (Some(fd), Some(dump)) = (&flight_dir, &flight) {
+                            let stem = name.strip_suffix(".json").unwrap_or(name);
+                            let file = format!("{fd}/{stem}.flight.txt");
+                            std::fs::write(&file, dump).unwrap_or_else(|e| {
+                                eprintln!("cannot write {file}: {e}");
+                                std::process::exit(1);
+                            });
+                            println!("{name}: flight-recorder dump written to {file}");
                         }
                     }
                     println!("{} corpus entr{} replayed", entries.len(), if entries.len() == 1 { "y" } else { "ies" });
@@ -391,6 +438,9 @@ fn main() {
             println!("== latency percentiles (sim-time ticks)");
             let hists = derive_histograms(&journal);
             print!("{}", percentile_table(&hists));
+            println!();
+            println!("== gauge series (window={} ticks)", axml_chaos::SAMPLE_INTERVAL);
+            print!("{}", dump.series.render_summary());
             if let Some(path) = parse_flag(&args, "--prom") {
                 if let Err(e) = std::fs::write(&path, render_prometheus(&hists)) {
                     eprintln!("cannot write {path}: {e}");

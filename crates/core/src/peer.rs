@@ -2636,6 +2636,21 @@ impl Actor<TxnMsg> for AxmlPeer {
     fn on_crash_restart(&mut self, ctx: &mut Ctx<'_, TxnMsg>) {
         self.crash_recover(ctx);
     }
+
+    fn sample_gauges(&self, out: &mut Vec<(&'static str, u64)>) {
+        // The time-series plane (DESIGN.md §15): instantaneous queue and
+        // state depths, read-only and in a fixed order so the sampled
+        // series is replay-stable. `in_flight_txns` counts non-terminal
+        // contexts (the backlog that still holds resources); terminal
+        // contexts stay in the map for the oracle but are settled work.
+        out.push(("outbox_depth", self.outbox.len() as u64));
+        out.push(("in_flight_txns", self.contexts.values().filter(|tc| tc.state == TxnState::Active).count() as u64));
+        out.push(("dedup_seen", self.seen_deliveries.len() as u64));
+        out.push(("retransmit_timers", self.outbox.values().filter(|p| p.timer.is_some()).count() as u64));
+        let wal = self.sink.stats();
+        out.push(("wal_bytes", wal.bytes_appended));
+        out.push(("wal_segments", wal.segments_rotated));
+    }
 }
 
 impl AxmlPeer {

@@ -70,6 +70,10 @@ pub struct ScenarioBuilder {
     /// Collect a lifecycle-event journal for the run (off by default:
     /// untraced runs pay nothing, and replays stay byte-identical).
     pub trace: bool,
+    /// Gauge-sampling window width in sim-time units (0 = off, the
+    /// default). Forwarded to [`SimConfig::sample_interval`]; only
+    /// meaningful on traced/observed runs.
+    pub sample_interval: u64,
 }
 
 impl ScenarioBuilder {
@@ -91,6 +95,7 @@ impl ScenarioBuilder {
             deadline: 100_000,
             fault: FaultPlane::default(),
             trace: false,
+            sample_interval: 0,
         }
     }
 
@@ -168,6 +173,13 @@ impl ScenarioBuilder {
     /// Builder: collect a transaction-lifecycle trace journal.
     pub fn traced(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Builder: sample per-peer gauges every `interval` sim-time units
+    /// (the time-series plane; 0 turns sampling off).
+    pub fn sampled(mut self, interval: u64) -> Self {
+        self.sample_interval = interval;
         self
     }
 
@@ -346,8 +358,16 @@ impl ScenarioBuilder {
             actors.push(peer);
         }
         let trace = if self.trace { TraceSink::Memory } else { TraceSink::Disabled };
-        let mut sim =
-            Sim::new(SimConfig { seed: self.seed, fault: self.fault.clone(), trace, ..Default::default() }, actors);
+        let mut sim = Sim::new(
+            SimConfig {
+                seed: self.seed,
+                fault: self.fault.clone(),
+                trace,
+                sample_interval: self.sample_interval,
+                ..Default::default()
+            },
+            actors,
+        );
         for &s in &self.supers {
             sim.mark_super(PeerId(s));
         }

@@ -130,6 +130,10 @@ pub fn derive_histograms(journal: &TraceJournal) -> BTreeMap<String, Histogram> 
 #[derive(Debug, Clone)]
 struct SpanAgg {
     peer: u32,
+    /// Time of the event `peer` was taken from — the (at, peer)-minimal
+    /// event, so the choice is a pure function of the event multiset,
+    /// not of journal order.
+    peer_at: u64,
     first: u64,
     last: u64,
     parent: Option<String>,
@@ -139,11 +143,30 @@ fn span_aggregates(events: &[&TraceEvent]) -> BTreeMap<String, SpanAgg> {
     let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
     for e in events {
         let Some(s) = &e.span else { continue };
-        let agg = spans.entry(s.clone()).or_insert(SpanAgg { peer: e.peer, first: e.at, last: e.at, parent: None });
+        let agg = spans.entry(s.clone()).or_insert(SpanAgg {
+            peer: e.peer,
+            peer_at: e.at,
+            first: e.at,
+            last: e.at,
+            parent: None,
+        });
         agg.first = agg.first.min(e.at);
         agg.last = agg.last.max(e.at);
-        if agg.parent.is_none() {
-            agg.parent = e.parent.clone();
+        if (e.at, e.peer) < (agg.peer_at, agg.peer) {
+            agg.peer = e.peer;
+            agg.peer_at = e.at;
+        }
+        // Smallest named parent wins — again multiset-pure. Real
+        // journals name at most one parent per span (its Invoke).
+        if let Some(p) = &e.parent {
+            match &mut agg.parent {
+                Some(cur) => {
+                    if p < cur {
+                        *cur = p.clone();
+                    }
+                }
+                slot @ None => *slot = Some(p.clone()),
+            }
         }
     }
     spans
@@ -234,6 +257,7 @@ pub fn critical_paths(journal: &TraceJournal) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn journal() -> TraceJournal {
         let mut j = TraceJournal::default();
@@ -291,6 +315,52 @@ mod tests {
         assert_eq!(h["compensation_lag"].sum(), 8, "apply at 18, wave start 10");
         assert_eq!(h["detect_latency"].sum(), 25);
         assert_eq!(h["commit_latency"].count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn critical_paths_is_invariant_under_event_permutation(
+            events in prop::collection::vec((0usize..6, 0u32..4, 0u64..1000), 1..24),
+            swaps in prop::collection::vec((0usize..32, 0usize..32), 0..64),
+        ) {
+            // Tie-breaking must be a pure function of the span
+            // aggregates, never of journal order: feeding the same
+            // events in any permutation selects a byte-identical path.
+            // Span k's parent is span (k-1)/2 (a small binary tree);
+            // every event of a span carries the same parent id, so the
+            // span graph itself is permutation-independent.
+            let canon: Vec<(u64, u32, String, Option<String>)> = events
+                .iter()
+                .map(|&(k, peer, at)| {
+                    let parent = (k > 0).then(|| format!("S{}", (k - 1) / 2));
+                    (at, peer, format!("S{k}"), parent)
+                })
+                .collect();
+            let mut permuted = canon.clone();
+            let n = permuted.len();
+            for &(a, b) in &swaps {
+                permuted.swap(a % n, b % n);
+            }
+            let journal_of = |evs: &[(u64, u32, String, Option<String>)]| {
+                let mut j = TraceJournal::default();
+                for (at, peer, span, parent) in evs {
+                    j.record(
+                        *at,
+                        *peer,
+                        0,
+                        Some("T1.0".to_string()),
+                        Some(span.clone()),
+                        parent.clone(),
+                        EventKind::Serve { from: 0, method: "m".into() },
+                    );
+                }
+                j
+            };
+            prop_assert_eq!(
+                critical_paths(&journal_of(&canon)),
+                critical_paths(&journal_of(&permuted))
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Prometheus text exposition — the one place every renderer shares
+//! naming, escaping, and ordering rules.
+//!
+//! Three families of data render here: latency [`Histogram`]s (as
+//! `histogram` families with the fixed `le` bucket layout), counter
+//! registry [`Snapshot`]s (as `counter`/`gauge` families), and the
+//! time-series plane's [`SeriesRegistry`] (as `gauge` families with
+//! `peer`/`t` labels). All three go through [`metric_name`], so a metric
+//! spelled `wal.bytes_appended` internally is `axml_wal_bytes_appended`
+//! everywhere it is exposed. [`parse_exposition`] is the matching
+//! reader used by the round-trip tests (and handy for ad-hoc diffing):
+//! rendering and re-parsing recovers every sample exactly.
+
+use crate::hist::{bucket_bound, Histogram};
+use crate::series::SeriesRegistry;
+use axml_trace::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maps an internal metric name onto its Prometheus family name:
+/// `axml_` prefix, with dashes, dots, and spaces folded to underscores
+/// (the only characters our dot-scoped registry names use that the
+/// exposition grammar forbids).
+pub fn metric_name(name: &str) -> String {
+    format!("axml_{}", name.replace(['-', '.', ' '], "_"))
+}
+
+/// Renders `name → histogram` in the Prometheus text exposition format
+/// (one `histogram` family per metric, `axml_` prefix, `le` labels from
+/// the fixed bucket layout). Sim time has no wall-clock unit; the values
+/// are logical-clock ticks.
+pub fn render_prometheus(metrics: &BTreeMap<String, Histogram>) -> String {
+    let mut out = String::new();
+    for (name, h) in metrics {
+        let metric = metric_name(name);
+        let _ = writeln!(out, "# HELP {metric} {name} distribution (sim-time ticks)");
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        for (i, cum) in h.cumulative_counts().enumerate() {
+            let _ = writeln!(out, "{metric}_bucket{{le=\"{}\"}} {cum}", bucket_bound(i));
+        }
+        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{metric}_sum {}", h.sum());
+        let _ = writeln!(out, "{metric}_count {}", h.count());
+    }
+    out
+}
+
+/// Renders a counter registry [`Snapshot`] in the Prometheus text
+/// exposition format: one family per entry, `axml_` prefix, dots and
+/// dashes mapped to underscores. Plain registry entries (`net.sent`,
+/// `wal.bytes_appended`, …) are monotone and render as `counter`s;
+/// `*_peak` names are high-water marks ([`Snapshot::merge`] takes their
+/// max, not their sum), so they render as `gauge`s.
+pub fn render_snapshot_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let metric = metric_name(name);
+        let kind = if name.ends_with("_peak") { "gauge" } else { "counter" };
+        let _ = writeln!(out, "# HELP {metric} {name}");
+        let _ = writeln!(out, "# TYPE {metric} {kind}");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    out
+}
+
+/// Renders the time-series plane in the Prometheus text exposition
+/// format: one `gauge` family per sampled metric, a sample per
+/// `(peer, window boundary)` point, with the boundary carried in the
+/// `t` label (sim time has no wall clock to use as a scrape timestamp).
+/// Ordering is the registry's own (metric, peer, boundary) order, so
+/// output is byte-stable for a given registry.
+pub fn render_series_prometheus(series: &SeriesRegistry) -> String {
+    let mut out = String::new();
+    for (name, peers) in &series.series {
+        let metric = format!("{}_series", metric_name(name));
+        let _ = writeln!(out, "# HELP {metric} {name} sampled at fixed sim-time windows");
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        for (peer, points) in peers {
+            for (at, value) in points {
+                let _ = writeln!(out, "{metric}{{peer=\"{peer}\",t=\"{at}\"}} {value}");
+            }
+        }
+    }
+    out
+}
+
+/// Parses a text exposition back into `sample id → value`, where the
+/// sample id is the full series string including labels
+/// (`axml_x_bucket{le="4"}`). Comment and blank lines are skipped.
+/// Strict enough for round-trip tests over our own renderers; returns
+/// `Err` on any malformed sample line.
+pub fn parse_exposition(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut out = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((id, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {}: no sample value: {line:?}", lineno + 1));
+        };
+        let value: u64 = value.parse().map_err(|e| format!("line {}: bad value {value:?}: {e}", lineno + 1))?;
+        if out.insert(id.to_string(), value).is_some() {
+            return Err(format!("line {}: duplicate sample id {id:?}", lineno + 1));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::FINITE_BUCKETS;
+
+    #[test]
+    fn metric_names_share_one_sanitizer() {
+        assert_eq!(metric_name("commit_latency"), "axml_commit_latency");
+        assert_eq!(metric_name("wal.bytes_appended"), "axml_wal_bytes_appended");
+        assert_eq!(metric_name("abort-drain now"), "axml_abort_drain_now");
+    }
+
+    #[test]
+    fn snapshot_counters_render_as_prometheus_counters() {
+        // The four WAL counters the Snapshot registry exports must come
+        // out as well-formed counter families; peak names stay gauges.
+        let mut s = Snapshot::default();
+        s.add("wal.segments_rotated", 3);
+        s.add("wal.bytes_appended", 4096);
+        s.add("wal.recovery_entries", 17);
+        s.add("wal.torn_tails_discarded", 1);
+        s.add("peer.3.seen_peak", 9);
+        assert_eq!(s.get("wal.bytes_appended"), 4096);
+        let text = render_snapshot_prometheus(&s);
+        for (metric, v) in [
+            ("axml_wal_segments_rotated", 3),
+            ("axml_wal_bytes_appended", 4096),
+            ("axml_wal_recovery_entries", 17),
+            ("axml_wal_torn_tails_discarded", 1),
+        ] {
+            assert!(text.contains(&format!("# TYPE {metric} counter")), "{text}");
+            assert!(text.contains(&format!("{metric} {v}\n")), "{text}");
+        }
+        assert!(text.contains("# TYPE axml_peer_3_seen_peak gauge"), "{text}");
+        assert!(text.contains("axml_peer_3_seen_peak 9\n"), "{text}");
+    }
+
+    #[test]
+    fn histogram_exposition_round_trips_through_the_parser() {
+        let mut h = Histogram::default();
+        for v in [1, 2, 2, 300, 5_000_000] {
+            h.observe(v);
+        }
+        let mut m = BTreeMap::new();
+        m.insert("commit_latency".to_string(), h.clone());
+        let parsed = parse_exposition(&render_prometheus(&m)).unwrap();
+        // Every finite bucket, +Inf, sum, and count recover exactly.
+        for (i, cum) in h.cumulative_counts().enumerate() {
+            let id = format!("axml_commit_latency_bucket{{le=\"{}\"}}", bucket_bound(i));
+            assert_eq!(parsed[&id], cum, "{id}");
+        }
+        assert_eq!(parsed["axml_commit_latency_bucket{le=\"+Inf\"}"], h.count());
+        assert_eq!(parsed["axml_commit_latency_sum"], h.sum());
+        assert_eq!(parsed["axml_commit_latency_count"], h.count());
+        assert_eq!(parsed.len(), FINITE_BUCKETS + 3);
+    }
+
+    #[test]
+    fn snapshot_and_series_expositions_round_trip_through_the_parser() {
+        let mut s = Snapshot::default();
+        s.add("net.sent", 40);
+        s.add("peer.1.seen_peak", 6);
+        let parsed = parse_exposition(&render_snapshot_prometheus(&s)).unwrap();
+        assert_eq!(parsed["axml_net_sent"], 40);
+        assert_eq!(parsed["axml_peer_1_seen_peak"], 6);
+
+        let mut reg = SeriesRegistry::default();
+        reg.record("outbox_depth", 0, 25, 3);
+        reg.record("outbox_depth", 1, 50, 7);
+        let parsed = parse_exposition(&render_series_prometheus(&reg)).unwrap();
+        assert_eq!(parsed["axml_outbox_depth_series{peer=\"0\",t=\"25\"}"], 3);
+        assert_eq!(parsed["axml_outbox_depth_series{peer=\"1\",t=\"50\"}"], 7);
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("axml_x").is_err(), "no value");
+        assert!(parse_exposition("axml_x abc").is_err(), "non-integer value");
+        assert!(parse_exposition("axml_x 1\naxml_x 2").is_err(), "duplicate id");
+        assert_eq!(parse_exposition("# HELP x\n\n").unwrap().len(), 0);
+    }
+}

@@ -6,7 +6,6 @@
 //! counts — replaying the same seeded scenario yields byte-identical
 //! percentile tables and Prometheus expositions.
 
-use axml_trace::Snapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -96,13 +95,23 @@ impl Histogram {
     /// Nearest-rank percentile (`p` in 0..=100), resolved to the upper
     /// bound of the bucket holding that rank, clamped to the observed
     /// max — integer-only, so replays agree to the byte. Returns 0 on an
-    /// empty histogram.
+    /// empty histogram. The edges are exact rather than bucket-resolved:
+    /// p0 is the observed min and p100 the observed max (the old
+    /// bucket-walk returned the first bucket's *bound* for p0, reporting
+    /// a minimum that was never observed).
     pub fn percentile(&self, p: u64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        let p = p.min(100);
+        if p == 0 {
+            return self.min;
+        }
+        if p == 100 {
+            return self.max;
+        }
         // Nearest rank: ceil(p/100 × count), at least 1.
-        let rank = ((p.min(100) * self.count).div_ceil(100)).max(1);
+        let rank = ((p * self.count).div_ceil(100)).max(1);
         let mut seen = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
             seen += c;
@@ -196,72 +205,9 @@ pub fn percentile_table(metrics: &BTreeMap<String, Histogram>) -> String {
     out
 }
 
-/// Renders `name → histogram` in the Prometheus text exposition format
-/// (one `histogram` family per metric, `axml_` prefix, `le` labels from
-/// the fixed bucket layout). Sim time has no wall-clock unit; the values
-/// are logical-clock ticks.
-pub fn render_prometheus(metrics: &BTreeMap<String, Histogram>) -> String {
-    let mut out = String::new();
-    for (name, h) in metrics {
-        let metric = format!("axml_{}", name.replace(['-', '.', ' '], "_"));
-        let _ = writeln!(out, "# HELP {metric} {name} distribution (sim-time ticks)");
-        let _ = writeln!(out, "# TYPE {metric} histogram");
-        for (i, cum) in h.cumulative_counts().enumerate() {
-            let _ = writeln!(out, "{metric}_bucket{{le=\"{}\"}} {cum}", bucket_bound(i));
-        }
-        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count());
-        let _ = writeln!(out, "{metric}_sum {}", h.sum());
-        let _ = writeln!(out, "{metric}_count {}", h.count());
-    }
-    out
-}
-
-/// Renders a counter registry [`Snapshot`] in the Prometheus text
-/// exposition format: one family per entry, `axml_` prefix, dots and
-/// dashes mapped to underscores. Plain registry entries (`net.sent`,
-/// `wal.bytes_appended`, …) are monotone and render as `counter`s;
-/// `*_peak` names are high-water marks ([`Snapshot::merge`] takes their
-/// max, not their sum), so they render as `gauge`s.
-pub fn render_snapshot_prometheus(snapshot: &Snapshot) -> String {
-    let mut out = String::new();
-    for (name, value) in &snapshot.counters {
-        let metric = format!("axml_{}", name.replace(['-', '.', ' '], "_"));
-        let kind = if name.ends_with("_peak") { "gauge" } else { "counter" };
-        let _ = writeln!(out, "# HELP {metric} {name}");
-        let _ = writeln!(out, "# TYPE {metric} {kind}");
-        let _ = writeln!(out, "{metric} {value}");
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn snapshot_counters_render_as_prometheus_counters() {
-        // The four WAL counters the Snapshot registry exports must come
-        // out as well-formed counter families; peak names stay gauges.
-        let mut s = Snapshot::default();
-        s.add("wal.segments_rotated", 3);
-        s.add("wal.bytes_appended", 4096);
-        s.add("wal.recovery_entries", 17);
-        s.add("wal.torn_tails_discarded", 1);
-        s.add("peer.3.seen_peak", 9);
-        assert_eq!(s.get("wal.bytes_appended"), 4096);
-        let text = render_snapshot_prometheus(&s);
-        for (metric, v) in [
-            ("axml_wal_segments_rotated", 3),
-            ("axml_wal_bytes_appended", 4096),
-            ("axml_wal_recovery_entries", 17),
-            ("axml_wal_torn_tails_discarded", 1),
-        ] {
-            assert!(text.contains(&format!("# TYPE {metric} counter")), "{text}");
-            assert!(text.contains(&format!("{metric} {v}\n")), "{text}");
-        }
-        assert!(text.contains("# TYPE axml_peer_3_seen_peak gauge"), "{text}");
-        assert!(text.contains("axml_peer_3_seen_peak 9\n"), "{text}");
-    }
 
     #[test]
     fn buckets_are_log_spaced() {
@@ -288,8 +234,32 @@ mod tests {
         assert_eq!(h.percentile(50), 8);
         // p99 → 4th sample → bucket le=128, clamped to observed max 100.
         assert_eq!(h.percentile(99), 100);
-        assert_eq!(h.percentile(0), 4, "rank floors at 1 → first bucket bound");
+        assert_eq!(h.percentile(0), 3, "p0 is the observed min, not a bucket bound");
+        assert_eq!(h.percentile(100), 100, "p100 is the observed max");
         assert_eq!(Histogram::default().percentile(50), 0);
+    }
+
+    #[test]
+    fn percentile_edges_are_exact_on_single_bucket_histograms() {
+        // Regression: p0 used to return the first occupied bucket's
+        // upper bound (8 here), a value never observed. When every
+        // sample shares one bucket, the whole summary must still stay
+        // inside the observed [min..max] envelope.
+        let mut h = Histogram::default();
+        for v in [5, 6, 7] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(0), 5);
+        assert_eq!(h.percentile(100), 7);
+        let s = h.summary();
+        assert_eq!((s.min, s.max), (5, 7));
+        assert!(s.p50 >= s.min && s.p50 <= 8, "interior ranks stay bucket-resolved");
+        // A single-sample histogram collapses every percentile to it.
+        let mut one = Histogram::default();
+        one.observe(9);
+        for p in [0, 1, 50, 99, 100, 777] {
+            assert_eq!(one.percentile(p), 9, "p{p}");
+        }
     }
 
     #[test]
@@ -362,10 +332,10 @@ mod tests {
         let t2 = percentile_table(&m);
         assert_eq!(t1, t2);
         assert!(t1.contains("commit_latency"), "{t1}");
-        let p = render_prometheus(&m);
+        let p = crate::exposition::render_prometheus(&m);
         assert!(p.contains("# TYPE axml_commit_latency histogram"), "{p}");
         assert!(p.contains("axml_commit_latency_bucket{le=\"+Inf\"} 2"), "{p}");
         assert!(p.contains("axml_commit_latency_sum 303"), "{p}");
-        assert_eq!(p, render_prometheus(&m));
+        assert_eq!(p, crate::exposition::render_prometheus(&m));
     }
 }

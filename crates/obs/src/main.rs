@@ -2,40 +2,61 @@
 //!
 //! ```text
 //! axml-obs [JOURNAL] [--prom FILE]
+//! axml-obs profile [JOURNAL] [--json FILE]
 //! ```
 //!
-//! Reads the journal from `JOURNAL` (or stdin when omitted or `-`),
-//! prints per-transaction critical paths, the latency percentile table,
-//! and every online-monitor finding found by offline replay. `--prom
-//! FILE` additionally writes the Prometheus text exposition. Exits
-//! nonzero when the monitor reports any finding, so CI can gate on a
-//! clean protocol run.
+//! The default mode reads the journal from `JOURNAL` (or stdin when
+//! omitted or `-`), prints per-transaction critical paths, the latency
+//! percentile table, and every online-monitor finding found by offline
+//! replay. `--prom FILE` additionally writes the Prometheus text
+//! exposition. Exits nonzero when the monitor reports any finding, so
+//! CI can gate on a clean protocol run.
+//!
+//! `profile` instead prints the per-transaction phase breakdown
+//! (invoke/serve/decide/compensate/recover windows, the critical path
+//! with self-time attribution, per-peer self-times), the journal's
+//! sampled gauge series summary, and the aggregated phase percentile
+//! table; `--json FILE` writes the structured [`ProfileReport`].
 
 #![forbid(unsafe_code)]
 
-use axml_obs::{critical_paths, derive_histograms, percentile_table, render_prometheus, Monitor};
+use axml_obs::{
+    critical_paths, derive_histograms, percentile_table, render_prometheus, Monitor, ProfileReport, SeriesRegistry,
+};
 use axml_trace::TraceJournal;
 use std::io::Read as _;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: axml-obs [JOURNAL|-] [--prom FILE]");
+    eprintln!("       axml-obs profile [JOURNAL|-] [--json FILE]");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut journal_path: Option<String> = None;
     let mut prom_path: Option<String> = None;
-    let mut args = std::env::args().skip(1);
+    let mut json_path: Option<String> = None;
+    let mut profile_mode = false;
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("profile") {
+        profile_mode = true;
+        args.next();
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--prom" => match args.next() {
+            "--prom" if !profile_mode => match args.next() {
                 Some(p) => prom_path = Some(p),
+                None => return usage(),
+            },
+            "--json" if profile_mode => match args.next() {
+                Some(p) => json_path = Some(p),
                 None => return usage(),
             },
             "--help" | "-h" => {
                 println!("axml-obs: critical paths, percentile table, and protocol-monitor replay");
                 println!("usage: axml-obs [JOURNAL|-] [--prom FILE]");
+                println!("       axml-obs profile [JOURNAL|-] [--json FILE]");
                 return ExitCode::SUCCESS;
             }
             _ if journal_path.is_none() => journal_path = Some(a),
@@ -67,6 +88,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if profile_mode {
+        let report = ProfileReport::from_journal(&journal);
+        let series = SeriesRegistry::from_journal(&journal);
+        println!("== journal: {} events, digest {:016x}", journal.len(), journal.digest());
+        println!();
+        println!("== phase profile ({} transactions)", report.txns.len());
+        print!("{}", report.render());
+        println!();
+        println!("== gauge series");
+        print!("{}", series.render_summary());
+        println!();
+        println!("== phase percentiles (sim-time ticks)");
+        print!("{}", percentile_table(&report.phase_histograms()));
+        if let Some(path) = json_path {
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("axml-obs: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!();
+            println!("== profile json written to {path}");
+        }
+        return ExitCode::SUCCESS;
+    }
 
     println!("== journal: {} events, digest {:016x}", journal.len(), journal.digest());
     println!();

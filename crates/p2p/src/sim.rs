@@ -48,6 +48,14 @@ pub trait Actor<M: Message> {
     /// by incarnation); the actor must wipe its volatile state and
     /// rebuild from whatever it journaled durably.
     fn on_crash_restart(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Reports instantaneous gauge readings for the time-series sampler
+    /// (optional hook). Called at fixed sim-time window boundaries when
+    /// [`SimConfig::sample_interval`] is nonzero and a trace sink or
+    /// observer is attached; push `(metric, value)` pairs in a fixed
+    /// order (the order becomes the emission order of the gauge events).
+    /// Read-only by design: sampling must never perturb the schedule.
+    fn sample_gauges(&self, _out: &mut Vec<(&'static str, u64)>) {}
 }
 
 /// Why a send failed.
@@ -100,6 +108,16 @@ pub struct SimConfig {
     /// perturbs the event schedule, so a scripted replay yields a
     /// byte-identical journal.
     pub trace: TraceSink,
+    /// Gauge-sampling window width in sim-time units (0 = sampling off,
+    /// the default). When nonzero and a trace sink or observer is
+    /// attached, the simulator emits one [`EventKind::Gauge`] event per
+    /// `(peer, metric)` at every window boundary `k * sample_interval`,
+    /// stamped at the boundary time and reflecting the state after all
+    /// events at times `<=` the boundary. Sampling is observation-only:
+    /// it reads actors through [`Actor::sample_gauges`] and never
+    /// touches the RNG or the event queue, so enabling it cannot change
+    /// the schedule.
+    pub sample_interval: u64,
 }
 
 impl Default for SimConfig {
@@ -110,6 +128,7 @@ impl Default for SimConfig {
             max_events: 1_000_000,
             fault: FaultPlane::default(),
             trace: TraceSink::default(),
+            sample_interval: 0,
         }
     }
 }
@@ -173,8 +192,11 @@ pub struct SimState<M> {
     /// yet), the out-of-order watermark.
     link_delivered: Vec<u64>,
     trace: Option<TraceJournal>,
-    observer: Option<SharedSink>,
+    observers: Vec<SharedSink>,
     emitted: u64,
+    sample_interval: u64,
+    /// Next unsampled window boundary (only meaningful when sampling).
+    next_sample: u64,
     /// Counters, readable after the run.
     pub metrics: NetMetrics,
 }
@@ -193,10 +215,11 @@ impl<M: Message> SimState<M> {
         self.emit_event(now, peer.0, epoch, None, None, None, kind);
     }
 
-    /// Central emission point: stamps one event, hands it to the online
-    /// observer (if attached), then journals it (if collecting). The
-    /// observer sees events in the same order and with the same `seq` the
-    /// journal assigns, so online and post-hoc analysis agree.
+    /// Central emission point: stamps one event, hands it to every
+    /// attached online observer (in attachment order), then journals it
+    /// (if collecting). Observers see events in the same order and with
+    /// the same `seq` the journal assigns, so online and post-hoc
+    /// analysis agree.
     #[allow(clippy::too_many_arguments)]
     fn emit_event(
         &mut self,
@@ -208,13 +231,13 @@ impl<M: Message> SimState<M> {
         parent: Option<String>,
         kind: EventKind,
     ) {
-        if self.trace.is_none() && self.observer.is_none() {
+        if self.trace.is_none() && self.observers.is_empty() {
             return;
         }
         let seq = self.emitted;
         self.emitted += 1;
         let event = TraceEvent { seq, at, peer, epoch, txn, span, parent, kind };
-        if let Some(obs) = &self.observer {
+        for obs in &self.observers {
             obs.borrow_mut().on_event(&event);
         }
         if let Some(j) = &mut self.trace {
@@ -348,7 +371,7 @@ impl<M: Message> Ctx<'_, M> {
     /// attached. Protocol layers use this to skip building event payloads
     /// on unobserved runs.
     pub fn tracing(&self) -> bool {
-        self.state.trace.is_some() || self.state.observer.is_some()
+        self.state.trace.is_some() || !self.state.observers.is_empty()
     }
 
     /// Emits one lifecycle event, stamped with the current logical time,
@@ -391,8 +414,10 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
                 link_sent: vec![0; n * n],
                 link_delivered: vec![0; n * n],
                 trace: config.trace.enabled().then(TraceJournal::default),
-                observer: None,
+                observers: Vec::new(),
                 emitted: 0,
+                sample_interval: config.sample_interval,
+                next_sample: config.sample_interval,
                 metrics: NetMetrics::default(),
             },
             actors: actors.into_iter().map(Some).collect(),
@@ -404,11 +429,12 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
     }
 
     /// Attaches an online event observer (e.g. the `axml-obs` protocol
-    /// monitor). The observer receives every lifecycle event as it is
-    /// emitted, whether or not a journal is collecting. Observation-only:
-    /// attaching one never changes the seeded event schedule.
+    /// monitor or flight recorder). Observers receive every lifecycle
+    /// event as it is emitted, in attachment order, whether or not a
+    /// journal is collecting. Observation-only: attaching one never
+    /// changes the seeded event schedule.
     pub fn attach_observer(&mut self, sink: SharedSink) {
-        self.state.observer = Some(sink);
+        self.state.observers.push(sink);
     }
 
     /// Marks a peer as a super peer (disconnect events are ignored for it).
@@ -455,13 +481,17 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
     /// the queue drains, or the event cap is hit.
     pub fn run_until(&mut self, deadline: u64) -> u64 {
         let mut processed = 0u64;
-        while let Some(head) = self.state.queue.peek() {
-            if head.at > deadline {
+        while let Some(head_at) = self.state.queue.peek().map(|h| h.at) {
+            if head_at > deadline {
                 break;
             }
             if processed >= self.state.max_events {
                 break;
             }
+            // Window sampling sits between events: every boundary strictly
+            // before the next event is sampled once, so a gauge at boundary
+            // `b` reflects the state after all events stamped `<= b`.
+            self.sample_windows_before(head_at);
             processed += 1;
             let Scheduled { at, event, .. } = self.state.queue.pop().expect("peeked");
             self.state.now = at;
@@ -528,6 +558,44 @@ impl<M: Message, A: Actor<M>> Sim<M, A> {
             }
         }
         self.state.now
+    }
+
+    /// Emits gauge samples for every window boundary strictly before
+    /// `next_at`. A pure function of the schedule: boundaries are fixed
+    /// multiples of the interval, actors are read in peer order, and
+    /// each actor reports its gauges in its own fixed order — so the
+    /// sampled series is byte-identical on every replay.
+    fn sample_windows_before(&mut self, next_at: u64) {
+        let interval = self.state.sample_interval;
+        if interval == 0 || (self.state.trace.is_none() && self.state.observers.is_empty()) {
+            return;
+        }
+        while self.state.next_sample < next_at {
+            let at = self.state.next_sample;
+            let mut gauges: Vec<(&'static str, u64)> = Vec::new();
+            for (peer, actor) in self.actors.iter().enumerate() {
+                let Some(actor) = actor.as_ref() else { continue };
+                gauges.clear();
+                actor.sample_gauges(&mut gauges);
+                let epoch = self.state.incarnation[peer];
+                for (name, value) in gauges.drain(..) {
+                    self.state.emit_event(
+                        at,
+                        peer as u32,
+                        epoch,
+                        None,
+                        None,
+                        None,
+                        EventKind::Gauge { name: name.to_string(), value },
+                    );
+                }
+            }
+            let bumped = self.state.next_sample.saturating_add(interval);
+            if bumped == self.state.next_sample {
+                break; // saturated at the end of logical time
+            }
+            self.state.next_sample = bumped;
+        }
     }
 
     fn with_actor(&mut self, peer: PeerId, f: impl FnOnce(&mut A, &mut Ctx<'_, M>)) {
@@ -1033,6 +1101,85 @@ mod tests {
         assert_eq!(alone, observed, "observer-only runs emit the same events");
         assert_eq!(alone.len(), 2, "resolve + disconnect");
         assert_eq!(alone[1].seq, 1, "seq assigned without a journal too");
+    }
+
+    #[test]
+    fn window_sampler_emits_gauges_at_fixed_boundaries_without_perturbing_the_run() {
+        /// Pings a partner on every timer; reports its ping count as a gauge.
+        #[derive(Default)]
+        struct Gaugy {
+            pings: u32,
+            deliveries_at: Vec<u64>,
+        }
+        impl Actor<Msg> for Gaugy {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: PeerId, _msg: Msg) {
+                self.pings += 1;
+                self.deliveries_at.push(ctx.now());
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
+                let _ = ctx.send(PeerId(1), Msg::Ping(1));
+            }
+            fn sample_gauges(&self, out: &mut Vec<(&'static str, u64)>) {
+                out.push(("pings_seen", u64::from(self.pings)));
+            }
+        }
+        let run = |sample_interval: u64, trace: TraceSink| {
+            let config = SimConfig { trace, sample_interval, ..Default::default() };
+            let mut s = Sim::new(config, vec![Gaugy::default(), Gaugy::default()]);
+            for t in 0..8 {
+                s.schedule_timer(t * 5, PeerId(0), 1);
+            }
+            s.run();
+            let journal = s.trace().map(|j| j.events().to_vec()).unwrap_or_default();
+            (s.actor(PeerId(1)).deliveries_at.clone(), journal)
+        };
+        let (plain, none) = run(0, TraceSink::Disabled);
+        assert!(none.is_empty());
+        let (sampled, journal) = run(10, TraceSink::Memory);
+        assert_eq!(plain, sampled, "sampling never perturbs the schedule");
+        let gauges: Vec<&TraceEvent> = journal.iter().filter(|e| e.kind.label() == "gauge").collect();
+        assert!(!gauges.is_empty(), "boundaries inside the run are sampled");
+        for g in &gauges {
+            assert_eq!(g.at % 10, 0, "gauges land on window boundaries");
+            assert!(g.txn.is_none() && g.span.is_none(), "gauges are substrate events");
+        }
+        // Both peers report, in peer order within each boundary.
+        assert!(gauges.iter().any(|g| g.peer == 0) && gauges.iter().any(|g| g.peer == 1));
+        let boundary10: Vec<u32> = gauges.iter().filter(|g| g.at == 10).map(|g| g.peer).collect();
+        assert_eq!(boundary10, vec![0, 1], "peer order within a boundary");
+        // The reading at boundary `b` reflects events stamped <= b: both
+        // journal and gauge agree on the ping count at t=10.
+        let at10 = gauges.iter().find(|g| g.at == 10 && g.peer == 1).expect("peer 1 sampled at t=10");
+        let pings_by_10 = sampled.iter().filter(|&&t| t <= 10).count() as u64;
+        assert_eq!(at10.kind, EventKind::Gauge { name: "pings_seen".into(), value: pings_by_10 });
+        // Off means off: no gauge events without a sample interval.
+        let (_, untimed) = run(0, TraceSink::Memory);
+        assert!(untimed.iter().all(|e| e.kind.label() != "gauge"));
+    }
+
+    #[test]
+    fn multiple_observers_each_see_the_full_stream() {
+        use axml_trace::{EventSink, SharedSink, TraceEvent};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Collect(Vec<u64>);
+        impl EventSink for Collect {
+            fn on_event(&mut self, event: &TraceEvent) {
+                self.0.push(event.seq);
+            }
+        }
+        let mut s = sim(2);
+        let a = Rc::new(RefCell::new(Collect::default()));
+        let b = Rc::new(RefCell::new(Collect::default()));
+        s.attach_observer(a.clone() as SharedSink);
+        s.attach_observer(b.clone() as SharedSink);
+        s.schedule_disconnect(5, PeerId(1));
+        s.schedule_reconnect(9, PeerId(1));
+        s.run();
+        assert_eq!(a.borrow().0, vec![0, 1], "first observer sees both substrate events");
+        assert_eq!(a.borrow().0, b.borrow().0, "all observers see the identical stream");
     }
 
     #[test]

@@ -45,6 +45,15 @@
 //! come from a seeded RNG. Harnesses give each case its own temp
 //! directory and never feed paths into digests, so runs stay
 //! byte-identical across hosts and parallelism levels.
+//!
+//! ## Observability
+//!
+//! [`WalStats`] (via `DurabilitySink::stats`) is the sink's side of the
+//! time-series plane: the peer samples `bytes_appended` as the
+//! `wal_bytes` gauge and `segments_rotated` as `wal_segments` at every
+//! sampling window boundary. Both counters are monotone under appends
+//! and `stats()` is a pure read, so sampling can never perturb the log
+//! or the seeded schedule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -107,6 +107,29 @@ fn append_then_crash_restart_round_trips() {
 }
 
 #[test]
+fn wal_stats_are_monotone_pure_reads_for_the_gauge_plane() {
+    // The time-series sampler reads `stats()` at every window boundary
+    // and publishes `bytes_appended` / `segments_rotated` as the
+    // `wal_bytes` / `wal_segments` gauges. That is only sound if the
+    // counters never move backwards under appends and the read itself
+    // changes nothing — sampling twice in a row must see the same log.
+    let tmp = TempDir::new();
+    let mut config = WalConfig::new(tmp.path());
+    config.segment_bytes = 256; // force rotations mid-sequence
+    let mut sink = WalSink::create(config).unwrap();
+    let (mut bytes, mut segments) = (0u64, 0u64);
+    for i in 0..30 {
+        assert!(sink.append(&entry(i)));
+        let s = sink.stats();
+        assert!(s.bytes_appended > bytes, "bytes strictly grow per append");
+        assert!(s.segments_rotated >= segments, "rotations never rewind");
+        assert_eq!(sink.stats(), s, "stats() is a pure read");
+        (bytes, segments) = (s.bytes_appended, s.segments_rotated);
+    }
+    assert!(segments >= 1, "the tiny threshold forced at least one rotation");
+}
+
+#[test]
 fn recovery_survives_sink_reopen() {
     // A brand-new sink over the same directory (a true process restart)
     // sees exactly what the dead one acknowledged.

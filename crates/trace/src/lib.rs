@@ -195,6 +195,19 @@ pub enum EventKind {
     Disconnect,
     /// The simulator reconnected this peer.
     Reconnect,
+    /// A sampled gauge reading (time-series plane). Emitted by the
+    /// simulator's window sampler at fixed sim-time boundaries: `at` is
+    /// the window boundary, `name` the metric (`outbox_depth`,
+    /// `wal_bytes`, …), `value` the instantaneous reading on the
+    /// emitting peer. Gauges are observation-only — the protocol
+    /// monitor and spec conformance checker ignore them.
+    Gauge {
+        /// Metric name (snake_case, no peer prefix — the event's `peer`
+        /// field scopes it).
+        name: String,
+        /// Instantaneous integer reading at the window boundary.
+        value: u64,
+    },
 }
 
 impl EventKind {
@@ -223,6 +236,7 @@ impl EventKind {
             EventKind::Restart { .. } => "restart",
             EventKind::Disconnect => "disconnect",
             EventKind::Reconnect => "reconnect",
+            EventKind::Gauge { .. } => "gauge",
         }
     }
 
@@ -254,6 +268,7 @@ impl EventKind {
             EventKind::Restart { presumed_aborts } => {
                 format!("presumed-aborts={presumed_aborts}")
             }
+            EventKind::Gauge { name, value } => format!("name={name} value={value}"),
         }
     }
 }
@@ -282,7 +297,9 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
-    fn render(&self) -> String {
+    /// One-line human rendering (`[t=…] label detail span=… parent=…`) —
+    /// shared by [`TraceJournal::render_tree`] and the flight recorder.
+    pub fn render(&self) -> String {
         let mut line = format!("[t={:>5} AP{} e{}] {}", self.at, self.peer, self.epoch, self.kind.label());
         let detail = self.kind.detail();
         if !detail.is_empty() {
@@ -501,6 +518,65 @@ impl Snapshot {
     }
 }
 
+/// A bounded ring of recent [`TraceEvent`]s — the storage primitive
+/// behind the flight recorder in `axml-obs`.
+///
+/// Pushing beyond `capacity` evicts the oldest event; `dropped` counts
+/// evictions so a dump can say how much history was lost. Iteration is
+/// oldest-first, so a dump reads like the tail of the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRing {
+    capacity: usize,
+    events: std::collections::VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Empty ring holding at most `capacity` events (capacity 0 keeps
+    /// nothing and counts every push as dropped).
+    pub fn new(capacity: usize) -> Self {
+        EventRing { capacity, events: std::collections::VecDeque::with_capacity(capacity.min(64)), dropped: 0 }
+    }
+
+    /// Appends one event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted (or refused, at capacity 0) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 /// FNV-1a over a byte slice — the workspace's standard cheap fingerprint.
 pub fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -609,6 +685,30 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_merge_with_disjoint_keys_is_union_both_ways() {
+        // Disjoint key sets must union without cross-talk, for plain
+        // counters and peaks alike, regardless of merge direction.
+        let mut a = Snapshot::default();
+        a.set("net.sent", 5);
+        a.set("peer.0.seen_peak", 3);
+        let mut b = Snapshot::default();
+        b.set("wal.bytes_appended", 512);
+        b.set("peer.1.seen_peak", 9);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "disjoint merge commutes");
+        assert_eq!(ab.counters.len(), 4);
+        assert_eq!(ab.get("net.sent"), 5);
+        assert_eq!(ab.get("wal.bytes_appended"), 512);
+        assert_eq!(ab.get("peer.0.seen_peak"), 3);
+        assert_eq!(ab.get("peer.1.seen_peak"), 9);
+        // Merging a disjoint snapshot never disturbs existing entries.
+        assert_eq!(ab.get("net.sent"), a.get("net.sent"));
+    }
+
+    #[test]
     fn snapshot_merge_takes_max_for_peaks() {
         // Regression: merge used to sum *_peak names, fabricating a
         // high-water mark no peer ever reached.
@@ -661,6 +761,40 @@ mod tests {
             sink.borrow_mut().on_event(e);
         }
         assert_eq!(labels.borrow().0, vec!["submit", "invoke", "serve", "resolve", "ack-send"]);
+    }
+
+    #[test]
+    fn event_ring_evicts_oldest_and_counts_drops() {
+        let mut ring = EventRing::new(3);
+        for at in 0..5 {
+            ring.push(TraceEvent {
+                seq: at,
+                at,
+                peer: 0,
+                epoch: 0,
+                txn: None,
+                span: None,
+                parent: None,
+                kind: EventKind::Gauge { name: "outbox_depth".into(), value: at },
+            });
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let ats: Vec<u64> = ring.iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![2, 3, 4], "oldest-first, oldest two evicted");
+        let zero = EventRing::new(0);
+        assert!(zero.is_empty() && zero.capacity() == 0);
+    }
+
+    #[test]
+    fn gauge_kind_labels_and_renders() {
+        let mut j = TraceJournal::default();
+        j.record(100, 2, 0, None, None, None, EventKind::Gauge { name: "wal_bytes".into(), value: 4096 });
+        assert_eq!(j.count("gauge"), 1);
+        let text = j.to_json_lines();
+        let back = TraceJournal::from_json_lines(&text).unwrap();
+        assert_eq!(back, j, "gauge events survive the JSON round trip");
+        assert!(j.render_tree().contains("gauge name=wal_bytes value=4096"));
     }
 
     #[test]
